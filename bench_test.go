@@ -1,0 +1,225 @@
+package slicc
+
+import (
+	"testing"
+)
+
+// Benchmarks regenerating each paper experiment (quick-size workloads so a
+// full `go test -bench=. -benchmem` pass stays tractable; run
+// `cmd/experiments` without -quick for the full-size EXPERIMENTS.md
+// numbers). Each benchmark reports a headline metric from the experiment it
+// reproduces so regressions in *results*, not just runtime, are visible.
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := Experiment(id, true, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure1 regenerates the cache-size/miss-classification sweep.
+func BenchmarkFigure1(b *testing.B) { benchExperiment(b, "fig1") }
+
+// BenchmarkFigure2 regenerates the replacement-policy comparison.
+func BenchmarkFigure2(b *testing.B) { benchExperiment(b, "fig2") }
+
+// BenchmarkFigure3 regenerates the reuse-class breakdown.
+func BenchmarkFigure3(b *testing.B) { benchExperiment(b, "fig3") }
+
+// BenchmarkFigure7 regenerates the fill-up_t x matched_t exploration.
+func BenchmarkFigure7(b *testing.B) { benchExperiment(b, "fig7") }
+
+// BenchmarkFigure8 regenerates the dilution_t sweep.
+func BenchmarkFigure8(b *testing.B) { benchExperiment(b, "fig8") }
+
+// BenchmarkFigure9 regenerates the bloom-filter accuracy sweep.
+func BenchmarkFigure9(b *testing.B) { benchExperiment(b, "fig9") }
+
+// BenchmarkFigure10 regenerates the per-policy MPKI comparison.
+func BenchmarkFigure10(b *testing.B) { benchExperiment(b, "fig10") }
+
+// BenchmarkFigure11 regenerates the overall performance comparison.
+func BenchmarkFigure11(b *testing.B) { benchExperiment(b, "fig11") }
+
+// BenchmarkBPKI regenerates the Section 5.8 broadcast-rate measurement.
+func BenchmarkBPKI(b *testing.B) { benchExperiment(b, "bpki") }
+
+// BenchmarkTable1 regenerates the workload-parameter table.
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkTable2 regenerates the system-parameter table.
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+
+// BenchmarkTable3 regenerates the hardware-cost table.
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3") }
+
+// --- headline-result benchmarks ---------------------------------------------
+
+// benchCfg is the shared medium-size configuration for result benchmarks.
+func benchCfg(bench Benchmark, policy Policy) Config {
+	return Config{Benchmark: bench, Policy: policy, Threads: 32, Seed: 9, Scale: 0.4}
+}
+
+// BenchmarkHeadlineTPCC measures the paper's headline comparison (baseline
+// vs SLICC-SW on TPC-C) and reports the achieved speedup and I-MPKI
+// reduction as benchmark metrics.
+func BenchmarkHeadlineTPCC(b *testing.B) {
+	var speedup, reduction float64
+	for i := 0; i < b.N; i++ {
+		base, err := Run(benchCfg(TPCC1, Baseline))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sw, err := Run(benchCfg(TPCC1, SLICCSW))
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = sw.Speedup(base)
+		reduction = 1 - sw.IMPKI/base.IMPKI
+	}
+	b.ReportMetric(speedup, "speedup")
+	b.ReportMetric(100*reduction, "%I-miss-reduction")
+}
+
+// BenchmarkSimulatorThroughput measures raw simulator speed in simulated
+// instructions per second (the practical limit on experiment sizes).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	var instr uint64
+	for i := 0; i < b.N; i++ {
+		r, err := Run(benchCfg(TPCE, SLICCSW))
+		if err != nil {
+			b.Fatal(err)
+		}
+		instr = r.Instructions
+	}
+	b.ReportMetric(float64(instr), "sim-instructions/op")
+}
+
+// --- ablation benchmarks (design choices called out in DESIGN.md) -----------
+
+// BenchmarkAblationExactVsBloomSearch compares SLICC's bloom-signature
+// remote search against exact tag probing: the signature should cost almost
+// nothing in result quality (Figure 9's point).
+func BenchmarkAblationExactVsBloomSearch(b *testing.B) {
+	var bloomS, exactS float64
+	for i := 0; i < b.N; i++ {
+		base, err := Run(benchCfg(TPCC1, Baseline))
+		if err != nil {
+			b.Fatal(err)
+		}
+		bl, err := Run(benchCfg(TPCC1, SLICCSW))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := benchCfg(TPCC1, SLICCSW)
+		cfg.SLICC.ExactSearch = true
+		ex, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bloomS, exactS = bl.Speedup(base), ex.Speedup(base)
+	}
+	b.ReportMetric(bloomS, "bloom-speedup")
+	b.ReportMetric(exactS, "exact-speedup")
+}
+
+// BenchmarkAblationIdleFallback measures the contribution of Q.3's
+// migrate-to-idle-core fallback.
+func BenchmarkAblationIdleFallback(b *testing.B) {
+	var with, without float64
+	for i := 0; i < b.N; i++ {
+		base, err := Run(benchCfg(TPCC1, Baseline))
+		if err != nil {
+			b.Fatal(err)
+		}
+		on, err := Run(benchCfg(TPCC1, SLICCSW))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := benchCfg(TPCC1, SLICCSW)
+		cfg.SLICC.DisableIdleFallback = true
+		off, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		with, without = on.Speedup(base), off.Speedup(base)
+	}
+	b.ReportMetric(with, "with-idle-fallback")
+	b.ReportMetric(without, "without-idle-fallback")
+}
+
+// BenchmarkAblationTeams compares type-aware team scheduling (SLICC-SW)
+// against the type-oblivious policy on the same workload.
+func BenchmarkAblationTeams(b *testing.B) {
+	var sw, oblivious float64
+	for i := 0; i < b.N; i++ {
+		base, err := Run(benchCfg(TPCE, Baseline))
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := Run(benchCfg(TPCE, SLICCSW))
+		if err != nil {
+			b.Fatal(err)
+		}
+		o, err := Run(benchCfg(TPCE, SLICC))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sw, oblivious = s.Speedup(base), o.Speedup(base)
+	}
+	b.ReportMetric(sw, "teams-speedup")
+	b.ReportMetric(oblivious, "oblivious-speedup")
+}
+
+// BenchmarkAblationDilution contrasts the dilution gate's paper setting
+// against migrating immediately when the cache fills (dilution disabled).
+func BenchmarkAblationDilution(b *testing.B) {
+	var tuned, immediate float64
+	for i := 0; i < b.N; i++ {
+		base, err := Run(benchCfg(TPCC1, Baseline))
+		if err != nil {
+			b.Fatal(err)
+		}
+		t, err := Run(benchCfg(TPCC1, SLICCSW))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := benchCfg(TPCC1, SLICCSW)
+		cfg.SLICC.DilutionT = -1
+		im, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tuned, immediate = t.Speedup(base), im.Speedup(base)
+	}
+	b.ReportMetric(tuned, "dilution10-speedup")
+	b.ReportMetric(immediate, "no-dilution-speedup")
+}
+
+// BenchmarkAblationYieldOnStay measures the future-work STEPS+SLICC
+// combination (yield locally when no migration destination exists) against
+// plain SLICC-SW.
+func BenchmarkAblationYieldOnStay(b *testing.B) {
+	var plain, combined float64
+	for i := 0; i < b.N; i++ {
+		base, err := Run(benchCfg(TPCC1, Baseline))
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, err := Run(benchCfg(TPCC1, SLICCSW))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := benchCfg(TPCC1, SLICCSW)
+		cfg.SLICC.YieldOnStay = true
+		c, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		plain, combined = p.Speedup(base), c.Speedup(base)
+	}
+	b.ReportMetric(plain, "slicc-sw-speedup")
+	b.ReportMetric(combined, "with-yield-speedup")
+}

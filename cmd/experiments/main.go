@@ -1,0 +1,78 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+//	experiments -list
+//	experiments -run fig11
+//	experiments -run all -quick
+//	experiments -run fig7 -out fig7.txt
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"slicc"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		run    = flag.String("run", "all", "experiment id or 'all'")
+		quick  = flag.Bool("quick", false, "shrink workloads ~20x for a fast smoke run")
+		seed   = flag.Int64("seed", 1, "workload seed")
+		out    = flag.String("out", "", "write results to this file instead of stdout")
+		asJSON = flag.Bool("json", false, "emit JSON instead of aligned text tables")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range slicc.ExperimentIDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	ids := []string{*run}
+	if *run == "all" {
+		ids = slicc.ExperimentIDs()
+	}
+	collected := map[string][]slicc.ExperimentTable{}
+	for _, id := range ids {
+		start := time.Now()
+		tables, err := slicc.Experiment(id, *quick, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *asJSON {
+			collected[id] = tables
+		} else {
+			for _, t := range tables {
+				t.Format(w)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "%s done in %v\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if *asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(collected); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}

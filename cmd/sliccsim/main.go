@@ -1,0 +1,141 @@
+// Command sliccsim runs a single simulation configuration and prints its
+// metrics. It is the smallest way to poke at the reproduction:
+//
+//	sliccsim -workload tpcc1 -policy slicc-sw -threads 64
+//	sliccsim -workload tpce -policy base -classify
+//	sliccsim -workload tpcc1 -policy slicc-sw -compare
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"slicc"
+)
+
+var benchmarks = map[string]slicc.Benchmark{
+	"tpcc1":     slicc.TPCC1,
+	"tpcc10":    slicc.TPCC10,
+	"tpce":      slicc.TPCE,
+	"mapreduce": slicc.MapReduce,
+}
+
+var policies = map[string]slicc.Policy{
+	"base":     slicc.Baseline,
+	"nextline": slicc.NextLine,
+	"slicc":    slicc.SLICC,
+	"slicc-pp": slicc.SLICCPp,
+	"slicc-sw": slicc.SLICCSW,
+	"pif":      slicc.PIF,
+	"stream":   slicc.StreamPrefetch,
+	"steps":    slicc.STEPS,
+}
+
+func keys[M map[string]V, V any](m M) string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return strings.Join(ks, ", ")
+}
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "tpcc1", "benchmark: "+keys(benchmarks))
+		policyName   = flag.String("policy", "slicc-sw", "policy: "+keys(policies))
+		threads      = flag.Int("threads", 64, "transactions/tasks (0 = benchmark default)")
+		seed         = flag.Int64("seed", 1, "workload seed")
+		scale        = flag.Float64("scale", 1, "per-transaction work multiplier")
+		cores        = flag.Int("cores", 16, "core count")
+		l1i          = flag.Int("l1i", 32, "L1-I size in KB")
+		l1d          = flag.Int("l1d", 32, "L1-D size in KB")
+		classify     = flag.Bool("classify", false, "report 3C miss classification")
+		compare      = flag.Bool("compare", false, "also run the baseline and report speedup")
+		fillUp       = flag.Int("fillup", 0, "SLICC fill-up_t (0 = paper default 256)")
+		matched      = flag.Int("matched", 0, "SLICC matched_t (0 = paper default 4)")
+		dilution     = flag.Int("dilution", 0, "SLICC dilution_t (0 = paper default 10, -1 = disabled)")
+		events       = flag.Int("events", 0, "print the first N migration/context-switch events")
+	)
+	flag.Parse()
+
+	bench, ok := benchmarks[*workloadName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown workload %q (have %s)\n", *workloadName, keys(benchmarks))
+		os.Exit(2)
+	}
+	policy, ok := policies[*policyName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown policy %q (have %s)\n", *policyName, keys(policies))
+		os.Exit(2)
+	}
+
+	cfg := slicc.Config{
+		Benchmark: bench,
+		Policy:    policy,
+		Threads:   *threads,
+		Seed:      *seed,
+		Scale:     *scale,
+		Cores:     *cores,
+		L1IKB:     *l1i,
+		L1DKB:     *l1d,
+		Classify:  *classify,
+		LogEvents: *events > 0,
+		SLICC:     slicc.Params{FillUpT: *fillUp, MatchedT: *matched, DilutionT: *dilution},
+	}
+
+	r, err := slicc.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload      %s\n", r.Benchmark)
+	fmt.Printf("policy        %s\n", r.Policy)
+	fmt.Printf("instructions  %d\n", r.Instructions)
+	fmt.Printf("cycles        %.0f\n", r.Cycles)
+	fmt.Printf("I-MPKI        %.2f\n", r.IMPKI)
+	fmt.Printf("D-MPKI        %.2f\n", r.DMPKI)
+	if *classify {
+		fmt.Printf("I 3C          compulsory %.2f / capacity %.2f / conflict %.2f\n",
+			r.ICompulsoryMPKI, r.ICapacityMPKI, r.IConflictMPKI)
+		fmt.Printf("D 3C          compulsory %.2f / capacity %.2f / conflict %.2f\n",
+			r.DCompulsoryMPKI, r.DCapacityMPKI, r.DConflictMPKI)
+	}
+	fmt.Printf("migrations    %d", r.Migrations)
+	if r.Migrations > 0 {
+		fmt.Printf(" (every %.0f instructions)", r.InstrPerMigration)
+	}
+	fmt.Println()
+	if r.BPKI > 0 {
+		fmt.Printf("search BPKI   %.3f\n", r.BPKI)
+	}
+	if *events > 0 {
+		fmt.Printf("first %d scheduling events:\n", *events)
+		for i, e := range r.Events {
+			if i >= *events {
+				break
+			}
+			kind := "migrate"
+			if e.Switch {
+				kind = "switch "
+			}
+			fmt.Printf("  cycle %10.0f  thread %4d  %s core %2d -> %2d\n",
+				e.Cycle, e.ThreadID, kind, e.From, e.To)
+		}
+	}
+
+	if *compare && policy != slicc.Baseline {
+		baseCfg := cfg
+		baseCfg.Policy = slicc.Baseline
+		base, err := slicc.Run(baseCfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("speedup       %.3fx over baseline (%.0f cycles)\n", r.Speedup(base), base.Cycles)
+		fmt.Printf("I-MPKI change %+.1f%%\n", 100*(r.IMPKI/base.IMPKI-1))
+		fmt.Printf("D-MPKI change %+.1f%%\n", 100*(r.DMPKI/base.DMPKI-1))
+	}
+}

@@ -1,0 +1,113 @@
+// Command tracegen inspects and exports the synthetic workload traces.
+//
+//	tracegen -workload tpcc1 -summary            # per-type footprints and mix
+//	tracegen -workload tpce -thread 3 -n 20      # print a thread's first ops
+//	tracegen -workload tpcc1 -thread 0 -dump t0.trace   # binary export
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"slicc/internal/trace"
+	"slicc/internal/workload"
+)
+
+var kinds = map[string]workload.Kind{
+	"tpcc1":     workload.TPCC1,
+	"tpcc10":    workload.TPCC10,
+	"tpce":      workload.TPCE,
+	"mapreduce": workload.MapReduce,
+}
+
+func main() {
+	var (
+		kindName = flag.String("workload", "tpcc1", "benchmark: tpcc1, tpcc10, tpce, mapreduce")
+		threads  = flag.Int("threads", 32, "thread count")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		scale    = flag.Float64("scale", 1, "work multiplier")
+		summary  = flag.Bool("summary", false, "print workload summary and exit")
+		threadID = flag.Int("thread", -1, "thread to inspect")
+		n        = flag.Int("n", 32, "ops to print for -thread")
+		dump     = flag.String("dump", "", "write the selected thread's full trace to this file")
+		analyze  = flag.Bool("analyze", false, "print a reuse-distance analysis of the selected thread")
+	)
+	flag.Parse()
+
+	kind, ok := kinds[*kindName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *kindName)
+		os.Exit(2)
+	}
+	w := workload.New(workload.Config{Kind: kind, Threads: *threads, Seed: *seed, Scale: *scale})
+
+	if *summary || *threadID < 0 {
+		fmt.Printf("workload %s: %d segments, %d types, %d threads\n",
+			w.Name, len(w.Segments), len(w.Types), len(w.Threads()))
+		mix := map[string]int{}
+		for _, th := range w.Threads() {
+			mix[th.TypeName]++
+		}
+		for ti := range w.Types {
+			ty := &w.Types[ti]
+			fmt.Printf("  %-18s weight %.3f  footprint %6d KB  instances %d  ~%d instr/txn\n",
+				ty.Name, ty.Weight, w.TypeFootprintBytes(ti)/1024, mix[ty.Name],
+				w.EstimateInstructions(ti))
+		}
+		if *threadID < 0 {
+			return
+		}
+	}
+
+	if *threadID >= len(w.Threads()) {
+		fmt.Fprintf(os.Stderr, "thread %d out of range (%d threads)\n", *threadID, len(w.Threads()))
+		os.Exit(2)
+	}
+	th := w.Threads()[*threadID]
+	fmt.Printf("thread %d: type %s\n", th.ID, th.TypeName)
+
+	if *analyze {
+		a := trace.Analyze(th.New(), 2_000_000)
+		a.Print(os.Stdout)
+		fmt.Println("hottest instruction blocks:")
+		for _, bc := range trace.TopBlocks(th.New(), 2_000_000, 5) {
+			fmt.Printf("  block %#x: %d accesses\n", bc.Block, bc.Count)
+		}
+		return
+	}
+
+	if *dump != "" {
+		ops := trace.Record(th.New(), 0)
+		f, err := os.Create(*dump)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := trace.WriteTrace(f, ops); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d ops to %s\n", len(ops), *dump)
+		return
+	}
+
+	src := th.New()
+	for i := 0; i < *n; i++ {
+		op, ok := src.Next()
+		if !ok {
+			fmt.Println("(end of thread)")
+			break
+		}
+		line := fmt.Sprintf("%6d  pc=%#x", i, op.PC)
+		if op.HasData {
+			rw := "ld"
+			if op.IsWrite {
+				rw = "st"
+			}
+			line += fmt.Sprintf("  %s=%#x", rw, op.DataAddr)
+		}
+		fmt.Println(line)
+	}
+}

@@ -1,0 +1,63 @@
+// cachestudy reproduces the paper's motivation study (Section 2) on a small
+// scale: why do OLTP workloads miss in the L1-I, and why don't bigger caches
+// or smarter replacement policies solve it?
+//
+// It prints (a) the Figure 1 story — instruction misses are capacity misses
+// that vanish only with impractically large caches, while data misses are
+// compulsory and insensitive to cache size — and (b) the Figure 3 story —
+// threads of the same transaction type share nearly all their code, which
+// is the reuse SLICC's collectives harvest.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"slicc"
+)
+
+func main() {
+	fmt.Println("Why OLTP thrashes the L1-I (TPC-C, conventional scheduling)")
+	fmt.Println()
+	fmt.Printf("%8s %8s %8s %8s %8s | %8s %8s\n",
+		"L1-I KB", "I-MPKI", "comp", "cap", "conf", "D-MPKI", "D-comp")
+
+	for _, kb := range []int{16, 32, 64, 128, 256, 512} {
+		cfg := slicc.Config{
+			Benchmark: slicc.TPCC1,
+			Policy:    slicc.Baseline,
+			Threads:   32,
+			Seed:      5,
+			Scale:     0.5,
+			L1IKB:     kb,
+			Classify:  true,
+		}
+		r, err := slicc.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%8d %8.2f %8.2f %8.2f %8.2f | %8.2f %8.2f\n",
+			kb, r.IMPKI, r.ICompulsoryMPKI, r.ICapacityMPKI, r.IConflictMPKI,
+			r.DMPKI, r.DCompulsoryMPKI)
+	}
+
+	fmt.Println("\nInstruction blocks shared across threads (Figure 3 view):")
+	cfg := slicc.Config{
+		Benchmark:  slicc.TPCC1,
+		Policy:     slicc.SLICCSW,
+		Threads:    48,
+		Seed:       5,
+		Scale:      0.4,
+		TrackReuse: true,
+	}
+	r, err := slicc.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-16s single %5.1f%%  few %5.1f%%  most %5.1f%%\n",
+		"global:", 100*r.ReuseGlobal.Single, 100*r.ReuseGlobal.Few, 100*r.ReuseGlobal.Most)
+	fmt.Printf("%-16s single %5.1f%%  few %5.1f%%  most %5.1f%%\n",
+		"per txn type:", 100*r.ReusePerType.Single, 100*r.ReusePerType.Few, 100*r.ReusePerType.Most)
+	fmt.Println("\nSame-type transactions execute nearly identical code: one thread's")
+	fmt.Println("fetches can warm caches for all the others — SLICC's opportunity.")
+}

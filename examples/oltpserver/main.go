@@ -1,0 +1,59 @@
+// oltpserver simulates the scenario from the paper's introduction: an OLTP
+// server machine ("brokerage house" / "wholesale supplier") whose worker
+// threads thrash their instruction caches. It evaluates every scheduling
+// and prefetching option on all four workloads and prints a Figure 11-style
+// scoreboard, including the robustness control (MapReduce must not regress).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"slicc"
+)
+
+func main() {
+	policies := []slicc.Policy{
+		slicc.Baseline, slicc.NextLine,
+		slicc.SLICC, slicc.SLICCPp, slicc.SLICCSW, slicc.PIF,
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "workload")
+	for _, p := range policies {
+		fmt.Fprintf(tw, "\t%s", p)
+	}
+	fmt.Fprintln(tw, "\tbest")
+
+	for _, bench := range slicc.Benchmarks() {
+		cfg := slicc.Config{
+			Benchmark: bench,
+			Threads:   48,
+			Seed:      7,
+			Scale:     0.5,
+		}
+		results, err := slicc.Compare(cfg, policies...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		base := results[0]
+		fmt.Fprintf(tw, "%s", bench)
+		bestIdx := 0
+		for i, r := range results {
+			speed := r.Speedup(base)
+			fmt.Fprintf(tw, "\t%.3f", speed)
+			if speed > results[bestIdx].Speedup(base) {
+				bestIdx = i
+			}
+		}
+		fmt.Fprintf(tw, "\t%s\n", policies[bestIdx])
+	}
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nSpeedups over the conventional scheduler. SLICC variants win without")
+	fmt.Println("prefetcher storage; PIF is the paper's 512KB upper-bound model.")
+}

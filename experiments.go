@@ -1,0 +1,76 @@
+package slicc
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"slicc/internal/experiments"
+)
+
+// ExperimentTable is a formatted experiment result (one table or figure
+// panel from the paper's evaluation).
+type ExperimentTable struct {
+	Title  string
+	Note   string
+	Header []string
+	Rows   [][]string
+}
+
+// Format renders the table with aligned columns.
+func (t ExperimentTable) Format(w io.Writer) {
+	it := experiments.Table{Title: t.Title, Note: t.Note, Header: t.Header, Rows: t.Rows}
+	it.Format(w)
+}
+
+func fromInternal(ts ...experiments.Table) []ExperimentTable {
+	out := make([]ExperimentTable, len(ts))
+	for i, t := range ts {
+		out[i] = ExperimentTable{Title: t.Title, Note: t.Note, Header: t.Header, Rows: t.Rows}
+	}
+	return out
+}
+
+// experimentRunners maps experiment ids to their implementations.
+var experimentRunners = map[string]func(experiments.Options) []ExperimentTable{
+	"fig1":  func(o experiments.Options) []ExperimentTable { return fromInternal(experiments.Figure1(o)...) },
+	"fig2":  func(o experiments.Options) []ExperimentTable { return fromInternal(experiments.Figure2(o)) },
+	"fig3":  func(o experiments.Options) []ExperimentTable { return fromInternal(experiments.Figure3(o)) },
+	"fig7":  func(o experiments.Options) []ExperimentTable { return fromInternal(experiments.Figure7(o)) },
+	"fig8":  func(o experiments.Options) []ExperimentTable { return fromInternal(experiments.Figure8(o)) },
+	"fig9":  func(o experiments.Options) []ExperimentTable { return fromInternal(experiments.Figure9(o)) },
+	"fig10": func(o experiments.Options) []ExperimentTable { return fromInternal(experiments.Figure10(o)) },
+	"fig11": func(o experiments.Options) []ExperimentTable { return fromInternal(experiments.Figure11(o)) },
+	"bpki":  func(o experiments.Options) []ExperimentTable { return fromInternal(experiments.BPKI(o)) },
+	"tlb":   func(o experiments.Options) []ExperimentTable { return fromInternal(experiments.TLBEffects(o)) },
+	"steps": func(o experiments.Options) []ExperimentTable { return fromInternal(experiments.RelatedWork(o)) },
+	"scaling": func(o experiments.Options) []ExperimentTable {
+		return fromInternal(experiments.Scaling(o))
+	},
+	"table1": func(o experiments.Options) []ExperimentTable { return fromInternal(experiments.Table1()) },
+	"table2": func(o experiments.Options) []ExperimentTable { return fromInternal(experiments.Table2()) },
+	"table3": func(o experiments.Options) []ExperimentTable { return fromInternal(experiments.Table3()) },
+}
+
+// ExperimentIDs lists the available experiment identifiers in stable order.
+func ExperimentIDs() []string {
+	ids := make([]string, 0, len(experimentRunners))
+	for id := range experimentRunners {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Experiment regenerates one of the paper's tables/figures by id ("fig1"
+// .. "fig11", "table1".."table3", "bpki") or one of the extension studies
+// ("tlb", "steps", "scaling"). Quick mode shrinks workloads by
+// roughly 20x for smoke runs; full mode reproduces the EXPERIMENTS.md
+// numbers. The seed defaults to 1.
+func Experiment(id string, quick bool, seed int64) ([]ExperimentTable, error) {
+	run, ok := experimentRunners[id]
+	if !ok {
+		return nil, fmt.Errorf("slicc: unknown experiment %q (have %v)", id, ExperimentIDs())
+	}
+	return run(experiments.Options{Quick: quick, Seed: seed}), nil
+}

@@ -1,0 +1,156 @@
+package slicc
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+
+	"slicc/internal/trace"
+	"slicc/internal/workload"
+)
+
+// TestGoldenWorkloadStreams pins a hash of each benchmark's generated
+// instruction stream. The simulator's comparisons are only valid because
+// every policy replays the *identical* workload; this test makes any
+// accidental change to the generators (ordering, rng consumption, layout)
+// fail loudly. If you change the generators on purpose, update the hashes
+// and note it in EXPERIMENTS.md (all measured numbers shift).
+func TestGoldenWorkloadStreams(t *testing.T) {
+	golden := map[workload.Kind]string{}
+	for _, kind := range workload.Kinds() {
+		w := workload.New(workload.Config{Kind: kind, Threads: 8, Seed: 1, Scale: 0.2})
+		h := fnv.New64a()
+		for _, th := range w.Threads() {
+			src := th.New()
+			for i := 0; i < 5000; i++ {
+				op, ok := src.Next()
+				if !ok {
+					break
+				}
+				var buf [18]byte
+				putU64(buf[0:], op.PC)
+				putU64(buf[8:], op.DataAddr)
+				if op.HasData {
+					buf[16] = 1
+				}
+				if op.IsWrite {
+					buf[17] = 1
+				}
+				h.Write(buf[:])
+			}
+		}
+		golden[kind] = fmt.Sprintf("%016x", h.Sum64())
+	}
+	want := map[workload.Kind]string{
+		workload.TPCC1:     "e196afd895bf367c",
+		workload.TPCC10:    "c3d47b21e0d90867",
+		workload.TPCE:      "2d078f8365a374b0",
+		workload.MapReduce: "f30c692d295f84e2",
+	}
+	for kind, wantHash := range want {
+		if golden[kind] != wantHash {
+			t.Errorf("%v stream hash = %s, want %s (generator behaviour changed)",
+				kind, golden[kind], wantHash)
+		}
+	}
+}
+
+func putU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * uint(i)))
+	}
+}
+
+// TestHeadlineShapes runs the paper's headline comparison at a size where
+// the shapes are stable and asserts every qualitative claim the README
+// makes. Skipped under -short (about a minute).
+func TestHeadlineShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("medium-size integration run")
+	}
+	cfg := Config{Benchmark: TPCC1, Threads: 96, Seed: 1}
+	rs, err := Compare(cfg, Baseline, NextLine, SLICC, SLICCPp, SLICCSW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, nl, ob, pp, sw := rs[0], rs[1], rs[2], rs[3], rs[4]
+
+	// Baseline character: OLTP thrash.
+	if base.IMPKI < 30 || base.IMPKI > 45 {
+		t.Errorf("baseline I-MPKI %.1f outside the calibrated band", base.IMPKI)
+	}
+	// SLICC-SW headline: large I-miss cut, small D-miss cost, real speedup.
+	if cut := 1 - sw.IMPKI/base.IMPKI; cut < 0.30 {
+		t.Errorf("SLICC-SW I-MPKI cut %.0f%% < 30%%", 100*cut)
+	}
+	if rise := sw.DMPKI/base.DMPKI - 1; rise < 0 || rise > 0.20 {
+		t.Errorf("SLICC-SW D-MPKI change %.0f%% outside (0,20%%)", 100*rise)
+	}
+	if sp := sw.Speedup(base); sp < 1.25 {
+		t.Errorf("SLICC-SW speedup %.3f < 1.25", sp)
+	}
+	// Paper's policy ordering: Base < SLICC <= Pp <= SW (with slack).
+	if ob.Speedup(base) < 1.1 {
+		t.Errorf("oblivious SLICC speedup %.3f < 1.1", ob.Speedup(base))
+	}
+	if sw.Cycles > ob.Cycles*1.02 {
+		t.Errorf("SLICC-SW (%.0f cycles) not at least as good as oblivious (%.0f)", sw.Cycles, ob.Cycles)
+	}
+	if pp.Migrations == 0 || sw.Migrations == 0 {
+		t.Error("type-aware variants did not migrate")
+	}
+	// Migration cadence in a plausible band (paper: every ~3.2K instr).
+	if sw.InstrPerMigration < 1000 || sw.InstrPerMigration > 50000 {
+		t.Errorf("instructions/migration %.0f implausible", sw.InstrPerMigration)
+	}
+	_ = nl
+}
+
+// TestMapReduceRobustnessFull asserts the paper's robustness claim at
+// medium size. Skipped under -short.
+func TestMapReduceRobustnessFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("medium-size integration run")
+	}
+	cfg := Config{Benchmark: MapReduce, Threads: 150, Seed: 1}
+	rs, err := Compare(cfg, Baseline, SLICC, SLICCSW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := rs[0]
+	for _, r := range rs[1:] {
+		if ratio := r.Cycles / base.Cycles; ratio > 1.03 {
+			t.Errorf("%v slowed MapReduce by %.1f%%", r.Policy, 100*(ratio-1))
+		}
+	}
+	if rs[1].Migrations != 0 {
+		t.Errorf("oblivious SLICC migrated %d times on a cache-resident workload", rs[1].Migrations)
+	}
+}
+
+// TestTrace building block: the generated workloads expose the Section 2
+// reuse property through the analysis tooling.
+func TestWorkloadReuseBeyondCache(t *testing.T) {
+	w := workload.New(workload.Config{Kind: workload.TPCC1, Threads: 4, Seed: 1, Scale: 1})
+	// Pick a NewOrder thread (type 0) — its loop body exceeds one cache.
+	for _, th := range w.Threads() {
+		if th.Type != 0 {
+			continue
+		}
+		a := trace.Analyze(th.New(), 400_000)
+		if a.IFootprintKB < 100 {
+			t.Fatalf("NewOrder footprint %dKB too small", a.IFootprintKB)
+		}
+		// Intra-line references dominate raw counts; judge the A-B-C-A
+		// pattern on non-trivial reuse: of re-references with distance of
+		// at least a few blocks, most must lie beyond a 32KB LRU.
+		nontrivial := a.ReuseBeyond(4)
+		beyond := a.ReuseBeyond(512)
+		if nontrivial == 0 || beyond/nontrivial < 0.5 {
+			t.Fatalf("beyond-cache share of non-trivial reuse = %.2f (%.4f / %.4f); the A-B-C-A pattern is missing",
+				beyond/nontrivial, beyond, nontrivial)
+		}
+		return
+	}
+	t.Skip("no NewOrder thread in sample")
+}

@@ -1,0 +1,466 @@
+// Package cache implements the set-associative cache models used throughout
+// the SLICC reproduction: private L1 instruction and data caches with a
+// selectable replacement policy (LRU and the insertion/re-reference policies
+// the paper evaluates in Figure 2), optional compulsory/capacity/conflict
+// miss classification (Figure 1), and the probe/invalidate hooks the
+// simulator's coherence directory and SLICC's signature search require.
+//
+// Caches operate on byte addresses; internally everything is tracked at
+// cache-block granularity. All state is deterministic: policies that need
+// randomness (BIP, BRRIP) draw from a seeded source in Config.
+package cache
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Kind selects a replacement policy.
+type Kind int
+
+// Replacement policies evaluated by the paper (Section 2.1.2, Figure 2).
+const (
+	LRU Kind = iota
+	LIP
+	BIP
+	DIP
+	SRRIP
+	BRRIP
+	DRRIP
+)
+
+var kindNames = [...]string{"LRU", "LIP", "BIP", "DIP", "SRRIP", "BRRIP", "DRRIP"}
+
+func (k Kind) String() string {
+	if k < 0 || int(k) >= len(kindNames) {
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// Kinds returns all supported replacement policy kinds in Figure 2 order.
+func Kinds() []Kind {
+	return []Kind{LRU, LIP, BIP, DIP, SRRIP, BRRIP, DRRIP}
+}
+
+// Config describes a cache instance.
+type Config struct {
+	// SizeBytes is the total capacity. Must be a multiple of
+	// BlockBytes*Ways and yield a power-of-two set count.
+	SizeBytes int
+	// BlockBytes is the cache block (line) size. Must be a power of two.
+	BlockBytes int
+	// Ways is the associativity.
+	Ways int
+	// Policy is the replacement policy.
+	Policy Kind
+	// HitLatency is the load-to-use latency in cycles.
+	HitLatency int
+	// Classify enables compulsory/capacity/conflict classification via an
+	// infinite-cache filter and a fully-associative LRU shadow of the same
+	// capacity (Hill & Smith). It costs memory proportional to the
+	// footprint, so it is off by default.
+	Classify bool
+	// BIPEpsilonLog2 is log2 of the inverse probability that BIP/BRRIP
+	// insert a block with high priority (default 5, i.e. 1/32).
+	BIPEpsilonLog2 int
+	// DuelLeaderStride spaces the set-dueling leader sets for DIP/DRRIP
+	// (default 32: set 0, 32, 64... lead policy A; set 1, 33, ... policy B).
+	DuelLeaderStride int
+	// PSELBits sizes the set-dueling policy selector counter (default 10).
+	PSELBits int
+	// Seed seeds the policy randomness.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.BlockBytes == 0 {
+		c.BlockBytes = 64
+	}
+	if c.Ways == 0 {
+		c.Ways = 8
+	}
+	if c.HitLatency == 0 {
+		c.HitLatency = 3
+	}
+	if c.BIPEpsilonLog2 == 0 {
+		c.BIPEpsilonLog2 = 5
+	}
+	if c.DuelLeaderStride == 0 {
+		c.DuelLeaderStride = 32
+	}
+	if c.PSELBits == 0 {
+		c.PSELBits = 10
+	}
+	return c
+}
+
+// MissClass classifies a miss per Hill & Smith's 3C model.
+type MissClass int
+
+// Miss classes. ClassNone marks hits.
+const (
+	ClassNone MissClass = iota
+	ClassCompulsory
+	ClassCapacity
+	ClassConflict
+)
+
+func (m MissClass) String() string {
+	switch m {
+	case ClassNone:
+		return "none"
+	case ClassCompulsory:
+		return "compulsory"
+	case ClassCapacity:
+		return "capacity"
+	case ClassConflict:
+		return "conflict"
+	}
+	return fmt.Sprintf("MissClass(%d)", int(m))
+}
+
+// Stats accumulates access outcomes.
+type Stats struct {
+	Accesses   uint64
+	Hits       uint64
+	Misses     uint64
+	Compulsory uint64
+	Capacity   uint64
+	Conflict   uint64
+	Evictions  uint64
+	Fills      uint64 // prefetch fills (not demand misses)
+	Invalidate uint64
+}
+
+// MissRate returns misses/accesses, or 0 for an untouched cache.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Result reports the outcome of a single access.
+type Result struct {
+	Hit bool
+	// Class is the 3C class of a miss (ClassNone on hits, or when
+	// classification is disabled it is ClassCapacity for non-first-touch
+	// misses as a cheap approximation).
+	Class MissClass
+	// Evicted is the block address (not byte address) of the victim,
+	// valid only when EvictedValid is true.
+	Evicted      uint64
+	EvictedValid bool
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	meta  uint8 // recency position (LRU family) or RRPV (RRIP family)
+}
+
+type set struct {
+	idx   int
+	lines []line
+}
+
+// Cache is a set-associative cache model.
+type Cache struct {
+	cfg        Config
+	sets       []set
+	numSets    int
+	setMask    uint64
+	blockShift uint
+	policy     policy
+	rng        *rand.Rand
+	stats      Stats
+
+	// lastBlock tracks the most recently accessed block: consecutive
+	// accesses to one block (sequential instruction fetch through a line,
+	// a data run through a row) form one *touch episode*, and replacement
+	// state updates once per episode. This models the line/fill buffer in
+	// front of a real L1 and is what lets insertion-position policies
+	// (LIP/BIP/RRIP) behave as designed: without it, the second fetch of
+	// every 16-instruction line would instantly promote it to MRU and no
+	// policy could differ from LRU. For true LRU the episode rule is a
+	// no-op (re-promoting the same block is idempotent).
+	lastBlock uint64
+	haveLast  bool
+
+	// Classification shadows (nil unless cfg.Classify).
+	seen   map[uint64]struct{}
+	shadow *faShadow
+
+	// OnEvict, if set, is invoked with the block address of every victim
+	// (demand or invalidation). SLICC uses it to keep bloom signatures in
+	// sync with cache contents.
+	OnEvict func(block uint64)
+	// OnInsert mirrors OnEvict for newly inserted blocks.
+	OnInsert func(block uint64)
+}
+
+// New builds a cache. It panics on geometrically impossible configurations;
+// configurations are static inputs, so this is a programming error, not a
+// runtime condition.
+func New(cfg Config) *Cache {
+	cfg = cfg.withDefaults()
+	if cfg.SizeBytes <= 0 {
+		panic("cache: SizeBytes must be positive")
+	}
+	if cfg.BlockBytes&(cfg.BlockBytes-1) != 0 {
+		panic("cache: BlockBytes must be a power of two")
+	}
+	lineCount := cfg.SizeBytes / cfg.BlockBytes
+	if lineCount%cfg.Ways != 0 {
+		panic(fmt.Sprintf("cache: %d blocks not divisible by %d ways", lineCount, cfg.Ways))
+	}
+	numSets := lineCount / cfg.Ways
+	if numSets&(numSets-1) != 0 {
+		panic(fmt.Sprintf("cache: set count %d must be a power of two", numSets))
+	}
+	c := &Cache{
+		cfg:     cfg,
+		sets:    make([]set, numSets),
+		numSets: numSets,
+		setMask: uint64(numSets - 1),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+	}
+	c.blockShift = log2(uint64(cfg.BlockBytes))
+	lines := make([]line, numSets*cfg.Ways)
+	for i := range c.sets {
+		c.sets[i].idx = i
+		c.sets[i].lines = lines[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
+		// The LRU-family policies maintain meta as a recency permutation of
+		// 0..Ways-1; seed it so promote() rotations preserve the invariant.
+		for w := range c.sets[i].lines {
+			c.sets[i].lines[w].meta = uint8(w)
+		}
+	}
+	c.policy = newPolicy(c)
+	if cfg.Classify {
+		c.seen = make(map[uint64]struct{})
+		c.shadow = newFAShadow(lineCount)
+	}
+	return c
+}
+
+func log2(v uint64) uint {
+	var n uint
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Config returns the configuration the cache was built with (with defaults
+// applied).
+func (c *Cache) Config() Config { return c.cfg }
+
+// NumSets returns the number of sets.
+func (c *Cache) NumSets() int { return c.numSets }
+
+// NumBlocks returns the total number of blocks (lines).
+func (c *Cache) NumBlocks() int { return c.numSets * c.cfg.Ways }
+
+// HitLatency returns the configured hit latency in cycles.
+func (c *Cache) HitLatency() int { return c.cfg.HitLatency }
+
+// BlockAddr converts a byte address to its block address.
+func (c *Cache) BlockAddr(addr uint64) uint64 { return addr >> c.blockShift }
+
+func (c *Cache) setIndex(block uint64) uint64 { return block & c.setMask }
+
+// Access performs a demand access for the byte address. The write flag only
+// matters to callers (the cache itself is a presence model); it is accepted
+// here so data-cache call sites read naturally.
+func (c *Cache) Access(addr uint64, write bool) Result {
+	_ = write
+	block := c.BlockAddr(addr)
+	c.stats.Accesses++
+
+	s := &c.sets[c.setIndex(block)]
+	if way := findWay(s, block); way >= 0 {
+		c.stats.Hits++
+		if !c.haveLast || c.lastBlock != block {
+			c.policy.onHit(s, way)
+		}
+		c.lastBlock, c.haveLast = block, true
+		if c.shadow != nil {
+			c.shadow.access(block)
+		}
+		return Result{Hit: true}
+	}
+	c.lastBlock, c.haveLast = block, true
+
+	c.stats.Misses++
+	class := c.classify(block)
+	res := Result{Class: class}
+	res.Evicted, res.EvictedValid = c.insert(s, block, false)
+	return res
+}
+
+// classify assigns the 3C class for a missing block and updates shadows.
+func (c *Cache) classify(block uint64) MissClass {
+	if c.seen == nil {
+		return ClassCapacity
+	}
+	var class MissClass
+	if _, ok := c.seen[block]; !ok {
+		c.seen[block] = struct{}{}
+		class = ClassCompulsory
+	} else if c.shadow.contains(block) {
+		// The fully-associative cache of equal capacity would have hit:
+		// the miss is due to limited associativity.
+		class = ClassConflict
+	} else {
+		class = ClassCapacity
+	}
+	c.shadow.access(block)
+	switch class {
+	case ClassCompulsory:
+		c.stats.Compulsory++
+	case ClassCapacity:
+		c.stats.Capacity++
+	case ClassConflict:
+		c.stats.Conflict++
+	}
+	return class
+}
+
+// insert places block into set s, evicting the policy's victim if the set is
+// full. It returns the victim block address if a valid line was evicted.
+// lowPri inserts at the policy's lowest priority (prefetch fills).
+func (c *Cache) insert(s *set, block uint64, lowPri bool) (evicted uint64, evictedValid bool) {
+	way := c.policy.victim(s)
+	ln := &s.lines[way]
+	if ln.valid {
+		evicted, evictedValid = ln.tag, true
+		c.stats.Evictions++
+		if c.OnEvict != nil {
+			c.OnEvict(ln.tag)
+		}
+	}
+	ln.tag = block
+	ln.valid = true
+	if lowPri {
+		c.policy.onFill(s, way)
+	} else {
+		c.policy.onInsert(s, way)
+	}
+	if c.OnInsert != nil {
+		c.OnInsert(block)
+	}
+	return evicted, evictedValid
+}
+
+// Fill inserts the block containing addr without counting a demand access.
+// Prefetchers use it; fills are counted in Stats.Fills and inserted at the
+// replacement policy's lowest priority, so an unreferenced prefetch is the
+// next victim. It is a no-op if the block is already present (its
+// replacement state is left untouched, so useless prefetch traffic cannot
+// promote a block).
+func (c *Cache) Fill(addr uint64) (evicted uint64, evictedValid bool) {
+	block := c.BlockAddr(addr)
+	s := &c.sets[c.setIndex(block)]
+	if findWay(s, block) >= 0 {
+		return 0, false
+	}
+	c.stats.Fills++
+	if c.shadow != nil {
+		if _, ok := c.seen[block]; !ok {
+			c.seen[block] = struct{}{}
+		}
+		c.shadow.access(block)
+	}
+	return c.insert(s, block, true)
+}
+
+// Contains probes for the block containing addr with no side effects on
+// replacement state or statistics.
+func (c *Cache) Contains(addr uint64) bool {
+	block := c.BlockAddr(addr)
+	return findWay(&c.sets[c.setIndex(block)], block) >= 0
+}
+
+// ContainsBlock probes by block address with no side effects.
+func (c *Cache) ContainsBlock(block uint64) bool {
+	return findWay(&c.sets[c.setIndex(block)], block) >= 0
+}
+
+// Invalidate removes the block containing addr, returning whether it was
+// present. Coherence invalidations land here.
+func (c *Cache) Invalidate(addr uint64) bool {
+	return c.InvalidateBlock(c.BlockAddr(addr))
+}
+
+// InvalidateBlock removes a block by block address.
+func (c *Cache) InvalidateBlock(block uint64) bool {
+	s := &c.sets[c.setIndex(block)]
+	way := findWay(s, block)
+	if way < 0 {
+		return false
+	}
+	s.lines[way].valid = false
+	if c.haveLast && c.lastBlock == block {
+		c.haveLast = false
+	}
+	c.stats.Invalidate++
+	if c.OnEvict != nil {
+		c.OnEvict(block)
+	}
+	return true
+}
+
+// Blocks appends the block addresses of all valid lines to dst and returns
+// it. The order is set-major and not meaningful.
+func (c *Cache) Blocks(dst []uint64) []uint64 {
+	for i := range c.sets {
+		for _, ln := range c.sets[i].lines {
+			if ln.valid {
+				dst = append(dst, ln.tag)
+			}
+		}
+	}
+	return dst
+}
+
+// ValidCount returns the number of valid lines.
+func (c *Cache) ValidCount() int {
+	n := 0
+	for i := range c.sets {
+		for _, ln := range c.sets[i].lines {
+			if ln.valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes counters but keeps contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Flush invalidates every line and resets policy metadata. Statistics and
+// classification shadows are preserved (a flush does not unsee blocks).
+func (c *Cache) Flush() {
+	for i := range c.sets {
+		for w := range c.sets[i].lines {
+			c.sets[i].lines[w] = line{meta: uint8(w)}
+		}
+	}
+	c.haveLast = false
+}
+
+func findWay(s *set, block uint64) int {
+	for w := range s.lines {
+		if s.lines[w].valid && s.lines[w].tag == block {
+			return w
+		}
+	}
+	return -1
+}

@@ -1,0 +1,80 @@
+package cache
+
+// faShadow is a fully-associative LRU cache of block addresses with the same
+// capacity as the real cache. It exists solely to classify misses: a block
+// that misses in the set-associative cache but would have hit in the
+// fully-associative one is a conflict miss; otherwise (and not first touch)
+// it is a capacity miss (Hill & Smith, "Evaluating associativity in CPU
+// caches").
+type faShadow struct {
+	capacity int
+	nodes    map[uint64]*faNode
+	head     *faNode // MRU
+	tail     *faNode // LRU
+}
+
+type faNode struct {
+	block      uint64
+	prev, next *faNode
+}
+
+func newFAShadow(capacity int) *faShadow {
+	if capacity <= 0 {
+		panic("cache: shadow capacity must be positive")
+	}
+	return &faShadow{
+		capacity: capacity,
+		nodes:    make(map[uint64]*faNode, capacity+1),
+	}
+}
+
+func (f *faShadow) contains(block uint64) bool {
+	_, ok := f.nodes[block]
+	return ok
+}
+
+// access touches block, inserting or promoting it to MRU, evicting LRU on
+// overflow.
+func (f *faShadow) access(block uint64) {
+	if n, ok := f.nodes[block]; ok {
+		f.unlink(n)
+		f.pushFront(n)
+		return
+	}
+	n := &faNode{block: block}
+	f.nodes[block] = n
+	f.pushFront(n)
+	if len(f.nodes) > f.capacity {
+		lru := f.tail
+		f.unlink(lru)
+		delete(f.nodes, lru.block)
+	}
+}
+
+func (f *faShadow) len() int { return len(f.nodes) }
+
+func (f *faShadow) pushFront(n *faNode) {
+	n.prev = nil
+	n.next = f.head
+	if f.head != nil {
+		f.head.prev = n
+	}
+	f.head = n
+	if f.tail == nil {
+		f.tail = n
+	}
+}
+
+func (f *faShadow) unlink(n *faNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		f.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		f.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}

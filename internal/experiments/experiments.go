@@ -1,0 +1,145 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 5). Each Figure*/Table* function runs the necessary
+// simulations and returns formatted result tables whose rows correspond to
+// the bars/series the paper plots. EXPERIMENTS.md records paper-reported
+// values next to values measured from this package.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"slicc/internal/prefetch"
+	"slicc/internal/sched"
+	"slicc/internal/sim"
+	"slicc/internal/slicc"
+	"slicc/internal/workload"
+)
+
+// Options scales the experiments. The zero value runs the full-size
+// configuration; Quick shrinks workloads for fast smoke runs (tests, CI).
+type Options struct {
+	// Quick shrinks thread counts and per-transaction work (~20x faster).
+	Quick bool
+	// Seed drives workload synthesis (default 1).
+	Seed int64
+	// Threads overrides the per-benchmark thread count (0 = default).
+	Threads int
+	// Scale overrides the per-transaction work multiplier (0 = default).
+	Scale float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Threads == 0 {
+		if o.Quick {
+			o.Threads = 40
+		} else {
+			o.Threads = 160
+		}
+	}
+	if o.Scale == 0 {
+		if o.Quick {
+			o.Scale = 0.35
+		} else {
+			o.Scale = 1
+		}
+	}
+	return o
+}
+
+// workloadFor synthesizes the benchmark at the options' size. MapReduce
+// keeps its 300 tasks in full runs (the paper's configuration).
+func (o Options) workloadFor(kind workload.Kind) *workload.Workload {
+	threads := o.Threads
+	if kind == workload.MapReduce && !o.Quick {
+		threads = 300
+	}
+	if kind == workload.MapReduce && o.Quick {
+		threads = 80
+	}
+	return workload.New(workload.Config{Kind: kind, Threads: threads, Seed: o.Seed, Scale: o.Scale})
+}
+
+// Table is a formatted experiment result.
+type Table struct {
+	Title  string
+	Note   string
+	Header []string
+	Rows   [][]string
+}
+
+// Format renders the table with aligned columns.
+func (t *Table) Format(w io.Writer) {
+	fmt.Fprintf(w, "## %s\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(w, "%s\n", t.Note)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			parts[i] = pad(cell, widths[i])
+		}
+		fmt.Fprintf(w, "  %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// --- shared run helpers ------------------------------------------------------
+
+// defaultMachine returns the Table 2 baseline machine configuration.
+func defaultMachine() sim.Config {
+	return sim.Config{Cores: 16}
+}
+
+func runBaseline(w *workload.Workload, cfg sim.Config) sim.Result {
+	return sim.New(cfg, sched.NewBaseline(), nil, w.Threads()).Run()
+}
+
+func runSLICC(w *workload.Workload, cfg sim.Config, scfg slicc.Config) sim.Result {
+	return sim.New(cfg, slicc.New(scfg), nil, w.Threads()).Run()
+}
+
+// pifMachine is the paper's PIF upper bound: a 512KB L1-I retaining the
+// 32KB cache's 3-cycle latency (Section 5.6).
+func pifMachine() sim.Config {
+	cfg := defaultMachine()
+	cfg.L1I = prefetch.PIFUpperBoundL1I(cfg.L1I)
+	return cfg
+}
+
+func f(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func pct(v float64) string {
+	return fmt.Sprintf("%.1f%%", 100*v)
+}

@@ -1,0 +1,121 @@
+// Package noc models the on-chip interconnect of the simulated machine: a
+// 2D torus (4x4 for the paper's 16-core configuration, Table 2) with a fixed
+// per-hop latency. The model is latency- and traffic-accounting only — the
+// paper charges hop latency for cache/migration traffic and reports SLICC's
+// search overhead as broadcasts per kilo-instruction (Section 5.8) — so no
+// flit-level contention is simulated.
+package noc
+
+import "fmt"
+
+// Torus is a width x height 2D torus.
+type Torus struct {
+	width, height int
+	hopLatency    int
+	stats         Stats
+}
+
+// Stats counts interconnect traffic by message class.
+type Stats struct {
+	// Messages is the total point-to-point message count.
+	Messages uint64
+	// Hops is the total hop count across all messages.
+	Hops uint64
+	// Broadcasts counts broadcast operations (each reaching all other
+	// nodes). SLICC's remote segment searches land here.
+	Broadcasts uint64
+	// SearchBroadcasts counts only SLICC tag-search broadcasts, the BPKI
+	// numerator of Section 5.8.
+	SearchBroadcasts uint64
+}
+
+// New builds a torus; hopLatency is in cycles (Table 2: 1).
+func New(width, height, hopLatency int) *Torus {
+	if width <= 0 || height <= 0 {
+		panic(fmt.Sprintf("noc: invalid torus %dx%d", width, height))
+	}
+	if hopLatency < 0 {
+		panic("noc: negative hop latency")
+	}
+	return &Torus{width: width, height: height, hopLatency: hopLatency}
+}
+
+// Nodes returns the node count.
+func (t *Torus) Nodes() int { return t.width * t.height }
+
+// coord maps a node index to torus coordinates row-major.
+func (t *Torus) coord(node int) (x, y int) {
+	return node % t.width, node / t.width
+}
+
+// Distance returns the minimal hop count between two nodes, using the
+// wrap-around links in each dimension.
+func (t *Torus) Distance(a, b int) int {
+	if a < 0 || a >= t.Nodes() || b < 0 || b >= t.Nodes() {
+		panic(fmt.Sprintf("noc: node out of range: %d,%d of %d", a, b, t.Nodes()))
+	}
+	ax, ay := t.coord(a)
+	bx, by := t.coord(b)
+	dx := wrapDist(ax, bx, t.width)
+	dy := wrapDist(ay, by, t.height)
+	return dx + dy
+}
+
+func wrapDist(a, b, n int) int {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if n-d < d {
+		d = n - d
+	}
+	return d
+}
+
+// Latency returns the cycle cost of a message from a to b and accounts it.
+func (t *Torus) Latency(a, b int) int {
+	d := t.Distance(a, b)
+	t.stats.Messages++
+	t.stats.Hops += uint64(d)
+	return d * t.hopLatency
+}
+
+// PeekLatency returns the cycle cost without recording traffic (used for
+// modeling decisions, e.g. choosing the nearest idle core).
+func (t *Torus) PeekLatency(a, b int) int {
+	return t.Distance(a, b) * t.hopLatency
+}
+
+// Broadcast accounts a broadcast from src to all other nodes and returns the
+// worst-case latency (distance to the farthest node), which is when the
+// initiator can act on all replies.
+func (t *Torus) Broadcast(src int, search bool) int {
+	t.stats.Broadcasts++
+	if search {
+		t.stats.SearchBroadcasts++
+	}
+	max := 0
+	for n := 0; n < t.Nodes(); n++ {
+		if n == src {
+			continue
+		}
+		d := t.Distance(src, n)
+		t.stats.Messages++
+		t.stats.Hops += uint64(d)
+		if d > max {
+			max = d
+		}
+	}
+	return max * t.hopLatency
+}
+
+// MaxDistance returns the torus diameter in hops.
+func (t *Torus) MaxDistance() int {
+	return t.width/2 + t.height/2
+}
+
+// Stats returns a copy of the accumulated traffic counters.
+func (t *Torus) Stats() Stats { return t.stats }
+
+// ResetStats zeroes the counters.
+func (t *Torus) ResetStats() { t.stats = Stats{} }

@@ -1,0 +1,203 @@
+package sched
+
+import (
+	"testing"
+
+	"slicc/internal/sim"
+	"slicc/internal/trace"
+)
+
+func loopThread(id int, base uint64, blocks, reps int) trace.Thread {
+	return trace.Thread{
+		ID: id,
+		New: func() trace.Source {
+			var ops []trace.Op
+			for r := 0; r < reps; r++ {
+				for b := 0; b < blocks; b++ {
+					ops = append(ops, trace.Op{PC: base + uint64(b)*64})
+				}
+			}
+			return trace.NewSliceSource(ops)
+		},
+	}
+}
+
+func TestBaselineRunsAllThreads(t *testing.T) {
+	threads := []trace.Thread{
+		loopThread(0, 0x1000, 4, 2),
+		loopThread(1, 0x2000, 4, 2),
+		loopThread(2, 0x3000, 4, 2),
+	}
+	b := NewBaseline()
+	m := sim.New(sim.Config{Cores: 2}, b, nil, threads)
+	r := m.Run()
+	if r.ThreadsFinished != 3 {
+		t.Fatalf("finished %d/3", r.ThreadsFinished)
+	}
+	if r.Migrations != 0 {
+		t.Fatal("baseline migrated")
+	}
+	if b.Remaining() != 0 {
+		t.Fatalf("Remaining = %d", b.Remaining())
+	}
+}
+
+func TestBaselineName(t *testing.T) {
+	if NewBaseline().Name() != "Base" {
+		t.Fatal("wrong name")
+	}
+}
+
+func TestBaselineNeverMigrates(t *testing.T) {
+	b := NewBaseline()
+	if b.OnInstr(0, nil, sim.Fetch{IMiss: true}) != -1 {
+		t.Fatal("baseline requested migration")
+	}
+}
+
+func TestBaselineHandsOutEachThreadOnce(t *testing.T) {
+	b := NewBaseline()
+	threads := []*sim.ThreadState{{ID: 0}, {ID: 1}}
+	b.Attach(nil, threads)
+	seen := map[int]bool{}
+	for core := 0; ; core++ {
+		th := b.NextThread(core % 4)
+		if th == nil {
+			break
+		}
+		if seen[th.ID] {
+			t.Fatalf("thread %d handed out twice", th.ID)
+		}
+		seen[th.ID] = true
+	}
+	if len(seen) != 2 {
+		t.Fatalf("handed out %d threads", len(seen))
+	}
+}
+
+// --- STEPS -------------------------------------------------------------------
+
+func TestSTEPSRunsAllThreads(t *testing.T) {
+	var threads []trace.Thread
+	for i := 0; i < 6; i++ {
+		threads = append(threads, loopThread(i, 0x100000, 256, 3))
+	}
+	p := NewSTEPS()
+	m := sim.New(sim.Config{Cores: 2}, p, nil, threads)
+	r := m.Run()
+	if r.ThreadsFinished != 6 {
+		t.Fatalf("finished %d/6", r.ThreadsFinished)
+	}
+	if r.ContextSwitches == 0 {
+		t.Fatal("STEPS never context-switched")
+	}
+	if r.Migrations != 0 {
+		t.Fatal("STEPS migrated across cores")
+	}
+}
+
+func TestSTEPSReducesMissesViaChunkReuse(t *testing.T) {
+	// 8 identical threads over a footprint 2x the cache: the baseline
+	// serializes them (each thrashes alone); STEPS lets the whole team
+	// reuse each chunk before moving on.
+	var threads []trace.Thread
+	for i := 0; i < 8; i++ {
+		threads = append(threads, loopThread(i, 0x200000, 1024, 2))
+	}
+	base := sim.New(sim.Config{Cores: 1}, NewBaseline(), nil, threads).Run()
+	steps := sim.New(sim.Config{Cores: 1}, NewSTEPS(), nil, threads).Run()
+	if steps.IMisses >= base.IMisses {
+		t.Fatalf("STEPS misses %d not below baseline %d", steps.IMisses, base.IMisses)
+	}
+	if steps.IMisses > base.IMisses*2/3 {
+		t.Fatalf("STEPS reuse too weak: %d vs %d", steps.IMisses, base.IMisses)
+	}
+}
+
+func TestSTEPSWorkConserving(t *testing.T) {
+	// All threads of one type land on one core's pending list; the other
+	// core must steal rather than idle.
+	var threads []trace.Thread
+	for i := 0; i < 8; i++ {
+		threads = append(threads, loopThread(i, 0x300000, 64, 2))
+	}
+	p := NewSTEPS()
+	p.TeamCap = 100 // single team
+	m := sim.New(sim.Config{Cores: 2}, p, nil, threads)
+	r := m.Run()
+	if r.ThreadsFinished != 8 {
+		t.Fatalf("finished %d/8", r.ThreadsFinished)
+	}
+	busy := 0
+	for c := 0; c < 2; c++ {
+		if m.L1I(c).Stats().Accesses > 0 {
+			busy++
+		}
+	}
+	if busy != 2 {
+		t.Fatalf("only %d cores did work", busy)
+	}
+}
+
+func TestSTEPSName(t *testing.T) {
+	if NewSTEPS().Name() != "STEPS" {
+		t.Fatal("wrong name")
+	}
+}
+
+// --- CSP ---------------------------------------------------------------------
+
+func TestCSPMigratesForSystemCode(t *testing.T) {
+	// Threads alternate user code (private region) and system code
+	// (shared region): CSP must bounce them to the service cores and back.
+	sysBase := uint64(0x800000)
+	mk := func(id int, userBase uint64) trace.Thread {
+		return trace.Thread{ID: id, New: func() trace.Source {
+			var ops []trace.Op
+			for rep := 0; rep < 4; rep++ {
+				for b := 0; b < 64; b++ {
+					for i := 0; i < 16; i++ {
+						ops = append(ops, trace.Op{PC: userBase + uint64(b)*64 + uint64(i)*4})
+					}
+				}
+				for b := 0; b < 64; b++ {
+					for i := 0; i < 16; i++ {
+						ops = append(ops, trace.Op{PC: sysBase + uint64(b)*64 + uint64(i)*4})
+					}
+				}
+			}
+			return trace.NewSliceSource(ops)
+		}}
+	}
+	threads := []trace.Thread{mk(0, 0x100000), mk(1, 0x200000), mk(2, 0x300000)}
+	p := NewCSP([]BlockRange{{Lo: sysBase / 64, Hi: sysBase/64 + 64}})
+	m := sim.New(sim.Config{Cores: 4}, p, nil, threads)
+	r := m.Run()
+	if r.ThreadsFinished != 3 {
+		t.Fatalf("finished %d/3", r.ThreadsFinished)
+	}
+	if r.Migrations == 0 {
+		t.Fatal("CSP never migrated")
+	}
+	// The dedicated service core (last) must have executed instructions.
+	if m.L1I(3).Stats().Accesses == 0 {
+		t.Fatal("service core idle")
+	}
+}
+
+func TestCSPKeepsUserCodeHome(t *testing.T) {
+	// A purely-user thread must never migrate under CSP.
+	threads := []trace.Thread{loopThread(0, 0x100000, 128, 4)}
+	p := NewCSP([]BlockRange{{Lo: 0x800000 / 64, Hi: 0x800000/64 + 64}})
+	m := sim.New(sim.Config{Cores: 4}, p, nil, threads)
+	r := m.Run()
+	if r.Migrations != 0 {
+		t.Fatalf("user-only thread migrated %d times", r.Migrations)
+	}
+}
+
+func TestCSPName(t *testing.T) {
+	if NewCSP(nil).Name() != "CSP" {
+		t.Fatal("wrong name")
+	}
+}

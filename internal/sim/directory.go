@@ -1,0 +1,50 @@
+package sim
+
+// directory tracks which cores hold each data block, the minimum coherence
+// state needed to produce the paper's migration-induced data-miss scenarios
+// (Section 5.5): re-fetches after migration, write invalidations of copies
+// left behind, and misses on return to a core whose copy was invalidated.
+// It is a behavioural MESI: sharer sets without transient states.
+type directory struct {
+	cores   int
+	sharers map[uint64]uint64 // block -> core bitmask
+}
+
+func newDirectory(cores int) *directory {
+	if cores > 64 {
+		panic("sim: directory supports at most 64 cores")
+	}
+	return &directory{cores: cores, sharers: make(map[uint64]uint64)}
+}
+
+func (d *directory) addSharer(block uint64, core int) {
+	d.sharers[block] |= 1 << uint(core)
+}
+
+func (d *directory) removeSharer(block uint64, core int) {
+	s := d.sharers[block] &^ (1 << uint(core))
+	if s == 0 {
+		delete(d.sharers, block)
+	} else {
+		d.sharers[block] = s
+	}
+}
+
+// othersOf returns the sharer mask excluding core.
+func (d *directory) othersOf(block uint64, core int) uint64 {
+	return d.sharers[block] &^ (1 << uint(core))
+}
+
+// setExclusive makes core the sole sharer.
+func (d *directory) setExclusive(block uint64, core int) {
+	d.sharers[block] = 1 << uint(core)
+}
+
+// sharerCount returns the number of cores holding block.
+func (d *directory) sharerCount(block uint64) int {
+	n := 0
+	for s := d.sharers[block]; s != 0; s &= s - 1 {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,517 @@
+// Package sim implements the trace-driven multicore simulator the
+// reproduction runs on: N cores with private L1-I/L1-D caches, a shared
+// NUCA L2 over a 2D torus, a MESI-style L1-D directory, hardware thread
+// migration, and pluggable scheduling policies (the baseline OS scheduler
+// in internal/sched, SLICC in internal/slicc) and instruction prefetchers
+// (internal/prefetch).
+//
+// The machine replays workload threads (transactions) to completion and
+// reports the paper's metrics: I-/D-MPKI, cycles (performance), migrations,
+// search broadcasts (BPKI) and miss classifications. Timing follows the
+// internal/cpu model; see DESIGN.md for the substitution rationale.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"slicc/internal/cache"
+	"slicc/internal/cpu"
+	"slicc/internal/mem"
+	"slicc/internal/noc"
+	"slicc/internal/tlb"
+	"slicc/internal/trace"
+)
+
+// Config describes a machine.
+type Config struct {
+	// Cores is the core count (default 16, Table 2).
+	Cores int
+	// TorusWidth/TorusHeight shape the interconnect (default 4x4).
+	TorusWidth, TorusHeight int
+	// HopLatency is the per-hop cycle cost (default 1).
+	HopLatency int
+	// L1I and L1D configure the private caches (default 32KB, 8-way, 64B
+	// blocks, 3-cycle).
+	L1I, L1D cache.Config
+	// Mem configures the shared L2/NUCA and memory.
+	Mem mem.Config
+	// CPU configures the timing model.
+	CPU cpu.Config
+	// TrackReuse enables the Figure 3 instruction-block reuse tracker
+	// (costs memory proportional to the code footprint).
+	TrackReuse bool
+	// MaxInstructions aborts the run after this many instructions
+	// (0 = unlimited). A safety net for exploratory configurations.
+	MaxInstructions uint64
+	// InstrPeerTransfer serves L1-I misses from peer L1-I caches over the
+	// NoC when possible (an ablation extension; the paper's machine keeps
+	// coherence for L1-D only, so this defaults to off).
+	InstrPeerTransfer bool
+	// EnableTLB adds per-core I-/D-TLBs (64-entry, 4KB pages) and charges
+	// page-walk latency. Off by default: the paper reports TLB effects as
+	// a secondary observation (Section 5.5) and the headline calibration
+	// excludes them.
+	EnableTLB bool
+	// LogEvents records every migration and context switch in the result
+	// (costs memory proportional to the event count).
+	LogEvents bool
+	// TLB configures the TLBs when EnableTLB is set.
+	TLB tlb.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.Cores == 0 {
+		c.Cores = 16
+	}
+	if c.TorusWidth == 0 || c.TorusHeight == 0 {
+		// Choose the most square torus covering the cores.
+		w := 1
+		for w*w < c.Cores {
+			w++
+		}
+		c.TorusWidth = w
+		c.TorusHeight = (c.Cores + w - 1) / w
+	}
+	if c.HopLatency == 0 {
+		c.HopLatency = 1
+	}
+	if c.L1I.SizeBytes == 0 {
+		c.L1I.SizeBytes = 32 * 1024
+	}
+	if c.L1D.SizeBytes == 0 {
+		c.L1D.SizeBytes = 32 * 1024
+	}
+	return c
+}
+
+// ThreadState is a transaction in flight.
+type ThreadState struct {
+	// ID and Type identify the thread; Type is only visible to type-aware
+	// policies (SLICC-SW receives it from the software layer, SLICC-Pp
+	// re-derives it on the scout core).
+	ID   int
+	Type int
+	// TypeName is the transaction type's display name.
+	TypeName string
+
+	src trace.Source
+
+	// ReadyAt is the earliest cycle the thread may (re)start after a
+	// migration context transfer or preprocessing delay.
+	ReadyAt float64
+	// StartedAt is the cycle the thread first ran; Started marks it valid.
+	StartedAt float64
+	Started   bool
+	// Instr counts executed instructions.
+	Instr uint64
+	// InstrOnCore counts instructions since the thread last changed core.
+	InstrOnCore uint64
+	// Migrations counts completed migrations.
+	Migrations int
+	// Done marks completion.
+	Done bool
+}
+
+// Fetch describes one instruction fetch outcome for policy observation.
+type Fetch struct {
+	PC    uint64
+	Block uint64 // instruction block address
+	IMiss bool
+	DMiss bool
+}
+
+// Policy schedules threads onto cores and decides migrations. The machine
+// owns only the running thread per core; all queueing is the policy's.
+type Policy interface {
+	// Name identifies the policy in results.
+	Name() string
+	// Attach wires the policy to the machine and hands it the full thread
+	// list before the run starts (a closed system: the paper replays a
+	// fixed task set).
+	Attach(m *Machine, threads []*ThreadState)
+	// NextThread returns the next thread to start on the idle core, or
+	// nil if the policy has nothing for it right now.
+	NextThread(core int) *ThreadState
+	// OnInstr observes the instruction just executed by the running
+	// thread on core and may request a migration by returning dest >= 0
+	// (dest == core is treated as staying put).
+	OnInstr(core int, t *ThreadState, f Fetch) (dest int)
+	// OnThreadFinish observes a thread completing on core.
+	OnThreadFinish(core int, t *ThreadState)
+}
+
+// Prefetcher reacts to instruction fetches on a core, typically by calling
+// Machine.PrefetchInstr.
+type Prefetcher interface {
+	Name() string
+	OnFetch(m *Machine, core int, pc uint64, miss bool)
+}
+
+// coreState is the per-core execution context.
+type coreState struct {
+	time    float64
+	running *ThreadState
+	instr   uint64
+	imiss   uint64
+}
+
+// Event is one scheduling event (migration or same-core context switch).
+type Event struct {
+	Cycle    float64
+	ThreadID int
+	From, To int
+	// Switch marks same-core context switches (STEPS); migrations
+	// otherwise.
+	Switch bool
+}
+
+// Machine is a configured multicore instance, single-use: build, Run, read
+// results.
+type Machine struct {
+	cfg    Config
+	torus  *noc.Torus
+	hier   *mem.Hierarchy
+	l1i    []*cache.Cache
+	l1d    []*cache.Cache
+	timing cpu.Timing
+	policy Policy
+	pref   Prefetcher
+
+	cores   []coreState
+	threads []*ThreadState
+	dir     *directory
+	reuse   *ReuseTracker
+	itlb    []*tlb.TLB
+	dtlb    []*tlb.TLB
+
+	events     []Event
+	latencies  []float64
+	instr      uint64
+	iAcc, iMis uint64
+	iPeer      uint64
+	dAcc, dMis uint64
+	migrations uint64
+	switches   uint64
+	invals     uint64
+	finished   int
+	aborted    bool
+}
+
+// New builds a machine over the given workload threads. policy is required;
+// pref may be nil.
+func New(cfg Config, policy Policy, pref Prefetcher, threads []trace.Thread) *Machine {
+	cfg = cfg.withDefaults()
+	if policy == nil {
+		panic("sim: nil policy")
+	}
+	m := &Machine{
+		cfg:    cfg,
+		torus:  noc.New(cfg.TorusWidth, cfg.TorusHeight, cfg.HopLatency),
+		timing: cpu.NewTiming(cfg.CPU),
+		policy: policy,
+		pref:   pref,
+		cores:  make([]coreState, cfg.Cores),
+		dir:    newDirectory(cfg.Cores),
+	}
+	m.hier = mem.New(cfg.Mem, m.torus)
+	m.l1i = make([]*cache.Cache, cfg.Cores)
+	m.l1d = make([]*cache.Cache, cfg.Cores)
+	for c := 0; c < cfg.Cores; c++ {
+		ic := cfg.L1I
+		dc := cfg.L1D
+		ic.Seed = int64(c + 1)
+		dc.Seed = int64(1000 + c)
+		m.l1i[c] = cache.New(ic)
+		m.l1d[c] = cache.New(dc)
+	}
+	m.threads = make([]*ThreadState, len(threads))
+	for i, th := range threads {
+		m.threads[i] = &ThreadState{
+			ID:       th.ID,
+			Type:     th.Type,
+			TypeName: th.TypeName,
+			src:      th.New(),
+		}
+	}
+	if cfg.TrackReuse {
+		m.reuse = NewReuseTracker(len(threads))
+	}
+	if cfg.EnableTLB {
+		m.itlb = make([]*tlb.TLB, cfg.Cores)
+		m.dtlb = make([]*tlb.TLB, cfg.Cores)
+		for c := 0; c < cfg.Cores; c++ {
+			m.itlb[c] = tlb.New(cfg.TLB)
+			m.dtlb[c] = tlb.New(cfg.TLB)
+		}
+	}
+	return m
+}
+
+// Accessors used by policies, prefetchers and experiments.
+
+// Cores returns the core count.
+func (m *Machine) Cores() int { return m.cfg.Cores }
+
+// Torus returns the interconnect model.
+func (m *Machine) Torus() *noc.Torus { return m.torus }
+
+// Hierarchy returns the shared L2/memory model.
+func (m *Machine) Hierarchy() *mem.Hierarchy { return m.hier }
+
+// L1I returns core c's instruction cache.
+func (m *Machine) L1I(c int) *cache.Cache { return m.l1i[c] }
+
+// L1D returns core c's data cache.
+func (m *Machine) L1D(c int) *cache.Cache { return m.l1d[c] }
+
+// Timing returns the cycle-cost model.
+func (m *Machine) Timing() cpu.Timing { return m.timing }
+
+// Running returns the thread currently executing on core c, or nil.
+func (m *Machine) Running(c int) *ThreadState { return m.cores[c].running }
+
+// Now returns core c's local clock.
+func (m *Machine) Now(c int) float64 { return m.cores[c].time }
+
+// Reuse returns the Figure 3 tracker (nil unless Config.TrackReuse).
+func (m *Machine) Reuse() *ReuseTracker { return m.reuse }
+
+// PrefetchInstr fills the block containing addr into core c's L1-I,
+// updating L2 state; the fill latency is assumed hidden (prefetches are
+// not on the critical path in this model).
+func (m *Machine) PrefetchInstr(c int, addr uint64) {
+	if m.l1i[c].Contains(addr) {
+		return
+	}
+	m.hier.FetchLatency(c, addr)
+	m.l1i[c].Fill(addr)
+}
+
+// Run executes all threads to completion and returns the results.
+func (m *Machine) Run() Result {
+	m.policy.Attach(m, m.threads)
+	m.fillIdleCores()
+	for {
+		c := m.nextCore()
+		if c < 0 {
+			if !m.fillIdleCores() {
+				break
+			}
+			continue
+		}
+		m.step(c)
+		if m.cfg.MaxInstructions > 0 && m.instr >= m.cfg.MaxInstructions {
+			m.aborted = true
+			break
+		}
+	}
+	return m.result()
+}
+
+// nextCore picks the running core with the smallest local time.
+func (m *Machine) nextCore() int {
+	best, bestT := -1, math.Inf(1)
+	for c := range m.cores {
+		if m.cores[c].running != nil && m.cores[c].time < bestT {
+			best, bestT = c, m.cores[c].time
+		}
+	}
+	return best
+}
+
+// fillIdleCores polls the policy for work on every idle core; it reports
+// whether any core received a thread.
+func (m *Machine) fillIdleCores() bool {
+	any := false
+	for c := range m.cores {
+		if m.cores[c].running != nil {
+			continue
+		}
+		t := m.policy.NextThread(c)
+		if t == nil {
+			continue
+		}
+		if t.Done {
+			panic(fmt.Sprintf("sim: policy scheduled finished thread %d", t.ID))
+		}
+		if t.ReadyAt > m.cores[c].time {
+			m.cores[c].time = t.ReadyAt
+		}
+		if !t.Started {
+			t.Started = true
+			t.StartedAt = m.cores[c].time
+		}
+		t.InstrOnCore = 0
+		m.cores[c].running = t
+		any = true
+	}
+	return any
+}
+
+// step executes one instruction on core c.
+func (m *Machine) step(c int) {
+	t := m.cores[c].running
+	op, ok := t.src.Next()
+	if !ok {
+		t.Done = true
+		m.finished++
+		m.latencies = append(m.latencies, m.cores[c].time-t.StartedAt)
+		m.cores[c].running = nil
+		m.policy.OnThreadFinish(c, t)
+		m.fillIdleCores()
+		return
+	}
+
+	// Instruction fetch. A miss is served by the L2/memory hierarchy;
+	// optionally (Config.InstrPeerTransfer, an extension ablation — the
+	// paper's Table 2 machine keeps MESI for L1-D only) by cache-to-cache
+	// transfer from the nearest peer L1-I holding the block.
+	m.iAcc++
+	ires := m.l1i[c].Access(op.PC, false)
+	ilat := 0
+	if !ires.Hit {
+		m.iMis++
+		m.cores[c].imiss++
+		peer := -1
+		if m.cfg.InstrPeerTransfer {
+			peer = m.nearestInstrPeer(c, m.l1i[c].BlockAddr(op.PC))
+		}
+		if peer >= 0 {
+			m.iPeer++
+			ilat = 2*m.torus.Latency(c, peer) + peerTagCycles
+		} else {
+			ilat = m.hier.FetchLatency(c, op.PC)
+		}
+	}
+	if m.itlb != nil {
+		ilat += m.itlb[c].Access(op.PC)
+	}
+	if m.pref != nil {
+		m.pref.OnFetch(m, c, op.PC, !ires.Hit)
+	}
+	if m.reuse != nil {
+		m.reuse.Record(m.l1i[c].BlockAddr(op.PC), t.ID, t.Type)
+	}
+
+	// Data access.
+	dlat := 0
+	dmiss := false
+	if op.HasData {
+		dlat, dmiss = m.dataAccess(c, op.DataAddr, op.IsWrite)
+		if m.dtlb != nil {
+			dlat += m.dtlb[c].Access(op.DataAddr)
+		}
+	}
+
+	m.cores[c].time += m.timing.InstrCycles(ilat, dlat)
+	t.Instr++
+	t.InstrOnCore++
+	m.cores[c].instr++
+	m.instr++
+
+	f := Fetch{PC: op.PC, Block: m.l1i[c].BlockAddr(op.PC), IMiss: !ires.Hit, DMiss: dmiss}
+	if dest := m.policy.OnInstr(c, t, f); dest >= 0 && dest < m.cfg.Cores {
+		if dest == c {
+			m.contextSwitch(c, t)
+		} else {
+			m.migrate(c, dest, t)
+		}
+	}
+}
+
+// contextSwitch yields the running thread back to its own core's queue
+// (STEPS-style time multiplexing): no interconnect or L2 transfer, only the
+// fixed pipeline-drain/state-save cost.
+func (m *Machine) contextSwitch(c int, t *ThreadState) {
+	cost := m.timing.Config().MigrationBaseCycles
+	t.ReadyAt = m.cores[c].time + float64(cost)
+	m.switches++
+	if m.cfg.LogEvents {
+		m.events = append(m.events, Event{Cycle: m.cores[c].time, ThreadID: t.ID, From: c, To: c, Switch: true})
+	}
+	m.cores[c].running = nil
+	enq, ok := m.policy.(interface {
+		EnqueueMigrated(core int, t *ThreadState)
+	})
+	if !ok {
+		panic(fmt.Sprintf("sim: policy %q yielded without EnqueueMigrated", m.policy.Name()))
+	}
+	enq.EnqueueMigrated(c, t)
+	m.fillIdleCores()
+}
+
+// dataAccess performs a data reference with MESI-style directory
+// bookkeeping and returns the added latency and miss flag.
+func (m *Machine) dataAccess(c int, addr uint64, write bool) (lat int, miss bool) {
+	m.dAcc++
+	l1d := m.l1d[c]
+	block := l1d.BlockAddr(addr)
+	res := l1d.Access(addr, write)
+	if res.EvictedValid {
+		m.dir.removeSharer(res.Evicted, c)
+	}
+	if !res.Hit {
+		m.dMis++
+		miss = true
+		lat += m.hier.FetchLatency(c, addr)
+		m.dir.addSharer(block, c)
+	}
+	if write {
+		// Invalidate other sharers; the invalidation round trip is
+		// charged once if any copies existed elsewhere (write-allocate,
+		// MESI upgrade).
+		if others := m.dir.othersOf(block, c); others != 0 {
+			for o := 0; o < m.cfg.Cores; o++ {
+				if others&(1<<uint(o)) != 0 {
+					m.l1d[o].InvalidateBlock(block)
+					m.invals++
+				}
+			}
+			m.dir.setExclusive(block, c)
+			lat += m.torus.Broadcast(c, false)
+		}
+	}
+	return lat, miss
+}
+
+// peerTagCycles is the fixed cost of a peer L1 tag probe + line read.
+const peerTagCycles = 2
+
+// nearestInstrPeer returns the closest other core whose L1-I holds the
+// block, or -1.
+func (m *Machine) nearestInstrPeer(c int, block uint64) int {
+	best, bestD := -1, 1<<30
+	for o := 0; o < m.cfg.Cores; o++ {
+		if o == c || !m.l1i[o].ContainsBlock(block) {
+			continue
+		}
+		if d := m.torus.Distance(c, o); d < bestD {
+			best, bestD = o, d
+		}
+	}
+	return best
+}
+
+// migrate moves the running thread on src to dst's policy queue, charging
+// the context-transfer latency (Section 4.4: architectural state staged
+// through the L2 near the target).
+func (m *Machine) migrate(src, dst int, t *ThreadState) {
+	nocRT := 2 * m.torus.Latency(src, dst)
+	cost := m.timing.MigrationCycles(nocRT, m.hier.Config().L2HitLatency, m.hier.Config().BlockBytes)
+	t.ReadyAt = m.cores[src].time + float64(cost)
+	t.Migrations++
+	m.migrations++
+	if m.cfg.LogEvents {
+		m.events = append(m.events, Event{Cycle: m.cores[src].time, ThreadID: t.ID, From: src, To: dst})
+	}
+	m.cores[src].running = nil
+	if enq, ok := m.policy.(interface {
+		EnqueueMigrated(core int, t *ThreadState)
+	}); ok {
+		enq.EnqueueMigrated(dst, t)
+	} else {
+		panic(fmt.Sprintf("sim: policy %q requested migration without EnqueueMigrated", m.policy.Name()))
+	}
+	m.fillIdleCores()
+}

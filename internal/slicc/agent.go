@@ -1,0 +1,92 @@
+package slicc
+
+// agent is the per-core Cache Monitor Unit (Figure 6): miss counter (MC),
+// miss shift-vector (MSV) and missed-tag queue (MTQ).
+type agent struct {
+	// MC: saturating miss counter; full once mc >= fill-up_t.
+	mc   int
+	full bool
+
+	// MSV: ring buffer of the last MSVWindow hit(0)/miss(1) outcomes.
+	msv      []bool
+	msvPos   int
+	msvCount int // entries filled (≤ window)
+	msvOnes  int
+
+	// MTQ: FIFO of per-miss remote-residency masks, capacity MatchedT.
+	mtq    []uint64
+	mtqPos int
+	mtqLen int
+}
+
+func newAgent(cfg Config) agent {
+	return agent{
+		msv: make([]bool, cfg.MSVWindow),
+		mtq: make([]uint64, cfg.MatchedT),
+	}
+}
+
+// pushMSV shifts one access outcome into the vector.
+func (a *agent) pushMSV(miss bool) {
+	if a.msvCount == len(a.msv) {
+		if a.msv[a.msvPos] {
+			a.msvOnes--
+		}
+	} else {
+		a.msvCount++
+	}
+	a.msv[a.msvPos] = miss
+	if miss {
+		a.msvOnes++
+	}
+	a.msvPos++
+	if a.msvPos == len(a.msv) {
+		a.msvPos = 0
+	}
+}
+
+// pushMTQ records the residency mask of the most recent miss.
+func (a *agent) pushMTQ(mask uint64) {
+	a.mtq[a.mtqPos] = mask
+	a.mtqPos++
+	if a.mtqPos == len(a.mtq) {
+		a.mtqPos = 0
+	}
+	if a.mtqLen < len(a.mtq) {
+		a.mtqLen++
+	}
+}
+
+// mtqAND returns the cores holding every recently missed block.
+func (a *agent) mtqAND() uint64 {
+	if a.mtqLen == 0 {
+		return 0
+	}
+	mask := ^uint64(0)
+	for i := 0; i < a.mtqLen; i++ {
+		mask &= a.mtq[i]
+	}
+	return mask
+}
+
+// resetMC clears the fill-up state, giving the next thread the chance to
+// load a new segment (triggered when the core's thread queue drains).
+func (a *agent) resetMC() {
+	a.mc = 0
+	a.full = false
+}
+
+// resetThreadState clears the MSV and MTQ after a migration decision.
+func (a *agent) resetThreadState() {
+	for i := range a.msv {
+		a.msv[i] = false
+	}
+	a.msvPos, a.msvCount, a.msvOnes = 0, 0, 0
+	a.mtqPos, a.mtqLen = 0, 0
+}
+
+// resetAll clears everything (team-completion reset).
+func (a *agent) resetAll() {
+	a.resetMC()
+	a.resetThreadState()
+}

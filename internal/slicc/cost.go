@@ -1,0 +1,47 @@
+package slicc
+
+// Hardware storage cost accounting (Table 3). The paper budgets, per core:
+// a Cache Monitor Unit (MTQ + MSV + bloom signature), a thread scheduler
+// queue, and — for the type-aware variants — a team management table.
+
+// CostBits itemizes SLICC's storage in bits.
+type CostBits struct {
+	MTQ            int
+	MSV            int
+	BloomSignature int
+	CacheMonitor   int // MTQ + MSV + bloom
+
+	ThreadQueue int
+	TeamTable   int
+
+	Total int
+}
+
+// Table 3 constants.
+const (
+	threadQueueEntries = 30
+	threadQueueEntry   = 12 + 48 + 4 // numerical ID + context pointer + core ID
+	teamTableEntries   = 60
+	teamTableEntry     = 12 + 32 + 4 + 4 + 8 // ID + timestamp + type + team + index
+)
+
+// HardwareCost computes the Table 3 budget for a configuration on a
+// cores-core machine. The MTQ stores, per entry, one presence bit per
+// *other* core.
+func HardwareCost(cfg Config, cores int) CostBits {
+	cfg = cfg.WithDefaults()
+	var c CostBits
+	c.MTQ = cfg.MatchedT * (cores - 1)
+	c.MSV = cfg.MSVWindow
+	c.BloomSignature = cfg.BloomBits
+	c.CacheMonitor = c.MTQ + c.MSV + c.BloomSignature
+	c.ThreadQueue = threadQueueEntries * threadQueueEntry
+	if cfg.Variant != Oblivious {
+		c.TeamTable = teamTableEntries * teamTableEntry
+	}
+	c.Total = c.CacheMonitor + c.ThreadQueue + c.TeamTable
+	return c
+}
+
+// TotalBytes returns the grand total in bytes, rounded up.
+func (c CostBits) TotalBytes() int { return (c.Total + 7) / 8 }

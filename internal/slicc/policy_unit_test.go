@@ -1,0 +1,242 @@
+package slicc
+
+import (
+	"testing"
+
+	"slicc/internal/sim"
+	"slicc/internal/trace"
+	"slicc/internal/workload"
+)
+
+// twoSegThread executes segment A (blocks at baseA), then segment B, then A
+// again — the minimal A-B-A pattern that exercises fill-up, dilution and
+// the remote search. Block addresses stride by 65 blocks to spread sets.
+func twoSegThread(id int, baseA, baseB uint64, blocks, reps int) trace.Thread {
+	seg := func(base uint64, ops []trace.Op) []trace.Op {
+		for b := 0; b < blocks; b++ {
+			for i := 0; i < 16; i++ {
+				ops = append(ops, trace.Op{PC: base + uint64(b)*65*64 + uint64(i)*4})
+			}
+		}
+		return ops
+	}
+	return trace.Thread{
+		ID: id,
+		New: func() trace.Source {
+			var ops []trace.Op
+			for r := 0; r < reps; r++ {
+				ops = seg(baseA, ops)
+				ops = seg(baseB, ops)
+			}
+			return trace.NewSliceSource(ops)
+		},
+	}
+}
+
+func TestFillUpGateBlocksEarlyMigration(t *testing.T) {
+	// A thread whose total misses stay below fill-up_t must never migrate.
+	th := twoSegThread(0, 0x100000, 0x900000, 100, 4) // 200 blocks < 256
+	p := New(Config{Variant: Oblivious, DilutionT: 1}.WithDefaults())
+	m := sim.New(sim.Config{Cores: 4}, p, nil, []trace.Thread{th})
+	r := m.Run()
+	if r.Migrations != 0 {
+		t.Fatalf("thread migrated %d times below the fill-up threshold", r.Migrations)
+	}
+}
+
+func TestMigrationAfterFillUp(t *testing.T) {
+	// Two big alternating segments (700 blocks each) blow past fill-up_t
+	// and produce miss dilution; with idle cores available the thread must
+	// migrate at least once.
+	th := twoSegThread(0, 0x100000, 0x9000000, 700, 3)
+	p := New(Config{Variant: Oblivious, DilutionT: 5}.WithDefaults())
+	m := sim.New(sim.Config{Cores: 4}, p, nil, []trace.Thread{th})
+	r := m.Run()
+	if r.Migrations == 0 {
+		t.Fatal("no migration despite thrashing across two large segments")
+	}
+}
+
+func TestMigrationTargetsSegmentHolder(t *testing.T) {
+	// Warm core 1 with segment B by running a B-only thread there first;
+	// then run an A-then-B thread from core 0: when it moves to B, the
+	// search should find core 1.
+	segB := uint64(0x9000000)
+	warm := trace.Thread{ID: 0, New: func() trace.Source {
+		var ops []trace.Op
+		for rep := 0; rep < 3; rep++ {
+			for b := 0; b < 700; b++ {
+				for i := 0; i < 16; i++ {
+					ops = append(ops, trace.Op{PC: segB + uint64(b)*65*64 + uint64(i)*4})
+				}
+			}
+		}
+		return trace.NewSliceSource(ops)
+	}}
+	mover := twoSegThread(1, 0x100000, segB, 700, 2)
+	p := New(Config{Variant: Oblivious, DilutionT: 5}.WithDefaults())
+	m := sim.New(sim.Config{Cores: 2}, p, nil, []trace.Thread{warm, mover})
+	r := m.Run()
+	if r.Migrations == 0 {
+		t.Fatal("mover never migrated")
+	}
+	_, matched, _, _ := p.SearchStats()
+	if matched == 0 {
+		t.Fatal("no matched-segment migrations; search never found the warmed cache")
+	}
+}
+
+func TestDisableIdleFallback(t *testing.T) {
+	// A single thread on an otherwise idle machine: with the fallback off
+	// and no other warmed caches, it must never find a destination.
+	th := twoSegThread(0, 0x100000, 0x9000000, 700, 3)
+	cfg := Config{Variant: Oblivious, DilutionT: 5, DisableIdleFallback: true}.WithDefaults()
+	p := New(cfg)
+	m := sim.New(sim.Config{Cores: 4}, p, nil, []trace.Thread{th})
+	r := m.Run()
+	if r.Migrations != 0 {
+		t.Fatalf("migrated %d times with idle fallback disabled and no remote segments", r.Migrations)
+	}
+	searches, _, _, stayed := p.SearchStats()
+	if searches == 0 || stayed != searches {
+		t.Fatalf("searches=%d stayed=%d; every search should have stayed put", searches, stayed)
+	}
+}
+
+func TestQueueGuardPreventsDeepQueues(t *testing.T) {
+	w := workload.New(workload.Config{Kind: workload.TPCC1, Threads: 64, Seed: 3, Scale: 0.3})
+	p := New(DefaultConfig(SW))
+	m := sim.New(sim.Config{Cores: 8}, p, nil, w.Threads())
+	// Observe queue lengths during the run via OnInstr wrapping: simplest
+	// is to run to completion and assert the invariant held at enqueue
+	// time by checking the final state plus the guard constant.
+	m.Run()
+	for c := range p.queues {
+		if len(p.queues[c]) != 0 {
+			t.Fatalf("core %d queue not drained at end of run", c)
+		}
+	}
+	if maxDestQueue != 2 {
+		t.Fatalf("maxDestQueue = %d; tests assume 2", maxDestQueue)
+	}
+}
+
+func TestPpPreprocessingSerializes(t *testing.T) {
+	w := workload.New(workload.Config{Kind: workload.TPCC1, Threads: 16, Seed: 5, Scale: 0.2})
+	p := New(DefaultConfig(Pp))
+	m := sim.New(sim.Config{Cores: 16}, p, nil, w.Threads())
+	m.Run()
+	// The 16th thread cannot have started before 15 preprocessing slots
+	// elapsed: scoutFree advanced 16 times.
+	want := 16 * p.cfg.ScoutCycles
+	if p.scoutFree < want {
+		t.Fatalf("scoutFree = %f, want >= %f", p.scoutFree, want)
+	}
+}
+
+func TestTeamCompletionResetsAgents(t *testing.T) {
+	w := workload.New(workload.Config{Kind: workload.MapReduce, Threads: 24, Seed: 5, Scale: 0.2})
+	p := New(DefaultConfig(SW))
+	m := sim.New(sim.Config{Cores: 4}, p, nil, w.Threads())
+	m.Run()
+	// After the run every team has completed, so the last reset leaves all
+	// agents cold unless post-reset threads re-armed them; either way no
+	// agent may hold stale MTQ contents.
+	for c := range p.agents {
+		if p.agents[c].mtqLen != 0 && !p.agents[c].full {
+			t.Fatalf("core %d: MTQ populated while cache not even full", c)
+		}
+	}
+}
+
+func TestObliviousIgnoresTypes(t *testing.T) {
+	// The oblivious variant must behave identically when thread types are
+	// scrambled (it may not look at them).
+	w := workload.New(workload.Config{Kind: workload.TPCC1, Threads: 32, Seed: 9, Scale: 0.3})
+	run := func(scramble bool) sim.Result {
+		threads := w.Threads()
+		if scramble {
+			scrambled := make([]trace.Thread, len(threads))
+			copy(scrambled, threads)
+			for i := range scrambled {
+				scrambled[i].Type = 0
+				scrambled[i].TypeName = "scrambled"
+			}
+			threads = scrambled
+		}
+		return sim.New(sim.Config{Cores: 8}, New(DefaultConfig(Oblivious)), nil, threads).Run()
+	}
+	a, b := run(false), run(true)
+	if a.Cycles != b.Cycles || a.IMisses != b.IMisses || a.Migrations != b.Migrations {
+		t.Fatal("oblivious SLICC behaved differently when types were hidden")
+	}
+}
+
+func TestSWDependsOnTypes(t *testing.T) {
+	// SLICC-SW must behave differently when all types collapse to one
+	// (teams change) — guarding against the policy silently ignoring the
+	// software-provided information.
+	w := workload.New(workload.Config{Kind: workload.TPCC1, Threads: 48, Seed: 9, Scale: 0.3})
+	run := func(collapse bool) sim.Result {
+		threads := w.Threads()
+		if collapse {
+			c := make([]trace.Thread, len(threads))
+			copy(c, threads)
+			for i := range c {
+				c[i].Type = 0
+			}
+			threads = c
+		}
+		return sim.New(sim.Config{Cores: 8}, New(DefaultConfig(SW)), nil, threads).Run()
+	}
+	a, b := run(false), run(true)
+	if a.Cycles == b.Cycles && a.Migrations == b.Migrations {
+		t.Fatal("SLICC-SW ignored transaction types entirely")
+	}
+}
+
+func TestEnqueueMigratedFIFO(t *testing.T) {
+	p := New(DefaultConfig(Oblivious))
+	w := workload.New(workload.Config{Kind: workload.TPCC1, Threads: 4, Seed: 1, Scale: 0.1})
+	m := sim.New(sim.Config{Cores: 2}, p, nil, w.Threads())
+	_ = m // Attach happens in Run; set up manually for the unit check.
+	p.Attach(m, nil)
+	t1 := &sim.ThreadState{ID: 101}
+	t2 := &sim.ThreadState{ID: 102}
+	p.EnqueueMigrated(1, t1)
+	p.EnqueueMigrated(1, t2)
+	if got := p.NextThread(1); got != t1 {
+		t.Fatalf("queue not FIFO: got %v", got.ID)
+	}
+	if got := p.NextThread(1); got != t2 {
+		t.Fatal("second pop wrong")
+	}
+}
+
+func TestYieldOnStayCombination(t *testing.T) {
+	// The STEPS+SLICC combination (paper future work): when nothing can be
+	// migrated to, yield the core to a queued teammate. On a 2-core
+	// machine with many same-type threads, stay-put decisions are common
+	// and yields must occur; the run must still complete.
+	w := workload.New(workload.Config{Kind: workload.TPCC1, Threads: 24, Seed: 7, Scale: 0.3})
+	cfg := DefaultConfig(SW)
+	cfg.YieldOnStay = true
+	p := New(cfg)
+	m := sim.New(sim.Config{Cores: 2}, p, nil, w.Threads())
+	r := m.Run()
+	if r.ThreadsFinished != 24 {
+		t.Fatalf("finished %d/24", r.ThreadsFinished)
+	}
+	if r.ContextSwitches != p.Yields() {
+		t.Fatalf("machine counted %d switches, policy %d yields", r.ContextSwitches, p.Yields())
+	}
+}
+
+func TestYieldOnStayOffByDefault(t *testing.T) {
+	w := workload.New(workload.Config{Kind: workload.TPCC1, Threads: 24, Seed: 7, Scale: 0.3})
+	p := New(DefaultConfig(SW))
+	r := sim.New(sim.Config{Cores: 2}, p, nil, w.Threads()).Run()
+	if r.ContextSwitches != 0 {
+		t.Fatal("yields happened without YieldOnStay")
+	}
+}

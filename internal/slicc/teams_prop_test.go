@@ -1,0 +1,108 @@
+package slicc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"slicc/internal/sim"
+)
+
+// TestPropTeamsAdmitEachThreadOnce drives the team scheduler with random
+// next/finish interleavings and checks the fundamental invariants: every
+// thread is admitted exactly once, and team completion fires exactly once
+// per team.
+func TestPropTeamsAdmitEachThreadOnce(t *testing.T) {
+	f := func(seed int64, nThreads uint8, nTypes uint8, nCores uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		threads := int(nThreads%100) + 1
+		types := int(nTypes%6) + 1
+		cores := int(nCores%8) + 1
+
+		ts := make([]*sim.ThreadState, threads)
+		for i := range ts {
+			ts[i] = &sim.ThreadState{ID: i, Type: rng.Intn(types)}
+		}
+		workers := make([]int, cores)
+		for i := range workers {
+			workers[i] = i
+		}
+		sched := newTeamScheduler(workers, ts)
+
+		admitted := map[int]int{}
+		var inFlight []*sim.ThreadState
+		completions := 0
+		for steps := 0; steps < 10*threads+50; steps++ {
+			if rng.Intn(2) == 0 {
+				th := sched.next(rng.Intn(cores))
+				if th != nil {
+					admitted[th.ID]++
+					if admitted[th.ID] > 1 {
+						return false
+					}
+					inFlight = append(inFlight, th)
+				}
+			} else if len(inFlight) > 0 {
+				i := rng.Intn(len(inFlight))
+				th := inFlight[i]
+				inFlight = append(inFlight[:i], inFlight[i+1:]...)
+				if sched.finish(th) {
+					completions++
+				}
+			}
+		}
+		// Drain: everything must eventually be admitted exactly once.
+		for c := 0; ; c = (c + 1) % cores {
+			th := sched.next(c)
+			if th == nil {
+				break
+			}
+			admitted[th.ID]++
+			if admitted[th.ID] > 1 {
+				return false
+			}
+		}
+		return len(admitted) == threads
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropStrayPlusTeamsCoverAll verifies formation partitions threads:
+// strays + team members = all threads, no duplicates.
+func TestPropStrayPlusTeamsCoverAll(t *testing.T) {
+	f := func(seed int64, nThreads uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		threads := int(nThreads%120) + 1
+		ts := make([]*sim.ThreadState, threads)
+		for i := range ts {
+			ts[i] = &sim.ThreadState{ID: i, Type: rng.Intn(5)}
+		}
+		sched := newTeamScheduler([]int{0, 1, 2, 3, 4, 5, 6, 7}, ts)
+		seen := map[int]bool{}
+		add := func(th *sim.ThreadState) bool {
+			if seen[th.ID] {
+				return false
+			}
+			seen[th.ID] = true
+			return true
+		}
+		for _, th := range sched.strayQ {
+			if !add(th) {
+				return false
+			}
+		}
+		for _, tm := range sched.pendingTeams {
+			for _, th := range tm.threads {
+				if !add(th) {
+					return false
+				}
+			}
+		}
+		return len(seen) == threads
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

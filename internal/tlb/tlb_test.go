@@ -1,0 +1,111 @@
+package tlb
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMissThenHit(t *testing.T) {
+	tl := New(Config{})
+	if lat := tl.Access(0x1000); lat != 30 {
+		t.Fatalf("first access latency = %d, want 30", lat)
+	}
+	if lat := tl.Access(0x1fff); lat != 0 {
+		t.Fatalf("same-page access latency = %d, want 0", lat)
+	}
+	st := tl.Stats()
+	if st.Accesses != 2 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPageMapping(t *testing.T) {
+	tl := New(Config{PageBytes: 4096})
+	if tl.Page(0x1000) != 1 || tl.Page(0xfff) != 0 {
+		t.Fatal("page mapping wrong")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	tl := New(Config{Entries: 2})
+	tl.Access(0x1000)
+	tl.Access(0x2000)
+	tl.Access(0x1000) // 0x2000 is now LRU
+	tl.Access(0x3000) // evicts 0x2000
+	if tl.Contains(0x2000) {
+		t.Fatal("LRU page survived")
+	}
+	if !tl.Contains(0x1000) || !tl.Contains(0x3000) {
+		t.Fatal("resident pages missing")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	tl := New(Config{})
+	tl.Access(0x1000)
+	tl.Flush()
+	if tl.Len() != 0 {
+		t.Fatal("flush left entries")
+	}
+	if tl.Stats().Accesses != 1 {
+		t.Fatal("flush cleared stats")
+	}
+}
+
+func TestPanicsOnBadConfig(t *testing.T) {
+	for _, cfg := range []Config{{PageBytes: 1000}, {Entries: -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%+v) did not panic", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	if (Stats{}).MissRate() != 0 {
+		t.Fatal("empty miss rate not 0")
+	}
+	if (Stats{Accesses: 4, Misses: 1}).MissRate() != 0.25 {
+		t.Fatal("miss rate wrong")
+	}
+}
+
+// Property: entry count never exceeds capacity; an access immediately
+// followed by a same-page access always hits.
+func TestPropBoundedAndSticky(t *testing.T) {
+	f := func(addrs []uint32) bool {
+		tl := New(Config{Entries: 8})
+		for _, a := range addrs {
+			tl.Access(uint64(a))
+			if tl.Len() > 8 {
+				return false
+			}
+			if tl.Access(uint64(a)) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: stats are consistent (misses <= accesses) under any stream.
+func TestPropStatsConsistent(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		tl := New(Config{Entries: 4, PageBytes: 4096})
+		for _, a := range addrs {
+			tl.Access(uint64(a) << 8)
+		}
+		st := tl.Stats()
+		return st.Misses <= st.Accesses && st.Accesses == uint64(len(addrs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

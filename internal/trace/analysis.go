@@ -1,0 +1,208 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Analysis summarizes a trace the way Section 2 of the paper characterizes
+// its workloads: instruction/data mix, store fraction, block footprints,
+// and the LRU stack-distance (reuse-distance) profile of the instruction
+// stream — the quantity that explains why OLTP code thrashes a 32KB L1-I
+// ("reuse over regions that are larger than a typical L1 cache size").
+type Analysis struct {
+	Ops          int
+	DataOps      int
+	Stores       int
+	IBlocks      int // distinct instruction blocks (64B)
+	DBlocks      int // distinct data blocks
+	IFootprintKB int
+	DFootprintKB int
+
+	// IReuseBuckets histograms instruction-block reuse distances into
+	// power-of-two buckets: bucket i counts re-references with stack
+	// distance in [2^i, 2^(i+1)). Cold (first) references are not counted.
+	IReuseBuckets []int
+	// ColdRefs counts first-touch block references.
+	ColdRefs int
+}
+
+// Analyze consumes up to maxOps from src (0 = all) and computes the
+// analysis. Reuse distances are exact Mattson stack distances over
+// instruction blocks; cost is O(ops x footprint), so bound maxOps for large
+// traces.
+func Analyze(src Source, maxOps int) Analysis {
+	const blockBytes = 64
+	var a Analysis
+	iSeen := map[uint64]bool{}
+	dSeen := map[uint64]bool{}
+	// Mattson stack: most recent block at the end.
+	var stack []uint64
+	touch := func(block uint64) (dist int, cold bool) {
+		for i := len(stack) - 1; i >= 0; i-- {
+			if stack[i] == block {
+				dist = len(stack) - 1 - i
+				stack = append(stack[:i], stack[i+1:]...)
+				stack = append(stack, block)
+				return dist, false
+			}
+		}
+		stack = append(stack, block)
+		return 0, true
+	}
+
+	for maxOps <= 0 || a.Ops < maxOps {
+		op, ok := src.Next()
+		if !ok {
+			break
+		}
+		a.Ops++
+		iblock := op.PC / blockBytes
+		if !iSeen[iblock] {
+			iSeen[iblock] = true
+		}
+		if dist, cold := touch(iblock); cold {
+			a.ColdRefs++
+		} else {
+			b := bucketOf(dist)
+			for len(a.IReuseBuckets) <= b {
+				a.IReuseBuckets = append(a.IReuseBuckets, 0)
+			}
+			a.IReuseBuckets[b]++
+		}
+		if op.HasData {
+			a.DataOps++
+			if op.IsWrite {
+				a.Stores++
+			}
+			dSeen[op.DataAddr/blockBytes] = true
+		}
+	}
+	a.IBlocks = len(iSeen)
+	a.DBlocks = len(dSeen)
+	a.IFootprintKB = a.IBlocks * blockBytes / 1024
+	a.DFootprintKB = a.DBlocks * blockBytes / 1024
+	return a
+}
+
+// bucketOf maps a stack distance to its power-of-two bucket.
+func bucketOf(dist int) int {
+	b := 0
+	for dist > 1 {
+		dist >>= 1
+		b++
+	}
+	return b
+}
+
+// BucketLabel renders bucket i's distance range.
+func BucketLabel(i int) string {
+	lo := 1 << uint(i)
+	hi := 1<<uint(i+1) - 1
+	if i == 0 {
+		return "0-1"
+	}
+	return fmt.Sprintf("%d-%d", lo, hi)
+}
+
+// ReuseBeyond returns the fraction of re-references whose stack distance is
+// at least blocks — i.e., the reuse an LRU cache of that many blocks would
+// miss. For the paper's claim, a large share of TPC-C/TPC-E instruction
+// reuse sits beyond 512 blocks (32KB).
+func (a Analysis) ReuseBeyond(blocks int) float64 {
+	total, beyond := 0, 0
+	for i, n := range a.IReuseBuckets {
+		total += n
+		if 1<<uint(i) >= blocks {
+			beyond += n
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(beyond) / float64(total)
+}
+
+// StoreFraction returns stores/dataOps.
+func (a Analysis) StoreFraction() float64 {
+	if a.DataOps == 0 {
+		return 0
+	}
+	return float64(a.Stores) / float64(a.DataOps)
+}
+
+// DataRate returns dataOps/ops.
+func (a Analysis) DataRate() float64 {
+	if a.Ops == 0 {
+		return 0
+	}
+	return float64(a.DataOps) / float64(a.Ops)
+}
+
+// Print renders the analysis.
+func (a Analysis) Print(w io.Writer) {
+	fmt.Fprintf(w, "ops              %d\n", a.Ops)
+	fmt.Fprintf(w, "data ops         %d (%.1f%% of ops, %.1f%% stores)\n",
+		a.DataOps, 100*a.DataRate(), 100*a.StoreFraction())
+	fmt.Fprintf(w, "instr footprint  %d KB (%d blocks)\n", a.IFootprintKB, a.IBlocks)
+	fmt.Fprintf(w, "data footprint   %d KB (%d blocks)\n", a.DFootprintKB, a.DBlocks)
+	fmt.Fprintf(w, "cold refs        %d\n", a.ColdRefs)
+	fmt.Fprintf(w, "reuse beyond 32KB-LRU: %.1f%%\n", 100*a.ReuseBeyond(512))
+	fmt.Fprintln(w, "instruction reuse distance histogram (blocks):")
+	maxCount := 0
+	for _, n := range a.IReuseBuckets {
+		if n > maxCount {
+			maxCount = n
+		}
+	}
+	for i, n := range a.IReuseBuckets {
+		if n == 0 {
+			continue
+		}
+		bar := ""
+		if maxCount > 0 {
+			width := n * 40 / maxCount
+			for j := 0; j < width; j++ {
+				bar += "#"
+			}
+		}
+		fmt.Fprintf(w, "  %12s %8d %s\n", BucketLabel(i), n, bar)
+	}
+}
+
+// TopBlocks returns the n most-touched instruction blocks with their access
+// counts (diagnostic for hot-code identification).
+func TopBlocks(src Source, maxOps, n int) []BlockCount {
+	const blockBytes = 64
+	counts := map[uint64]int{}
+	ops := 0
+	for maxOps <= 0 || ops < maxOps {
+		op, ok := src.Next()
+		if !ok {
+			break
+		}
+		ops++
+		counts[op.PC/blockBytes]++
+	}
+	list := make([]BlockCount, 0, len(counts))
+	for b, c := range counts {
+		list = append(list, BlockCount{Block: b, Count: c})
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].Count != list[j].Count {
+			return list[i].Count > list[j].Count
+		}
+		return list[i].Block < list[j].Block
+	})
+	if len(list) > n {
+		list = list[:n]
+	}
+	return list
+}
+
+// BlockCount pairs a block address with its access count.
+type BlockCount struct {
+	Block uint64
+	Count int
+}

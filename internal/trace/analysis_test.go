@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func opsFor(pcs []uint64) []Op {
+	ops := make([]Op, len(pcs))
+	for i, pc := range pcs {
+		ops[i] = Op{PC: pc}
+	}
+	return ops
+}
+
+func TestAnalyzeBasics(t *testing.T) {
+	ops := []Op{
+		{PC: 0},
+		{PC: 64, HasData: true, DataAddr: 0x1000},
+		{PC: 128, HasData: true, DataAddr: 0x2000, IsWrite: true},
+		{PC: 0}, // reuse distance 2
+	}
+	a := Analyze(NewSliceSource(ops), 0)
+	if a.Ops != 4 || a.DataOps != 2 || a.Stores != 1 {
+		t.Fatalf("analysis = %+v", a)
+	}
+	if a.IBlocks != 3 || a.ColdRefs != 3 {
+		t.Fatalf("blocks = %d cold = %d", a.IBlocks, a.ColdRefs)
+	}
+	if a.StoreFraction() != 0.5 || a.DataRate() != 0.5 {
+		t.Fatalf("fractions wrong: %+v", a)
+	}
+	// The single re-reference had stack distance 2: bucket 1.
+	if len(a.IReuseBuckets) < 2 || a.IReuseBuckets[1] != 1 {
+		t.Fatalf("reuse buckets = %v", a.IReuseBuckets)
+	}
+}
+
+func TestAnalyzeMaxOps(t *testing.T) {
+	ops := opsFor([]uint64{0, 64, 128, 192})
+	a := Analyze(NewSliceSource(ops), 2)
+	if a.Ops != 2 {
+		t.Fatalf("Ops = %d, want 2", a.Ops)
+	}
+}
+
+func TestReuseBeyond(t *testing.T) {
+	// Loop over 1024 distinct blocks twice: every re-reference has stack
+	// distance 1023, beyond a 512-block cache.
+	var pcs []uint64
+	for pass := 0; pass < 2; pass++ {
+		for b := uint64(0); b < 1024; b++ {
+			pcs = append(pcs, b*64)
+		}
+	}
+	a := Analyze(NewSliceSource(opsFor(pcs)), 0)
+	if got := a.ReuseBeyond(512); got != 1 {
+		t.Fatalf("ReuseBeyond(512) = %f, want 1", got)
+	}
+	if got := a.ReuseBeyond(2048); got != 0 {
+		t.Fatalf("ReuseBeyond(2048) = %f, want 0", got)
+	}
+}
+
+func TestReuseWithin(t *testing.T) {
+	// Tight loop over 4 blocks: distances 3 << 512.
+	var pcs []uint64
+	for pass := 0; pass < 10; pass++ {
+		for b := uint64(0); b < 4; b++ {
+			pcs = append(pcs, b*64)
+		}
+	}
+	a := Analyze(NewSliceSource(opsFor(pcs)), 0)
+	if got := a.ReuseBeyond(512); got != 0 {
+		t.Fatalf("ReuseBeyond(512) = %f, want 0", got)
+	}
+}
+
+func TestBucketLabel(t *testing.T) {
+	if BucketLabel(0) != "0-1" {
+		t.Fatal(BucketLabel(0))
+	}
+	if BucketLabel(3) != "8-15" {
+		t.Fatal(BucketLabel(3))
+	}
+}
+
+func TestPrint(t *testing.T) {
+	a := Analyze(NewSliceSource(opsFor([]uint64{0, 64, 0, 64})), 0)
+	var buf bytes.Buffer
+	a.Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"ops", "instr footprint", "reuse distance"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Print output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTopBlocks(t *testing.T) {
+	pcs := []uint64{0, 0, 0, 64, 64, 128}
+	top := TopBlocks(NewSliceSource(opsFor(pcs)), 0, 2)
+	if len(top) != 2 {
+		t.Fatalf("got %d entries", len(top))
+	}
+	if top[0].Block != 0 || top[0].Count != 3 {
+		t.Fatalf("top block = %+v", top[0])
+	}
+	if top[1].Block != 1 || top[1].Count != 2 {
+		t.Fatalf("second block = %+v", top[1])
+	}
+}
+
+func TestEmptyAnalysis(t *testing.T) {
+	a := Analyze(NewSliceSource(nil), 0)
+	if a.Ops != 0 || a.ReuseBeyond(1) != 0 || a.DataRate() != 0 || a.StoreFraction() != 0 {
+		t.Fatalf("empty analysis = %+v", a)
+	}
+}

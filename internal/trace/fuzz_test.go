@@ -1,0 +1,50 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadTrace hammers the binary trace decoder with arbitrary inputs: it
+// must never panic, and any stream it accepts must round-trip back to
+// identical bytes' worth of ops.
+func FuzzReadTrace(f *testing.F) {
+	// Seed with a valid stream and a few corruptions of it.
+	var valid bytes.Buffer
+	if err := WriteTrace(&valid, []Op{
+		{PC: 0x400000},
+		{PC: 0x400004, HasData: true, DataAddr: 0x1234, IsWrite: true},
+	}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	corrupt := append([]byte(nil), valid.Bytes()...)
+	corrupt[len(corrupt)-1] ^= 0xff
+	f.Add(corrupt)
+	f.Add([]byte("SLTR"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ops, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted: must re-encode and re-decode to the same ops.
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, ops); err != nil {
+			t.Fatalf("re-encode of accepted trace failed: %v", err)
+		}
+		again, err := ReadTrace(&buf)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(again) != len(ops) {
+			t.Fatalf("round trip changed op count: %d -> %d", len(ops), len(again))
+		}
+		for i := range ops {
+			if ops[i] != again[i] {
+				t.Fatalf("op %d changed in round trip", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestSliceSource(t *testing.T) {
+	ops := []Op{{PC: 1}, {PC: 2, HasData: true, DataAddr: 100}, {PC: 3}}
+	s := NewSliceSource(ops)
+	for i, want := range ops {
+		got, ok := s.Next()
+		if !ok || got != want {
+			t.Fatalf("op %d = %+v ok=%v, want %+v", i, got, ok, want)
+		}
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("source did not terminate")
+	}
+	s.Reset()
+	if got, ok := s.Next(); !ok || got != ops[0] {
+		t.Fatal("reset did not rewind")
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestRecord(t *testing.T) {
+	ops := []Op{{PC: 1}, {PC: 2}, {PC: 3}}
+	if got := Record(NewSliceSource(ops), 0); len(got) != 3 {
+		t.Fatalf("unbounded Record got %d ops", len(got))
+	}
+	if got := Record(NewSliceSource(ops), 2); len(got) != 2 {
+		t.Fatalf("bounded Record got %d ops", len(got))
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	ops := []Op{
+		{PC: 0x400000},
+		{PC: 0x400004, HasData: true, DataAddr: 0x7fff0000},
+		{PC: 0x400008, HasData: true, IsWrite: true, DataAddr: 0x12345678},
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, ops); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ops) {
+		t.Fatalf("got %d ops, want %d", len(got), len(ops))
+	}
+	for i := range ops {
+		if got[i] != ops[i] {
+			t.Fatalf("op %d = %+v, want %+v", i, got[i], ops[i])
+		}
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	if _, err := ReadTrace(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadTrace(bytes.NewReader([]byte("SLTR\x63"))); err == nil {
+		t.Fatal("bad version accepted")
+	}
+	if _, err := ReadTrace(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+}
+
+func TestReadTraceTruncated(t *testing.T) {
+	ops := []Op{{PC: 1, HasData: true, DataAddr: 2}}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, ops); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 5; cut < len(full); cut++ {
+		if _, err := ReadTrace(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+// Property: any op slice survives a serialize/deserialize round trip.
+func TestPropRoundTrip(t *testing.T) {
+	f := func(pcs []uint32, dataBits uint64) bool {
+		ops := make([]Op, len(pcs))
+		for i, pc := range pcs {
+			ops[i].PC = uint64(pc)
+			if dataBits&(1<<(uint(i)%64)) != 0 {
+				ops[i].HasData = true
+				ops[i].DataAddr = uint64(pc) * 3
+				ops[i].IsWrite = i%3 == 0
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, ops); err != nil {
+			return false
+		}
+		got, err := ReadTrace(&buf)
+		if err != nil || len(got) != len(ops) {
+			return false
+		}
+		for i := range ops {
+			if got[i] != ops[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

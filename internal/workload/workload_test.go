@@ -1,0 +1,362 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"slicc/internal/cache"
+	"slicc/internal/trace"
+)
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{TPCC1: "TPC-C-1", TPCC10: "TPC-C-10", TPCE: "TPC-E", MapReduce: "MapReduce"}
+	for k, name := range want {
+		if k.String() != name {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), name)
+		}
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Error("out-of-range Kind String")
+	}
+}
+
+func TestThreadsCountAndTypes(t *testing.T) {
+	w := New(Config{Kind: TPCC1, Threads: 50, Seed: 1, Scale: 0.5})
+	threads := w.Threads()
+	if len(threads) != 50 {
+		t.Fatalf("got %d threads", len(threads))
+	}
+	seenTypes := map[int]int{}
+	for i, th := range threads {
+		if th.ID != i {
+			t.Fatalf("thread %d has ID %d", i, th.ID)
+		}
+		if th.Type < 0 || th.Type >= len(w.Types) {
+			t.Fatalf("thread %d type %d out of range", i, th.Type)
+		}
+		if th.TypeName != w.Types[th.Type].Name {
+			t.Fatalf("thread %d name mismatch", i)
+		}
+		seenTypes[th.Type]++
+	}
+	// The two dominant TPC-C types must dominate the mix.
+	if seenTypes[0]+seenTypes[1] < 30 {
+		t.Fatalf("NewOrder+Payment only %d/50", seenTypes[0]+seenTypes[1])
+	}
+}
+
+func TestDeterministicStreams(t *testing.T) {
+	w := New(Config{Kind: TPCE, Threads: 4, Seed: 42, Scale: 0.3})
+	for _, th := range w.Threads() {
+		a := trace.Record(th.New(), 0)
+		b := trace.Record(th.New(), 0)
+		if len(a) == 0 {
+			t.Fatalf("thread %d empty stream", th.ID)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("thread %d lengths differ: %d vs %d", th.ID, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("thread %d op %d differs", th.ID, i)
+			}
+		}
+	}
+}
+
+func TestSameSeedSameWorkload(t *testing.T) {
+	w1 := New(Config{Kind: TPCC1, Threads: 20, Seed: 7, Scale: 0.2})
+	w2 := New(Config{Kind: TPCC1, Threads: 20, Seed: 7, Scale: 0.2})
+	for i := range w1.Threads() {
+		if w1.Threads()[i].Type != w2.Threads()[i].Type {
+			t.Fatalf("thread %d type differs across identical configs", i)
+		}
+	}
+}
+
+func TestEntryDistinguishesTypes(t *testing.T) {
+	// SLICC-Pp fingerprinting requires: same-type threads start with the
+	// same instruction sequence; different types differ.
+	w := New(Config{Kind: TPCC1, Threads: 64, Seed: 3, Scale: 0.2})
+	const preLen = 32
+	prefixByType := map[int][]trace.Op{}
+	for _, th := range w.Threads() {
+		ops := trace.Record(th.New(), preLen)
+		if prev, ok := prefixByType[th.Type]; ok {
+			for i := range prev {
+				if prev[i].PC != ops[i].PC {
+					t.Fatalf("type %d threads diverge at instruction %d", th.Type, i)
+				}
+			}
+		} else {
+			prefixByType[th.Type] = ops
+		}
+	}
+	// Cross-type prefixes must differ (compare first PCs).
+	firsts := map[uint64]int{}
+	for ty, ops := range prefixByType {
+		if other, dup := firsts[ops[0].PC]; dup {
+			t.Fatalf("types %d and %d share the same entry PC", ty, other)
+		}
+		firsts[ops[0].PC] = ty
+	}
+}
+
+func TestFootprintOrdering(t *testing.T) {
+	// TPC-C footprints must exceed a 32KB cache and be larger than TPC-E's
+	// biggest; MapReduce must fit in 32KB.
+	tpcc := New(Config{Kind: TPCC1, Threads: 1, Seed: 1})
+	tpce := New(Config{Kind: TPCE, Threads: 1, Seed: 1})
+	mr := New(Config{Kind: MapReduce, Threads: 1, Seed: 1})
+
+	maxBytes := func(w *Workload) int {
+		max := 0
+		for ti := range w.Types {
+			if b := w.TypeFootprintBytes(ti); b > max {
+				max = b
+			}
+		}
+		return max
+	}
+	if got := maxBytes(tpcc); got <= 64*1024 {
+		t.Fatalf("TPC-C max footprint %d bytes; want well over one cache", got)
+	}
+	if maxBytes(tpcc) <= maxBytes(tpce) {
+		t.Fatalf("TPC-C footprint (%d) not larger than TPC-E (%d)", maxBytes(tpcc), maxBytes(tpce))
+	}
+	if got := maxBytes(mr); got > 32*1024 {
+		t.Fatalf("MapReduce footprint %d bytes does not fit in 32KB", got)
+	}
+}
+
+func TestSegmentsDisjoint(t *testing.T) {
+	for _, kind := range Kinds() {
+		w := New(Config{Kind: kind, Threads: 1, Seed: 1})
+		type iv struct{ lo, hi uint64 }
+		var ivs []iv
+		for _, s := range w.Segments {
+			ivs = append(ivs, iv{s.Base, s.Base + uint64(s.Blocks)})
+		}
+		for i := range ivs {
+			for j := i + 1; j < len(ivs); j++ {
+				if ivs[i].lo < ivs[j].hi && ivs[j].lo < ivs[i].hi {
+					t.Fatalf("%v: segments %d and %d overlap", kind, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestDataAccessProperties(t *testing.T) {
+	w := New(Config{Kind: TPCC1, Threads: 2, Seed: 9, Scale: 0.3})
+	ops := trace.Record(w.Threads()[0].New(), 0)
+	data, stores := 0, 0
+	for _, op := range ops {
+		if !op.HasData {
+			continue
+		}
+		data++
+		if op.IsWrite {
+			stores++
+		}
+		switch {
+		case op.DataAddr >= privBase:
+		case op.DataAddr >= rowRegionBase:
+		case op.DataAddr >= hotRegionBase:
+		default:
+			t.Fatalf("data address %#x in no known region", op.DataAddr)
+		}
+	}
+	frac := float64(data) / float64(len(ops))
+	if frac < 0.25 || frac > 0.35 {
+		t.Fatalf("data access fraction %.3f outside [0.25,0.35]", frac)
+	}
+	sf := float64(stores) / float64(data)
+	if sf < 0.38 || sf > 0.52 {
+		t.Fatalf("store fraction %.3f not ~0.45", sf)
+	}
+}
+
+func TestInstructionFootprintMatchesSegments(t *testing.T) {
+	w := New(Config{Kind: TPCE, Threads: 4, Seed: 5, Scale: 0.3})
+	th := w.Threads()[0]
+	ty := &w.Types[th.Type]
+	allowed := map[uint64]bool{}
+	mark := func(idx int) {
+		s := w.Segments[idx]
+		for b := uint64(0); b < uint64(s.Blocks); b++ {
+			allowed[s.Base+b] = true
+		}
+	}
+	for _, idx := range ty.Entry {
+		mark(idx)
+	}
+	for _, idx := range ty.Preamble {
+		mark(idx)
+	}
+	for _, idx := range ty.LoopBody {
+		mark(idx)
+	}
+	for _, o := range ty.Optional {
+		mark(o.seg)
+	}
+	for _, idx := range ty.Epilogue {
+		mark(idx)
+	}
+	for _, op := range trace.Record(th.New(), 0) {
+		if !allowed[op.PC/blockBytes] {
+			t.Fatalf("PC %#x outside the type's declared footprint", op.PC)
+		}
+	}
+}
+
+// TestBaselineMPKICalibration checks the headline Section 2 property: a
+// single 32KB L1-I thrashes on a TPC-C transaction (I-MPKI in the paper's
+// ~25-45 range) while MapReduce's footprint fits (small I-MPKI).
+func TestBaselineMPKICalibration(t *testing.T) {
+	mpki := func(kind Kind) float64 {
+		w := New(Config{Kind: kind, Threads: 3, Seed: 11, Scale: 0.5})
+		c := cache.New(cache.Config{SizeBytes: 32 * 1024, BlockBytes: 64, Ways: 8})
+		var instr, misses uint64
+		// One thread at a time on one core: pure intra-thread behaviour.
+		for _, th := range w.Threads() {
+			src := th.New()
+			for {
+				op, ok := src.Next()
+				if !ok {
+					break
+				}
+				instr++
+				if !c.Access(op.PC, false).Hit {
+					misses++
+				}
+			}
+		}
+		return 1000 * float64(misses) / float64(instr)
+	}
+	if m := mpki(TPCC1); m < 20 || m > 50 {
+		t.Errorf("TPC-C baseline I-MPKI %.1f outside [20,50]", m)
+	}
+	if m := mpki(TPCE); m < 15 || m > 45 {
+		t.Errorf("TPC-E baseline I-MPKI %.1f outside [15,45]", m)
+	}
+	if m := mpki(MapReduce); m > 6 {
+		t.Errorf("MapReduce baseline I-MPKI %.1f; footprint should fit", m)
+	}
+}
+
+// TestCrossThreadCodeSharing verifies the Figure 3 property: same-type
+// threads touch nearly identical instruction blocks.
+func TestCrossThreadCodeSharing(t *testing.T) {
+	w := New(Config{Kind: TPCC1, Threads: 40, Seed: 13, Scale: 0.3})
+	blocksOf := func(th trace.Thread) map[uint64]bool {
+		set := map[uint64]bool{}
+		src := th.New()
+		for {
+			op, ok := src.Next()
+			if !ok {
+				return set
+			}
+			set[op.PC/blockBytes] = true
+		}
+	}
+	var a, b *trace.Thread
+	threads := w.Threads()
+	for i := range threads {
+		if threads[i].Type == 0 {
+			if a == nil {
+				a = &threads[i]
+			} else {
+				b = &threads[i]
+				break
+			}
+		}
+	}
+	if b == nil {
+		t.Skip("not enough same-type threads in sample")
+	}
+	sa, sb := blocksOf(*a), blocksOf(*b)
+	inter := 0
+	for blk := range sa {
+		if sb[blk] {
+			inter++
+		}
+	}
+	union := len(sa) + len(sb) - inter
+	if sim := float64(inter) / float64(union); sim < 0.85 {
+		t.Fatalf("same-type block overlap %.2f < 0.85", sim)
+	}
+}
+
+func TestEstimateInstructions(t *testing.T) {
+	w := New(Config{Kind: MapReduce, Threads: 1, Seed: 2, Scale: 0.2})
+	if n := w.EstimateInstructions(0); n == 0 {
+		t.Fatal("zero estimated instructions")
+	}
+}
+
+// Property: thread seeds are unique across ids for any base seed.
+func TestPropThreadSeedsDistinct(t *testing.T) {
+	f := func(seed int64) bool {
+		seen := map[int64]bool{}
+		for id := 0; id < 256; id++ {
+			s := threadSeed(seed, id)
+			if seen[s] {
+				return false
+			}
+			seen[s] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every generated op has a PC inside some declared segment.
+func TestPropPCsInSegments(t *testing.T) {
+	f := func(seed int64) bool {
+		w := New(Config{Kind: TPCE, Threads: 2, Seed: seed, Scale: 0.1})
+		lo := w.Segments[0].Base * blockBytes
+		last := w.Segments[len(w.Segments)-1]
+		hi := (last.Base + uint64(last.Blocks)) * blockBytes
+		for _, th := range w.Threads() {
+			src := th.New()
+			for i := 0; i < 2000; i++ {
+				op, ok := src.Next()
+				if !ok {
+					break
+				}
+				if op.PC < lo || op.PC >= hi {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSharedRanges(t *testing.T) {
+	w := New(Config{Kind: TPCC1, Threads: 1, Seed: 1})
+	ranges := w.SharedRanges()
+	if len(ranges) == 0 {
+		t.Fatal("no shared ranges")
+	}
+	// Every shared segment must be covered; no unshared block may be.
+	covered := func(block uint64) bool {
+		for _, r := range ranges {
+			if block >= r[0] && block < r[1] {
+				return true
+			}
+		}
+		return false
+	}
+	for _, seg := range w.Segments {
+		if covered(seg.Base) != seg.Shared {
+			t.Fatalf("segment %d shared=%v but coverage=%v", seg.ID, seg.Shared, covered(seg.Base))
+		}
+	}
+}

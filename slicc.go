@@ -1,0 +1,406 @@
+// Package slicc is a from-scratch reproduction of "SLICC: Self-Assembly of
+// Instruction Cache Collectives for OLTP Workloads" (Atta, Tözün, Ailamaki,
+// Moshovos — MICRO 2012).
+//
+// SLICC is a hardware thread-migration policy that spreads the instruction
+// footprint of OLTP transactions across many private L1-I caches: each
+// cache holds one code segment, threads migrate to the core whose cache
+// holds the code they are about to execute, and similar transactions
+// pipeline behind each other so one thread's fetches prefetch for the rest.
+//
+// This module contains everything the paper's evaluation needs, implemented
+// in pure Go with no external dependencies:
+//
+//   - a trace-driven multicore simulator (cores, private L1s, shared NUCA
+//     L2, 2D-torus interconnect, MESI-style L1-D directory, hardware thread
+//     migration),
+//   - cache models with the LRU/LIP/BIP/DIP/SRRIP/BRRIP/DRRIP replacement
+//     policies of Figure 2 and 3C miss classification for Figure 1,
+//   - counting partial-address bloom filters (SLICC's cache signatures),
+//   - synthetic TPC-C, TPC-E and MapReduce workload generators calibrated
+//     to the memory behaviour Section 2 of the paper measures,
+//   - SLICC itself in three variants (type-oblivious, SLICC-SW, SLICC-Pp
+//     with a scout core) plus the baseline scheduler, a next-line
+//     prefetcher and the paper's PIF upper bound, and
+//   - an experiment harness regenerating every table and figure.
+//
+// The quickest way in:
+//
+//	base, _ := slicc.Run(slicc.Config{Benchmark: slicc.TPCC1, Policy: slicc.Baseline})
+//	fast, _ := slicc.Run(slicc.Config{Benchmark: slicc.TPCC1, Policy: slicc.SLICCSW})
+//	fmt.Printf("speedup %.2fx, I-MPKI %.1f -> %.1f\n",
+//		base.Cycles/fast.Cycles, base.IMPKI, fast.IMPKI)
+//
+// See DESIGN.md for the system inventory and the substitutions made for the
+// parts of the paper's infrastructure that are not available (PIN traces of
+// Shore-MT, the Zesto simulator), and EXPERIMENTS.md for paper-vs-measured
+// results of every experiment.
+package slicc
+
+import (
+	"fmt"
+
+	"slicc/internal/prefetch"
+	"slicc/internal/sched"
+	"slicc/internal/sim"
+	islicc "slicc/internal/slicc"
+	"slicc/internal/workload"
+)
+
+// Benchmark selects one of the paper's workloads (Table 1).
+type Benchmark int
+
+// Benchmarks.
+const (
+	// TPCC1 is TPC-C with 1 warehouse (84MB database).
+	TPCC1 Benchmark = iota
+	// TPCC10 is TPC-C with 10 warehouses (1GB database).
+	TPCC10
+	// TPCE is TPC-E with 1000 customers (20GB database).
+	TPCE
+	// MapReduce is the CloudSuite text-analytics control workload.
+	MapReduce
+)
+
+// String returns the benchmark's display name.
+func (b Benchmark) String() string { return b.kind().String() }
+
+func (b Benchmark) kind() workload.Kind {
+	switch b {
+	case TPCC1:
+		return workload.TPCC1
+	case TPCC10:
+		return workload.TPCC10
+	case TPCE:
+		return workload.TPCE
+	case MapReduce:
+		return workload.MapReduce
+	}
+	panic(fmt.Sprintf("slicc: unknown benchmark %d", int(b)))
+}
+
+// Benchmarks lists all workloads in Table 1 order.
+func Benchmarks() []Benchmark { return []Benchmark{TPCC1, TPCC10, TPCE, MapReduce} }
+
+// Policy selects the scheduling/prefetching configuration to evaluate
+// (the bars of Figure 11).
+type Policy int
+
+// Policies.
+const (
+	// Baseline is the conventional OS scheduler: no migration, threads
+	// run to completion on the core they start on.
+	Baseline Policy = iota
+	// NextLine is the baseline plus a next-line instruction prefetcher.
+	NextLine
+	// SLICC is the type-oblivious migration policy (Section 4.1).
+	SLICC
+	// SLICCPp adds hardware type detection on a scout core (Section 4.3).
+	SLICCPp
+	// SLICCSW receives transaction types from the software layer.
+	SLICCSW
+	// PIF is the paper's upper-bound model of the Proactive Instruction
+	// Fetch prefetcher: a 512KB L1-I retaining 32KB latency.
+	PIF
+	// StreamPrefetch is a finite-storage PIF-style temporal stream
+	// prefetcher (extension beyond the paper).
+	StreamPrefetch
+	// STEPS is a software time-multiplexing baseline after Harizopoulos &
+	// Ailamaki: same-type threads share chunks by context switching on one
+	// core (the paper's related-work counterpart, provided as an
+	// extension).
+	STEPS
+)
+
+var policyNames = [...]string{"Base", "Next-Line", "SLICC", "SLICC-Pp", "SLICC-SW", "PIF", "Stream", "STEPS"}
+
+// String returns the policy's display name.
+func (p Policy) String() string {
+	if p < 0 || int(p) >= len(policyNames) {
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+	return policyNames[p]
+}
+
+// Policies lists all evaluated policies in Figure 11 order, followed by
+// the extensions.
+func Policies() []Policy {
+	return []Policy{Baseline, NextLine, SLICC, SLICCPp, SLICCSW, PIF, StreamPrefetch, STEPS}
+}
+
+// Params are SLICC's tuning thresholds (Section 5.2). The zero value means
+// the paper's defaults: fill-up_t=256, matched_t=4, dilution_t=10 and a
+// 2K-bit bloom signature.
+type Params struct {
+	FillUpT   int
+	MatchedT  int
+	DilutionT int // -1 disables the dilution gate (the Figure 7 setting)
+	BloomBits int
+	// ExactSearch answers remote segment searches from actual cache tags
+	// instead of bloom signatures.
+	ExactSearch bool
+	// DisableIdleFallback removes migration to idle cores (ablation).
+	DisableIdleFallback bool
+	// YieldOnStay combines SLICC with STEPS-style local yielding when a
+	// migration evaluation finds no destination (the paper's future-work
+	// combination; extension).
+	YieldOnStay bool
+}
+
+func (p Params) toInternal(v islicc.Variant) islicc.Config {
+	cfg := islicc.DefaultConfig(v)
+	if p.FillUpT != 0 {
+		cfg.FillUpT = p.FillUpT
+	}
+	if p.MatchedT != 0 {
+		cfg.MatchedT = p.MatchedT
+	}
+	switch {
+	case p.DilutionT < 0:
+		cfg.DilutionT = 0
+	case p.DilutionT > 0:
+		cfg.DilutionT = p.DilutionT
+	}
+	if p.BloomBits != 0 {
+		cfg.BloomBits = p.BloomBits
+	}
+	cfg.ExactSearch = p.ExactSearch
+	cfg.DisableIdleFallback = p.DisableIdleFallback
+	cfg.YieldOnStay = p.YieldOnStay
+	return cfg
+}
+
+// Config describes one simulation.
+type Config struct {
+	// Benchmark and Policy select the workload and scheduler.
+	Benchmark Benchmark
+	Policy    Policy
+	// Threads is the number of transactions/tasks (default: 128 for OLTP,
+	// 300 for MapReduce — the paper's task counts scaled for practicality).
+	Threads int
+	// Seed makes the run reproducible (default 1).
+	Seed int64
+	// Scale multiplies per-transaction work (default 1).
+	Scale float64
+	// Cores is the core count (default 16; must form a torus).
+	Cores int
+	// L1IKB / L1DKB size the private caches in KB (default 32).
+	L1IKB, L1DKB int
+	// SLICC tunes the SLICC policies; ignored for others.
+	SLICC Params
+	// Classify enables 3C miss classification (Figure 1 style results).
+	Classify bool
+	// TrackReuse enables the Figure 3 reuse breakdown in the result.
+	TrackReuse bool
+	// EnableTLB adds 64-entry I-/D-TLBs and reports their miss rates
+	// (the paper's Section 5.5 side observation).
+	EnableTLB bool
+	// LogEvents records every migration/context switch in Result.Events.
+	LogEvents bool
+	// MaxInstructions aborts pathological runs (0 = unlimited).
+	MaxInstructions uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Scale == 0 {
+		c.Scale = 1
+	}
+	if c.Cores == 0 {
+		c.Cores = 16
+	}
+	if c.L1IKB == 0 {
+		c.L1IKB = 32
+	}
+	if c.L1DKB == 0 {
+		c.L1DKB = 32
+	}
+	return c
+}
+
+// ReuseBreakdown mirrors Figure 3's access classes.
+type ReuseBreakdown struct {
+	Single, Few, Most float64
+}
+
+// Result holds a run's metrics.
+type Result struct {
+	Benchmark Benchmark
+	Policy    Policy
+
+	Instructions uint64
+	Cycles       float64
+	IMPKI        float64
+	DMPKI        float64
+	// Compulsory/Capacity/Conflict MPKI splits (zero unless Classify).
+	ICompulsoryMPKI, ICapacityMPKI, IConflictMPKI float64
+	DCompulsoryMPKI, DCapacityMPKI, DConflictMPKI float64
+
+	Migrations        uint64
+	ContextSwitches   uint64
+	InstrPerMigration float64
+	// TxnLatencyP50/P95 are transaction service-time percentiles (cycles
+	// from first dispatch to completion).
+	TxnLatencyP50, TxnLatencyP95 float64
+	// ITLBMPKI/DTLBMPKI are zero unless EnableTLB.
+	ITLBMPKI, DTLBMPKI float64
+	BPKI               float64
+	Invalidations      uint64
+	ThreadsFinished    int
+	Aborted            bool
+
+	// ReuseGlobal / ReusePerType are filled when TrackReuse is set.
+	ReuseGlobal, ReusePerType ReuseBreakdown
+
+	// Events is the migration/context-switch log (nil unless LogEvents).
+	Events []SchedulingEvent
+}
+
+// SchedulingEvent is one thread movement: a cross-core migration or (for
+// STEPS-style policies) a same-core context switch.
+type SchedulingEvent struct {
+	Cycle    float64
+	ThreadID int
+	From, To int
+	Switch   bool
+}
+
+// Speedup returns base.Cycles / r.Cycles.
+func (r Result) Speedup(base Result) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return base.Cycles / r.Cycles
+}
+
+// Run executes one simulation to completion.
+func Run(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Threads < 0 || cfg.Scale < 0 {
+		return Result{}, fmt.Errorf("slicc: negative Threads or Scale")
+	}
+	if int(cfg.Benchmark) < 0 || cfg.Benchmark > MapReduce {
+		return Result{}, fmt.Errorf("slicc: unknown benchmark %d", int(cfg.Benchmark))
+	}
+	if int(cfg.Policy) < 0 || cfg.Policy > STEPS {
+		return Result{}, fmt.Errorf("slicc: unknown policy %d", int(cfg.Policy))
+	}
+
+	w := workload.New(workload.Config{
+		Kind:    cfg.Benchmark.kind(),
+		Threads: cfg.Threads,
+		Seed:    cfg.Seed,
+		Scale:   cfg.Scale,
+	})
+
+	mcfg := sim.Config{
+		Cores:           cfg.Cores,
+		TrackReuse:      cfg.TrackReuse,
+		MaxInstructions: cfg.MaxInstructions,
+		EnableTLB:       cfg.EnableTLB,
+		LogEvents:       cfg.LogEvents,
+	}
+	mcfg.L1I.SizeBytes = cfg.L1IKB * 1024
+	mcfg.L1D.SizeBytes = cfg.L1DKB * 1024
+	mcfg.L1I.Classify = cfg.Classify
+	mcfg.L1D.Classify = cfg.Classify
+
+	var policy sim.Policy
+	var pref sim.Prefetcher
+	switch cfg.Policy {
+	case Baseline:
+		policy = sched.NewBaseline()
+	case NextLine:
+		policy = sched.NewBaseline()
+		pref = prefetch.NewNextLine()
+	case SLICC:
+		policy = islicc.New(cfg.SLICC.toInternal(islicc.Oblivious))
+	case SLICCPp:
+		policy = islicc.New(cfg.SLICC.toInternal(islicc.Pp))
+	case SLICCSW:
+		policy = islicc.New(cfg.SLICC.toInternal(islicc.SW))
+	case PIF:
+		policy = sched.NewBaseline()
+		mcfg.L1I = prefetch.PIFUpperBoundL1I(mcfg.L1I)
+		mcfg.L1I.Classify = cfg.Classify
+	case StreamPrefetch:
+		policy = sched.NewBaseline()
+		pref = prefetch.NewStream()
+	case STEPS:
+		policy = sched.NewSTEPS()
+	}
+
+	m := sim.New(mcfg, policy, pref, w.Threads())
+	r := m.Run()
+
+	ki := float64(r.Instructions) / 1000
+	if ki == 0 {
+		ki = 1
+	}
+	out := Result{
+		Benchmark:         cfg.Benchmark,
+		Policy:            cfg.Policy,
+		Instructions:      r.Instructions,
+		Cycles:            r.Cycles,
+		IMPKI:             r.IMPKI(),
+		DMPKI:             r.DMPKI(),
+		ICompulsoryMPKI:   float64(r.ICompulsory) / ki,
+		ICapacityMPKI:     float64(r.ICapacity) / ki,
+		IConflictMPKI:     float64(r.IConflict) / ki,
+		DCompulsoryMPKI:   float64(r.DCompulsory) / ki,
+		DCapacityMPKI:     float64(r.DCapacity) / ki,
+		DConflictMPKI:     float64(r.DConflict) / ki,
+		Migrations:        r.Migrations,
+		ContextSwitches:   r.ContextSwitches,
+		TxnLatencyP50:     r.LatencyPercentile(50),
+		TxnLatencyP95:     r.LatencyPercentile(95),
+		InstrPerMigration: r.InstrPerMigration(),
+		ITLBMPKI:          r.ITLBMPKI(),
+		DTLBMPKI:          r.DTLBMPKI(),
+		BPKI:              r.BPKI(),
+		Invalidations:     r.Invalidations,
+		ThreadsFinished:   r.ThreadsFinished,
+		Aborted:           r.Aborted,
+	}
+	if cfg.LogEvents {
+		out.Events = make([]SchedulingEvent, len(r.Events))
+		for i, e := range r.Events {
+			out.Events[i] = SchedulingEvent{Cycle: e.Cycle, ThreadID: e.ThreadID, From: e.From, To: e.To, Switch: e.Switch}
+		}
+	}
+	if cfg.TrackReuse && m.Reuse() != nil {
+		g, p := m.Reuse().Global(), m.Reuse().PerType()
+		out.ReuseGlobal = ReuseBreakdown{g.Single, g.Few, g.Most}
+		out.ReusePerType = ReuseBreakdown{p.Single, p.Few, p.Most}
+	}
+	return out, nil
+}
+
+// Compare runs the same benchmark under several policies and returns results
+// in order, all against identical workloads.
+func Compare(base Config, policies ...Policy) ([]Result, error) {
+	results := make([]Result, 0, len(policies))
+	for _, p := range policies {
+		cfg := base
+		cfg.Policy = p
+		r, err := Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("slicc: policy %v: %w", p, err)
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}
+
+// HardwareCostBytes returns SLICC's per-core storage budget in bytes for
+// the given parameters (Table 3: 966 bytes for the paper's configuration
+// with team support).
+func HardwareCostBytes(p Params, cores int, teamSupport bool) int {
+	v := islicc.Oblivious
+	if teamSupport {
+		v = islicc.SW
+	}
+	return islicc.HardwareCost(p.toInternal(v), cores).TotalBytes()
+}

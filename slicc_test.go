@@ -1,0 +1,198 @@
+package slicc
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// small returns a fast configuration for API tests.
+func small(b Benchmark, p Policy) Config {
+	return Config{Benchmark: b, Policy: p, Threads: 24, Seed: 3, Scale: 0.3}
+}
+
+func TestRunBaseline(t *testing.T) {
+	r, err := Run(small(TPCC1, Baseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ThreadsFinished != 24 {
+		t.Fatalf("finished %d/24", r.ThreadsFinished)
+	}
+	if r.IMPKI < 15 || r.IMPKI > 60 {
+		t.Fatalf("baseline I-MPKI %.1f out of OLTP range", r.IMPKI)
+	}
+	if r.Migrations != 0 {
+		t.Fatal("baseline migrated")
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if _, err := Run(Config{Benchmark: Benchmark(9)}); err == nil {
+		t.Fatal("bad benchmark accepted")
+	}
+	if _, err := Run(Config{Policy: Policy(9)}); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+	if _, err := Run(Config{Threads: -1}); err == nil {
+		t.Fatal("negative threads accepted")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(small(TPCE, SLICCSW))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(small(TPCE, SLICCSW))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.IMPKI != b.IMPKI || a.Migrations != b.Migrations {
+		t.Fatalf("identical configs diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	rs, err := Compare(small(TPCC1, Baseline), Baseline, SLICCSW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("got %d results", len(rs))
+	}
+	base, sw := rs[0], rs[1]
+	if sw.IMPKI >= base.IMPKI {
+		t.Fatalf("SLICC-SW I-MPKI %.1f not below baseline %.1f", sw.IMPKI, base.IMPKI)
+	}
+	if sw.Speedup(base) < 1.0 {
+		t.Fatalf("SLICC-SW speedup %.3f < 1", sw.Speedup(base))
+	}
+	if sw.Migrations == 0 || sw.BPKI <= 0 {
+		t.Fatal("SLICC-SW did not migrate/search")
+	}
+}
+
+func TestClassification(t *testing.T) {
+	cfg := small(TPCC1, Baseline)
+	cfg.Classify = true
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := r.ICompulsoryMPKI + r.ICapacityMPKI + r.IConflictMPKI
+	if diff := sum - r.IMPKI; diff > 0.01 || diff < -0.01 {
+		t.Fatalf("3C classes (%.2f) do not sum to I-MPKI (%.2f)", sum, r.IMPKI)
+	}
+}
+
+func TestTrackReuse(t *testing.T) {
+	cfg := small(TPCC1, SLICCSW)
+	cfg.TrackReuse = true
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := r.ReusePerType.Single + r.ReusePerType.Few + r.ReusePerType.Most
+	if total < 0.99 || total > 1.01 {
+		t.Fatalf("per-type reuse shares sum to %f", total)
+	}
+	if r.ReusePerType.Most < r.ReuseGlobal.Most {
+		t.Fatal("per-type sharing below global sharing")
+	}
+}
+
+func TestPIFConfig(t *testing.T) {
+	cfg := small(TPCC1, PIF)
+	cfg.Classify = true
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bcfg := small(TPCC1, Baseline)
+	bcfg.Classify = true
+	base, err := Run(bcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 512KB upper bound eliminates capacity misses entirely; at this
+	// tiny scale compulsory misses dominate both configurations, so total
+	// MPKI is only required to improve.
+	if r.ICapacityMPKI > 0.5 {
+		t.Fatalf("PIF upper bound still has %.2f capacity MPKI", r.ICapacityMPKI)
+	}
+	if r.IMPKI >= base.IMPKI {
+		t.Fatalf("PIF I-MPKI %.1f not below baseline %.1f", r.IMPKI, base.IMPKI)
+	}
+}
+
+func TestMaxInstructions(t *testing.T) {
+	cfg := small(TPCC1, Baseline)
+	cfg.MaxInstructions = 5000
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Aborted {
+		t.Fatal("run not aborted at instruction cap")
+	}
+}
+
+func TestHardwareCostBytes(t *testing.T) {
+	if got := HardwareCostBytes(Params{}, 16, true); got != 966 {
+		t.Fatalf("cost = %d bytes, want 966 (Table 3)", got)
+	}
+	if got := HardwareCostBytes(Params{}, 16, false); got >= 966 {
+		t.Fatal("oblivious cost should be below the team-supported cost")
+	}
+}
+
+func TestPolicyAndBenchmarkStrings(t *testing.T) {
+	if SLICCSW.String() != "SLICC-SW" || PIF.String() != "PIF" {
+		t.Fatal("policy names wrong")
+	}
+	if TPCC10.String() != "TPC-C-10" {
+		t.Fatal("benchmark name wrong")
+	}
+	if Policy(99).String() != "Policy(99)" {
+		t.Fatal("out-of-range policy name")
+	}
+	if len(Policies()) != 8 || len(Benchmarks()) != 4 {
+		t.Fatal("enumerations wrong")
+	}
+}
+
+func TestExperimentDispatch(t *testing.T) {
+	for _, id := range []string{"table1", "table2", "table3"} {
+		tabs, err := Experiment(id, true, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tabs) != 1 || len(tabs[0].Rows) == 0 {
+			t.Fatalf("%s returned empty table", id)
+		}
+		var buf bytes.Buffer
+		tabs[0].Format(&buf)
+		if !strings.Contains(buf.String(), "##") {
+			t.Fatal("Format produced no heading")
+		}
+	}
+	if _, err := Experiment("fig99", true, 1); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if got := len(ExperimentIDs()); got != 15 {
+		t.Fatalf("ExperimentIDs = %d entries, want 15", got)
+	}
+}
+
+func TestParamsOverride(t *testing.T) {
+	cfg := small(TPCC1, SLICCSW)
+	cfg.SLICC = Params{DilutionT: -1, MatchedT: 2, ExactSearch: true}
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Migrations == 0 {
+		t.Fatal("no migrations with permissive thresholds")
+	}
+}
