@@ -1,6 +1,7 @@
 package slicc
 
 import (
+	"context"
 	"testing"
 )
 
@@ -45,6 +46,23 @@ func BenchmarkFigure11(b *testing.B) { benchExperiment(b, "fig11") }
 
 // BenchmarkBPKI regenerates the Section 5.8 broadcast-rate measurement.
 func BenchmarkBPKI(b *testing.B) { benchExperiment(b, "bpki") }
+
+// BenchmarkEngineMemoizedExperiment measures a memoized experiment replay:
+// after the warm-up run every simulation is served from the engine's dedup
+// cache, so this tracks the bookkeeping overhead of the parallel engine
+// rather than simulator speed.
+func BenchmarkEngineMemoizedExperiment(b *testing.B) {
+	eng := NewEngine(EngineOptions{})
+	if _, err := eng.Experiment(context.Background(), "fig3", true, 1); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Experiment(context.Background(), "fig3", true, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // BenchmarkTable1 regenerates the workload-parameter table.
 func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }

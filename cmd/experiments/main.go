@@ -3,15 +3,23 @@
 //	experiments -list
 //	experiments -run fig11
 //	experiments -run all -quick
+//	experiments -run all -quick -j 8 -progress
 //	experiments -run fig7 -out fig7.txt
+//
+// Experiments share one engine: their simulations run on -j workers,
+// identical simulations are deduplicated across experiments, and the table
+// output is byte-identical for any -j.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"sync"
 	"time"
 
 	"slicc"
@@ -19,12 +27,14 @@ import (
 
 func main() {
 	var (
-		list   = flag.Bool("list", false, "list experiment ids and exit")
-		run    = flag.String("run", "all", "experiment id or 'all'")
-		quick  = flag.Bool("quick", false, "shrink workloads ~20x for a fast smoke run")
-		seed   = flag.Int64("seed", 1, "workload seed")
-		out    = flag.String("out", "", "write results to this file instead of stdout")
-		asJSON = flag.Bool("json", false, "emit JSON instead of aligned text tables")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		run      = flag.String("run", "all", "experiment id or 'all'")
+		quick    = flag.Bool("quick", false, "shrink workloads ~20x for a fast smoke run")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		out      = flag.String("out", "", "write results to this file instead of stdout")
+		asJSON   = flag.Bool("json", false, "emit JSON instead of aligned text tables")
+		workers  = flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulation workers")
+		progress = flag.Bool("progress", false, "report live simulation progress on stderr")
 	)
 	flag.Parse()
 
@@ -46,26 +56,62 @@ func main() {
 		w = f
 	}
 
+	opts := slicc.EngineOptions{Workers: *workers}
+	if *progress {
+		opts.Progress = func(done, scheduled int) {
+			fmt.Fprintf(os.Stderr, "\rsimulations %d/%d ", done, scheduled)
+		}
+	}
+	engine := slicc.NewEngine(opts)
+
 	ids := []string{*run}
 	if *run == "all" {
 		ids = slicc.ExperimentIDs()
 	}
+
+	// Run every experiment concurrently on the shared engine — the engine
+	// bounds simulation parallelism at -j workers and dedups identical
+	// simulations across experiments — then emit output in stable id order.
+	type outcome struct {
+		tables []slicc.ExperimentTable
+		err    error
+		// doneAt is the completion offset from launch. Experiments run
+		// concurrently and share workers, so a per-experiment duration
+		// would mostly measure waiting on the pool; the completion
+		// timeline is the honest number.
+		doneAt time.Duration
+	}
+	outcomes := make([]outcome, len(ids))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			tables, err := engine.Experiment(context.Background(), id, *quick, *seed)
+			outcomes[i] = outcome{tables: tables, err: err, doneAt: time.Since(start)}
+		}(i, id)
+	}
+	wg.Wait()
+	if *progress {
+		fmt.Fprintln(os.Stderr)
+	}
+
 	collected := map[string][]slicc.ExperimentTable{}
-	for _, id := range ids {
-		start := time.Now()
-		tables, err := slicc.Experiment(id, *quick, *seed)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+	for i, id := range ids {
+		o := outcomes[i]
+		if o.err != nil {
+			fmt.Fprintln(os.Stderr, o.err)
 			os.Exit(1)
 		}
 		if *asJSON {
-			collected[id] = tables
+			collected[id] = o.tables
 		} else {
-			for _, t := range tables {
+			for _, t := range o.tables {
 				t.Format(w)
 			}
 		}
-		fmt.Fprintf(os.Stderr, "%s done in %v\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "%s done at +%v\n", id, o.doneAt.Round(time.Millisecond))
 	}
 	if *asJSON {
 		enc := json.NewEncoder(w)
@@ -75,4 +121,8 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	stats := engine.Stats()
+	fmt.Fprintf(os.Stderr, "total %v: %d simulations executed, %d deduplicated, %d workloads synthesized (%d reused)\n",
+		time.Since(start).Round(time.Millisecond),
+		stats.SimsExecuted, stats.DedupHits, stats.WorkloadsBuilt, stats.WorkloadHits)
 }

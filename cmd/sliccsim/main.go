@@ -7,9 +7,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"slicc"
@@ -33,11 +35,14 @@ var policies = map[string]slicc.Policy{
 	"steps":    slicc.STEPS,
 }
 
+// keys lists a flag-value map's names, sorted so help and error text is
+// deterministic (map iteration order is not).
 func keys[M map[string]V, V any](m M) string {
 	var ks []string
 	for k := range m {
 		ks = append(ks, k)
 	}
+	sort.Strings(ks)
 	return strings.Join(ks, ", ")
 }
 
@@ -85,10 +90,24 @@ func main() {
 		SLICC:     slicc.Params{FillUpT: *fillUp, MatchedT: *matched, DilutionT: *dilution},
 	}
 
-	r, err := slicc.Run(cfg)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	// With -compare, the policy and baseline simulations run in parallel
+	// (CompareContext shares one synthesized workload between them).
+	runCompare := *compare && policy != slicc.Baseline
+	var r, base slicc.Result
+	if runCompare {
+		rs, err := slicc.CompareContext(context.Background(), cfg, policy, slicc.Baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		r, base = rs[0], rs[1]
+	} else {
+		var err error
+		r, err = slicc.Run(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 
 	fmt.Printf("workload      %s\n", r.Benchmark)
@@ -126,14 +145,7 @@ func main() {
 		}
 	}
 
-	if *compare && policy != slicc.Baseline {
-		baseCfg := cfg
-		baseCfg.Policy = slicc.Baseline
-		base, err := slicc.Run(baseCfg)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+	if runCompare {
 		fmt.Printf("speedup       %.3fx over baseline (%.0f cycles)\n", r.Speedup(base), base.Cycles)
 		fmt.Printf("I-MPKI change %+.1f%%\n", 100*(r.IMPKI/base.IMPKI-1))
 		fmt.Printf("D-MPKI change %+.1f%%\n", 100*(r.DMPKI/base.DMPKI-1))

@@ -1,11 +1,13 @@
 package slicc
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 
 	"slicc/internal/experiments"
+	"slicc/internal/runner"
 )
 
 // ExperimentTable is a formatted experiment result (one table or figure
@@ -31,25 +33,47 @@ func fromInternal(ts ...experiments.Table) []ExperimentTable {
 	return out
 }
 
+// one adapts a single-table experiment to the runner signature.
+func one(f func(experiments.Options) (experiments.Table, error)) func(experiments.Options) ([]ExperimentTable, error) {
+	return func(o experiments.Options) ([]ExperimentTable, error) {
+		t, err := f(o)
+		if err != nil {
+			return nil, err
+		}
+		return fromInternal(t), nil
+	}
+}
+
+// static adapts a simulation-free table to the runner signature.
+func static(f func() experiments.Table) func(experiments.Options) ([]ExperimentTable, error) {
+	return func(experiments.Options) ([]ExperimentTable, error) {
+		return fromInternal(f()), nil
+	}
+}
+
 // experimentRunners maps experiment ids to their implementations.
-var experimentRunners = map[string]func(experiments.Options) []ExperimentTable{
-	"fig1":  func(o experiments.Options) []ExperimentTable { return fromInternal(experiments.Figure1(o)...) },
-	"fig2":  func(o experiments.Options) []ExperimentTable { return fromInternal(experiments.Figure2(o)) },
-	"fig3":  func(o experiments.Options) []ExperimentTable { return fromInternal(experiments.Figure3(o)) },
-	"fig7":  func(o experiments.Options) []ExperimentTable { return fromInternal(experiments.Figure7(o)) },
-	"fig8":  func(o experiments.Options) []ExperimentTable { return fromInternal(experiments.Figure8(o)) },
-	"fig9":  func(o experiments.Options) []ExperimentTable { return fromInternal(experiments.Figure9(o)) },
-	"fig10": func(o experiments.Options) []ExperimentTable { return fromInternal(experiments.Figure10(o)) },
-	"fig11": func(o experiments.Options) []ExperimentTable { return fromInternal(experiments.Figure11(o)) },
-	"bpki":  func(o experiments.Options) []ExperimentTable { return fromInternal(experiments.BPKI(o)) },
-	"tlb":   func(o experiments.Options) []ExperimentTable { return fromInternal(experiments.TLBEffects(o)) },
-	"steps": func(o experiments.Options) []ExperimentTable { return fromInternal(experiments.RelatedWork(o)) },
-	"scaling": func(o experiments.Options) []ExperimentTable {
-		return fromInternal(experiments.Scaling(o))
+var experimentRunners = map[string]func(experiments.Options) ([]ExperimentTable, error){
+	"fig1": func(o experiments.Options) ([]ExperimentTable, error) {
+		ts, err := experiments.Figure1(o)
+		if err != nil {
+			return nil, err
+		}
+		return fromInternal(ts...), nil
 	},
-	"table1": func(o experiments.Options) []ExperimentTable { return fromInternal(experiments.Table1()) },
-	"table2": func(o experiments.Options) []ExperimentTable { return fromInternal(experiments.Table2()) },
-	"table3": func(o experiments.Options) []ExperimentTable { return fromInternal(experiments.Table3()) },
+	"fig2":    one(experiments.Figure2),
+	"fig3":    one(experiments.Figure3),
+	"fig7":    one(experiments.Figure7),
+	"fig8":    one(experiments.Figure8),
+	"fig9":    one(experiments.Figure9),
+	"fig10":   one(experiments.Figure10),
+	"fig11":   one(experiments.Figure11),
+	"bpki":    one(experiments.BPKI),
+	"tlb":     one(experiments.TLBEffects),
+	"steps":   one(experiments.RelatedWork),
+	"scaling": one(experiments.Scaling),
+	"table1":  static(experiments.Table1),
+	"table2":  static(experiments.Table2),
+	"table3":  static(experiments.Table3),
 }
 
 // ExperimentIDs lists the available experiment identifiers in stable order.
@@ -62,15 +86,80 @@ func ExperimentIDs() []string {
 	return ids
 }
 
+// EngineOptions configures an experiment engine.
+type EngineOptions struct {
+	// Workers bounds concurrent simulations (default GOMAXPROCS).
+	Workers int
+	// Progress, if set, is called as simulations are scheduled and
+	// completed, with engine-lifetime counts. It may be called from
+	// multiple goroutines.
+	Progress func(done, scheduled int)
+}
+
+// EngineStats snapshots an engine's work counters.
+type EngineStats struct {
+	// SimsRequested / SimsExecuted count requested versus actually
+	// executed simulations; the difference went to the dedup cache.
+	SimsRequested, SimsExecuted int
+	// DedupHits counts simulations served by an identical earlier (or
+	// concurrent) one.
+	DedupHits int
+	// WorkloadsBuilt / WorkloadHits count workload-synthesis cache
+	// misses/hits.
+	WorkloadsBuilt, WorkloadHits int
+}
+
+// Engine runs experiments on a shared worker pool. Simulations are
+// deduplicated by content and memoized for the engine's lifetime, so
+// experiments that share configurations (every figure re-measures the
+// 32KB/32KB baseline machine) pay for them once. Table output is
+// byte-identical for any worker count. An Engine is safe for concurrent
+// use; cross-experiment dedup works even between concurrent Experiment
+// calls.
+type Engine struct {
+	pool *runner.Pool
+}
+
+// NewEngine builds an experiment engine.
+func NewEngine(o EngineOptions) *Engine {
+	return &Engine{pool: runner.New(runner.Options{Workers: o.Workers, OnProgress: o.Progress})}
+}
+
 // Experiment regenerates one of the paper's tables/figures by id ("fig1"
 // .. "fig11", "table1".."table3", "bpki") or one of the extension studies
-// ("tlb", "steps", "scaling"). Quick mode shrinks workloads by
-// roughly 20x for smoke runs; full mode reproduces the EXPERIMENTS.md
-// numbers. The seed defaults to 1.
-func Experiment(id string, quick bool, seed int64) ([]ExperimentTable, error) {
+// ("tlb", "steps", "scaling"). Quick mode shrinks workloads by roughly 20x
+// for smoke runs; full mode reproduces the EXPERIMENTS.md numbers. The
+// seed defaults to 1. Cancelling ctx aborts in-flight simulations and
+// returns ctx.Err().
+func (e *Engine) Experiment(ctx context.Context, id string, quick bool, seed int64) ([]ExperimentTable, error) {
 	run, ok := experimentRunners[id]
 	if !ok {
 		return nil, fmt.Errorf("slicc: unknown experiment %q (have %v)", id, ExperimentIDs())
 	}
-	return run(experiments.Options{Quick: quick, Seed: seed}), nil
+	// Simulation-free experiments (table1-3) never consult ctx; check it
+	// here so cancellation behaves uniformly across ids.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return run(experiments.Options{Quick: quick, Seed: seed, Ctx: ctx, Pool: e.pool})
+}
+
+// Stats returns the engine's dedup/cache counters.
+func (e *Engine) Stats() EngineStats {
+	s := e.pool.Stats()
+	return EngineStats{
+		SimsRequested:  s.JobsRequested,
+		SimsExecuted:   s.JobsExecuted,
+		DedupHits:      s.DedupHits,
+		WorkloadsBuilt: s.WorkloadsBuilt,
+		WorkloadHits:   s.WorkloadHits,
+	}
+}
+
+// Experiment is the original serial-era entry point, kept as a wrapper: it
+// runs the experiment on a fresh engine with default parallelism and no
+// cancellation. Use an Engine to share the dedup cache across experiments
+// or to control worker count and cancellation.
+func Experiment(id string, quick bool, seed int64) ([]ExperimentTable, error) {
+	return NewEngine(EngineOptions{}).Experiment(context.Background(), id, quick, seed)
 }

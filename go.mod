@@ -1,0 +1,3 @@
+module slicc
+
+go 1.24

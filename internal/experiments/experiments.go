@@ -1,24 +1,31 @@
 // Package experiments regenerates every table and figure of the paper's
-// evaluation (Section 5). Each Figure*/Table* function runs the necessary
-// simulations and returns formatted result tables whose rows correspond to
-// the bars/series the paper plots. EXPERIMENTS.md records paper-reported
-// values next to values measured from this package.
+// evaluation (Section 5). Each Figure*/Table* function is written in two
+// phases: it first *declares* the simulations it needs as runner jobs, then
+// formats result tables from the completed results. All simulation ordering
+// lives in the job list, so table output is byte-identical for any worker
+// count, and identical jobs shared between figures (the 32KB/32KB baseline
+// machine, most prominently) simulate only once per runner pool.
+// EXPERIMENTS.md records paper-reported values next to values measured from
+// this package.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
 
 	"slicc/internal/prefetch"
-	"slicc/internal/sched"
+	"slicc/internal/runner"
 	"slicc/internal/sim"
 	"slicc/internal/slicc"
 	"slicc/internal/workload"
 )
 
 // Options scales the experiments. The zero value runs the full-size
-// configuration; Quick shrinks workloads for fast smoke runs (tests, CI).
+// configuration serially; Quick shrinks workloads for fast smoke runs
+// (tests, CI), and Pool/Ctx plug the experiment into a shared parallel
+// engine.
 type Options struct {
 	// Quick shrinks thread counts and per-transaction work (~20x faster).
 	Quick bool
@@ -28,6 +35,11 @@ type Options struct {
 	Threads int
 	// Scale overrides the per-transaction work multiplier (0 = default).
 	Scale float64
+	// Ctx cancels in-flight simulations (nil = run to completion).
+	Ctx context.Context
+	// Pool executes the declared jobs. nil uses a private single-worker
+	// pool: serial execution, dedup only within the experiment.
+	Pool *runner.Pool
 }
 
 func (o Options) withDefaults() Options {
@@ -51,9 +63,9 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// workloadFor synthesizes the benchmark at the options' size. MapReduce
-// keeps its 300 tasks in full runs (the paper's configuration).
-func (o Options) workloadFor(kind workload.Kind) *workload.Workload {
+// workloadCfg declares the benchmark at the options' size. MapReduce keeps
+// its 300 tasks in full runs (the paper's configuration).
+func (o Options) workloadCfg(kind workload.Kind) workload.Config {
 	threads := o.Threads
 	if kind == workload.MapReduce && !o.Quick {
 		threads = 300
@@ -61,7 +73,21 @@ func (o Options) workloadFor(kind workload.Kind) *workload.Workload {
 	if kind == workload.MapReduce && o.Quick {
 		threads = 80
 	}
-	return workload.New(workload.Config{Kind: kind, Threads: threads, Seed: o.Seed, Scale: o.Scale})
+	return workload.Config{Kind: kind, Threads: threads, Seed: o.Seed, Scale: o.Scale}
+}
+
+// run executes the declared jobs on the options' pool (or a private serial
+// one) and returns results in declaration order.
+func (o Options) run(jobs []runner.Job) ([]runner.Result, error) {
+	pool := o.Pool
+	if pool == nil {
+		pool = runner.New(runner.Options{Workers: 1})
+	}
+	ctx := o.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return pool.Run(ctx, jobs)
 }
 
 // Table is a formatted experiment result.
@@ -115,19 +141,27 @@ func pad(s string, w int) string {
 	return s + strings.Repeat(" ", w-len(s))
 }
 
-// --- shared run helpers ------------------------------------------------------
+// --- shared job declaration helpers -----------------------------------------
 
 // defaultMachine returns the Table 2 baseline machine configuration.
 func defaultMachine() sim.Config {
 	return sim.Config{Cores: 16}
 }
 
-func runBaseline(w *workload.Workload, cfg sim.Config) sim.Result {
-	return sim.New(cfg, sched.NewBaseline(), nil, w.Threads()).Run()
+// baselineJob declares a baseline-scheduler simulation.
+func baselineJob(w workload.Config, m sim.Config) runner.Job {
+	return runner.Job{Workload: w, Machine: m, Policy: runner.PolicySpec{Kind: runner.Baseline}}
 }
 
-func runSLICC(w *workload.Workload, cfg sim.Config, scfg slicc.Config) sim.Result {
-	return sim.New(cfg, slicc.New(scfg), nil, w.Threads()).Run()
+// sliccJob declares a SLICC simulation (the config's Variant selects
+// oblivious/Pp/SW).
+func sliccJob(w workload.Config, m sim.Config, scfg slicc.Config) runner.Job {
+	return runner.Job{Workload: w, Machine: m, Policy: runner.PolicySpec{Kind: runner.SLICC, SLICC: scfg}}
+}
+
+// policyJob declares a simulation under any declarative policy kind.
+func policyJob(w workload.Config, m sim.Config, kind runner.PolicyKind) runner.Job {
+	return runner.Job{Workload: w, Machine: m, Policy: runner.PolicySpec{Kind: kind}}
 }
 
 // pifMachine is the paper's PIF upper bound: a 512KB L1-I retaining the

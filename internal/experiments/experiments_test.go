@@ -5,9 +5,28 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"slicc/internal/runner"
 )
 
 var quick = Options{Quick: true, Seed: 7}
+
+// skipShort skips the simulation-heavy shape tests under -short; the fast
+// structural coverage (TestTableFormat, the static tables, and the tiny
+// TestParallelDeterminism) still runs.
+func skipShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("simulation-heavy experiment (run without -short)")
+	}
+}
+
+func check(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
 
 func cell(t *testing.T, tab Table, row, col int) string {
 	t.Helper()
@@ -44,8 +63,54 @@ func TestTableFormat(t *testing.T) {
 	}
 }
 
+// TestParallelDeterminism is the core guarantee of the two-phase rewrite:
+// the formatted output of an experiment is byte-identical whether its jobs
+// run serially or on many workers. Tiny workloads keep it fast enough for
+// -short.
+func TestParallelDeterminism(t *testing.T) {
+	tiny := Options{Quick: true, Threads: 8, Scale: 0.08, Seed: 3}
+	render := func(workers int) string {
+		opt := tiny
+		opt.Pool = runner.New(runner.Options{Workers: workers})
+		tab, err := Figure8(opt)
+		check(t, err)
+		var buf bytes.Buffer
+		tab.Format(&buf)
+		return buf.String()
+	}
+	serial := render(1)
+	parallel := render(8)
+	if serial != parallel {
+		t.Fatalf("Figure8 output differs between 1 and 8 workers:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+	if !strings.Contains(serial, "Figure 8") {
+		t.Fatalf("unexpected output:\n%s", serial)
+	}
+}
+
+// TestSharedPoolDedup checks that experiments sharing one pool dedup their
+// common simulations (Figure 10 and Figure 11 both measure the baseline
+// machine and the three SLICC variants on every workload).
+func TestSharedPoolDedup(t *testing.T) {
+	skipShort(t)
+	opt := Options{Quick: true, Threads: 8, Scale: 0.08, Seed: 3}
+	opt.Pool = runner.New(runner.Options{Workers: 4})
+	_, err := Figure10(opt)
+	check(t, err)
+	before := opt.Pool.Stats()
+	_, err = Figure11(opt)
+	check(t, err)
+	after := opt.Pool.Stats()
+	// Figure 11 re-declares 4 baseline + 12 SLICC jobs Figure 10 already ran.
+	if gained := after.DedupHits - before.DedupHits; gained < 16 {
+		t.Fatalf("cross-experiment dedup hits = %d, want >= 16", gained)
+	}
+}
+
 func TestFigure1Shape(t *testing.T) {
-	tables := Figure1(quick)
+	skipShort(t)
+	tables, err := Figure1(quick)
+	check(t, err)
 	if len(tables) != 3 {
 		t.Fatalf("Figure1 returned %d tables", len(tables))
 	}
@@ -71,10 +136,9 @@ func TestFigure1Shape(t *testing.T) {
 // instruction misses, compulsory-dominated data misses) at a size where the
 // shares converge. Skipped under -short.
 func TestFigure1FullShape(t *testing.T) {
-	if testing.Short() {
-		t.Skip("full-size experiment")
-	}
-	tables := Figure1(Options{Threads: 64, Scale: 1, Seed: 7})
+	skipShort(t)
+	tables, err := Figure1(Options{Threads: 64, Scale: 1, Seed: 7})
+	check(t, err)
 	tpcc := tables[0]
 	iCap, iComp := toF(t, cell(t, tpcc, 0, 4)), toF(t, cell(t, tpcc, 0, 3))
 	if iCap <= iComp {
@@ -90,7 +154,9 @@ func TestFigure1FullShape(t *testing.T) {
 }
 
 func TestFigure2Shape(t *testing.T) {
-	tab := Figure2(quick)
+	skipShort(t)
+	tab, err := Figure2(quick)
+	check(t, err)
 	if len(tab.Rows) != 3 {
 		t.Fatalf("rows = %d", len(tab.Rows))
 	}
@@ -107,7 +173,9 @@ func TestFigure2Shape(t *testing.T) {
 }
 
 func TestFigure3Shape(t *testing.T) {
-	tab := Figure3(quick)
+	skipShort(t)
+	tab, err := Figure3(quick)
+	check(t, err)
 	if len(tab.Rows) != 4 {
 		t.Fatalf("rows = %d", len(tab.Rows))
 	}
@@ -124,7 +192,9 @@ func TestFigure3Shape(t *testing.T) {
 }
 
 func TestFigure7Shape(t *testing.T) {
-	tab := Figure7(quick)
+	skipShort(t)
+	tab, err := Figure7(quick)
+	check(t, err)
 	// 2 workloads x (1 base + 2x3 grid) rows.
 	if len(tab.Rows) != 2*(1+6) {
 		t.Fatalf("rows = %d", len(tab.Rows))
@@ -139,7 +209,9 @@ func TestFigure7Shape(t *testing.T) {
 }
 
 func TestFigure8Shape(t *testing.T) {
-	tab := Figure8(quick)
+	skipShort(t)
+	tab, err := Figure8(quick)
+	check(t, err)
 	if len(tab.Rows) != 8 {
 		t.Fatalf("rows = %d", len(tab.Rows))
 	}
@@ -152,7 +224,9 @@ func TestFigure8Shape(t *testing.T) {
 }
 
 func TestFigure9Shape(t *testing.T) {
-	tab := Figure9(quick)
+	skipShort(t)
+	tab, err := Figure9(quick)
+	check(t, err)
 	if len(tab.Rows) != 10 {
 		t.Fatalf("rows = %d", len(tab.Rows))
 	}
@@ -170,7 +244,9 @@ func TestFigure9Shape(t *testing.T) {
 }
 
 func TestFigure10Shape(t *testing.T) {
-	tab := Figure10(quick)
+	skipShort(t)
+	tab, err := Figure10(quick)
+	check(t, err)
 	if len(tab.Rows) != 16 {
 		t.Fatalf("rows = %d", len(tab.Rows))
 	}
@@ -185,7 +261,9 @@ func TestFigure10Shape(t *testing.T) {
 }
 
 func TestFigure11Shape(t *testing.T) {
-	tab := Figure11(quick)
+	skipShort(t)
+	tab, err := Figure11(quick)
+	check(t, err)
 	if len(tab.Rows) != 4 {
 		t.Fatalf("rows = %d", len(tab.Rows))
 	}
@@ -208,7 +286,9 @@ func TestFigure11Shape(t *testing.T) {
 }
 
 func TestBPKIShape(t *testing.T) {
-	tab := BPKI(quick)
+	skipShort(t)
+	tab, err := BPKI(quick)
+	check(t, err)
 	if len(tab.Rows) != 2 {
 		t.Fatalf("rows = %d", len(tab.Rows))
 	}
@@ -250,7 +330,9 @@ func TestTable3(t *testing.T) {
 }
 
 func TestTLBEffectsShape(t *testing.T) {
-	tab := TLBEffects(quick)
+	skipShort(t)
+	tab, err := TLBEffects(quick)
+	check(t, err)
 	if len(tab.Rows) != 6 {
 		t.Fatalf("rows = %d", len(tab.Rows))
 	}
@@ -266,7 +348,9 @@ func TestTLBEffectsShape(t *testing.T) {
 }
 
 func TestRelatedWorkShape(t *testing.T) {
-	tab := RelatedWork(quick)
+	skipShort(t)
+	tab, err := RelatedWork(quick)
+	check(t, err)
 	if len(tab.Rows) != 8 {
 		t.Fatalf("rows = %d", len(tab.Rows))
 	}
@@ -290,7 +374,9 @@ func TestRelatedWorkShape(t *testing.T) {
 }
 
 func TestScalingShape(t *testing.T) {
-	tab := Scaling(quick)
+	skipShort(t)
+	tab, err := Scaling(quick)
+	check(t, err)
 	if len(tab.Rows) != 4 {
 		t.Fatalf("rows = %d", len(tab.Rows))
 	}

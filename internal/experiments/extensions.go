@@ -3,7 +3,7 @@ package experiments
 import (
 	"fmt"
 
-	"slicc/internal/sched"
+	"slicc/internal/runner"
 	"slicc/internal/sim"
 	"slicc/internal/slicc"
 	"slicc/internal/workload"
@@ -12,88 +12,135 @@ import (
 // TLBEffects reproduces the Section 5.5 side observation: with thread
 // migration, D-TLB misses rise by roughly 8-11% while I-TLB misses stay
 // within ±0.5% of the baseline.
-func TLBEffects(opt Options) Table {
+func TLBEffects(opt Options) (Table, error) {
 	opt = opt.withDefaults()
+	kinds := []workload.Kind{workload.TPCC1, workload.TPCE}
+	variants := []slicc.Variant{slicc.Oblivious, slicc.SW}
+
+	tlbMachine := defaultMachine()
+	tlbMachine.EnableTLB = true
+	var jobs []runner.Job
+	for _, kind := range kinds {
+		w := opt.workloadCfg(kind)
+		jobs = append(jobs, baselineJob(w, tlbMachine))
+		for _, variant := range variants {
+			jobs = append(jobs, sliccJob(w, tlbMachine, slicc.DefaultConfig(variant)))
+		}
+	}
+	rs, err := opt.run(jobs)
+	if err != nil {
+		return Table{}, err
+	}
+
 	table := Table{
 		Title:  "Section 5.5 — TLB effects of migration (64-entry I/D TLBs)",
 		Note:   "Migration re-walks data pages on the destination core; instruction pages are shared anyway.",
 		Header: []string{"workload", "policy", "I-TLB MPKI", "D-TLB MPKI", "I-TLB vs base", "D-TLB vs base"},
 	}
-	for _, kind := range []workload.Kind{workload.TPCC1, workload.TPCE} {
-		w := opt.workloadFor(kind)
-		cfg := defaultMachine()
-		cfg.EnableTLB = true
-		base := runBaseline(w, cfg)
+	group := 1 + len(variants)
+	for ki, kind := range kinds {
+		base := rs[ki*group].Sim
 		table.Rows = append(table.Rows, []string{
-			w.Name, "Base", f3(base.ITLBMPKI()), f3(base.DTLBMPKI()), "-", "-"})
-		for _, variant := range []slicc.Variant{slicc.Oblivious, slicc.SW} {
-			r := runSLICC(w, cfg, slicc.DefaultConfig(variant))
+			kind.String(), "Base", f3(base.ITLBMPKI()), f3(base.DTLBMPKI()), "-", "-"})
+		for vi, variant := range variants {
+			r := rs[ki*group+1+vi].Sim
 			table.Rows = append(table.Rows, []string{
-				w.Name, variant.String(), f3(r.ITLBMPKI()), f3(r.DTLBMPKI()),
+				kind.String(), variant.String(), f3(r.ITLBMPKI()), f3(r.DTLBMPKI()),
 				pct(r.ITLBMPKI()/base.ITLBMPKI() - 1), pct(r.DTLBMPKI()/base.DTLBMPKI() - 1),
 			})
 		}
 	}
-	return table
+	return table, nil
 }
 
 // RelatedWork compares SLICC's space-domain pipelining with the two
 // migration/multiplexing systems the paper discusses in Section 6: STEPS
 // (time-domain chunk sharing on one core) and CSP (migration for system
 // code only).
-func RelatedWork(opt Options) Table {
+func RelatedWork(opt Options) (Table, error) {
 	opt = opt.withDefaults()
+	kinds := []workload.Kind{workload.TPCC1, workload.TPCE}
+
+	var jobs []runner.Job
+	for _, kind := range kinds {
+		w := opt.workloadCfg(kind)
+		jobs = append(jobs,
+			baselineJob(w, defaultMachine()),
+			policyJob(w, defaultMachine(), runner.STEPS),
+			policyJob(w, defaultMachine(), runner.CSP),
+			sliccJob(w, defaultMachine(), slicc.DefaultConfig(slicc.SW)),
+		)
+	}
+	rs, err := opt.run(jobs)
+	if err != nil {
+		return Table{}, err
+	}
+
 	table := Table{
 		Title:  "Related work (extension) — time-domain (STEPS) vs space-domain (SLICC) pipelining",
 		Note:   "STEPS shares chunks by context switching on one core; SLICC spreads segments over many caches.",
 		Header: []string{"workload", "policy", "I-MPKI", "D-MPKI", "switches", "migrations", "speedup"},
 	}
-	for _, kind := range []workload.Kind{workload.TPCC1, workload.TPCE} {
-		w := opt.workloadFor(kind)
-		base := runBaseline(w, defaultMachine())
+	const group = 4
+	for ki, kind := range kinds {
+		base := rs[ki*group].Sim
 		add := func(r sim.Result) {
 			table.Rows = append(table.Rows, []string{
-				w.Name, r.Policy, f(r.IMPKI()), f(r.DMPKI()),
+				kind.String(), r.Policy, f(r.IMPKI()), f(r.DMPKI()),
 				fmt.Sprint(r.ContextSwitches), fmt.Sprint(r.Migrations),
 				f3(r.SpeedupOver(base)),
 			})
 		}
-		add(base)
-		add(sim.New(defaultMachine(), sched.NewSTEPS(), nil, w.Threads()).Run())
-		var ranges []sched.BlockRange
-		for _, r := range w.SharedRanges() {
-			ranges = append(ranges, sched.BlockRange{Lo: r[0], Hi: r[1]})
+		for j := 0; j < group; j++ {
+			add(rs[ki*group+j].Sim)
 		}
-		add(sim.New(defaultMachine(), sched.NewCSP(ranges), nil, w.Threads()).Run())
-		add(runSLICC(w, defaultMachine(), slicc.DefaultConfig(slicc.SW)))
 	}
-	return table
+	return table, nil
 }
+
+// scalingCores is the extension's core-count sweep.
+var scalingCores = []int{4, 8, 16, 32}
 
 // Scaling (extension) measures SLICC-SW's benefit as the core count grows:
 // more cores mean more aggregate L1-I for the collective (the paper's
 // Section 2 argument that footprints fit "the aggregate capacity of even
 // small scale chip multiprocessors").
-func Scaling(opt Options) Table {
+func Scaling(opt Options) (Table, error) {
 	opt = opt.withDefaults()
+	kinds := []workload.Kind{workload.TPCC1}
+
+	var jobs []runner.Job
+	for _, kind := range kinds {
+		w := opt.workloadCfg(kind)
+		for _, cores := range scalingCores {
+			cfg := defaultMachine()
+			cfg.Cores = cores
+			cfg.TorusWidth, cfg.TorusHeight = 0, 0 // re-derive for the core count
+			jobs = append(jobs,
+				baselineJob(w, cfg),
+				sliccJob(w, cfg, slicc.DefaultConfig(slicc.SW)))
+		}
+	}
+	rs, err := opt.run(jobs)
+	if err != nil {
+		return Table{}, err
+	}
+
 	table := Table{
 		Title:  "Scaling (extension) — SLICC-SW speedup vs core count",
 		Note:   "Aggregate L1-I grows with cores; so does the collective's reach.",
 		Header: []string{"workload", "cores", "base I-MPKI", "SW I-MPKI", "speedup"},
 	}
-	for _, kind := range []workload.Kind{workload.TPCC1} {
-		w := opt.workloadFor(kind)
-		for _, cores := range []int{4, 8, 16, 32} {
-			cfg := defaultMachine()
-			cfg.Cores = cores
-			cfg.TorusWidth, cfg.TorusHeight = 0, 0 // re-derive for the core count
-			base := runBaseline(w, cfg)
-			r := runSLICC(w, cfg, slicc.DefaultConfig(slicc.SW))
+	i := 0
+	for _, kind := range kinds {
+		for _, cores := range scalingCores {
+			base, r := rs[i].Sim, rs[i+1].Sim
+			i += 2
 			table.Rows = append(table.Rows, []string{
-				w.Name, fmt.Sprint(cores), f(base.IMPKI()), f(r.IMPKI()),
+				kind.String(), fmt.Sprint(cores), f(base.IMPKI()), f(r.IMPKI()),
 				f3(r.SpeedupOver(base)),
 			})
 		}
 	}
-	return table
+	return table, nil
 }

@@ -3,11 +3,8 @@ package experiments
 import (
 	"fmt"
 
-	"slicc/internal/bloom"
 	"slicc/internal/cache"
-	"slicc/internal/prefetch"
-	"slicc/internal/sched"
-	"slicc/internal/sim"
+	"slicc/internal/runner"
 	"slicc/internal/slicc"
 	"slicc/internal/workload"
 )
@@ -38,79 +35,104 @@ var figure1Sizes = []int{16, 32, 64, 128, 256, 512}
 // each workload, the L1-I size sweeps with L1-D fixed at 32KB, then vice
 // versa. Misses are split compulsory/capacity/conflict and speedup is
 // relative to the 32KB/32KB baseline with CACTI-scaled latencies.
-func Figure1(opt Options) []Table {
+func Figure1(opt Options) ([]Table, error) {
 	opt = opt.withDefaults()
+	kinds := []workload.Kind{workload.TPCC1, workload.TPCE, workload.MapReduce}
+
+	// Phase 1: declare one baseline job per (workload, sweep point). The
+	// 32KB/32KB machine leads each group so every row has a speedup
+	// reference.
+	type rowSpec struct {
+		sweep    string
+		ikb, dkb int
+	}
+	specs := []rowSpec{{"L1-I", 32, 32}}
+	for _, kb := range figure1Sizes {
+		if kb != 32 {
+			specs = append(specs, rowSpec{"L1-I", kb, 32})
+		}
+	}
+	for _, kb := range figure1Sizes {
+		if kb != 32 {
+			specs = append(specs, rowSpec{"L1-D", 32, kb})
+		}
+	}
+	var jobs []runner.Job
+	for _, kind := range kinds {
+		for _, s := range specs {
+			cfg := defaultMachine()
+			cfg.L1I = cache.Config{SizeBytes: s.ikb * 1024, HitLatency: cactiLatency(s.ikb), Classify: true}
+			cfg.L1D = cache.Config{SizeBytes: s.dkb * 1024, HitLatency: cactiLatency(s.dkb), Classify: true}
+			jobs = append(jobs, baselineJob(opt.workloadCfg(kind), cfg))
+		}
+	}
+	rs, err := opt.run(jobs)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2: format.
 	var tables []Table
-	for _, kind := range []workload.Kind{workload.TPCC1, workload.TPCE, workload.MapReduce} {
-		w := opt.workloadFor(kind)
-		var baseCycles float64
+	for ki, kind := range kinds {
 		table := Table{
-			Title:  fmt.Sprintf("Figure 1 — %s: L1 MPKI breakdown and speedup vs cache size", w.Name),
+			Title:  fmt.Sprintf("Figure 1 — %s: L1 MPKI breakdown and speedup vs cache size", kind),
+			Note:   "Capacity misses dominate instructions; compulsory dominates data (Section 2.1.1).",
 			Header: []string{"sweep", "KB", "I-MPKI", "I-comp", "I-cap", "I-conf", "D-MPKI", "D-comp", "D-cap", "D-conf", "speedup"},
 		}
-		run := func(sweep string, ikb, dkb int) {
-			cfg := defaultMachine()
-			cfg.L1I = cache.Config{SizeBytes: ikb * 1024, HitLatency: cactiLatency(ikb), Classify: true}
-			cfg.L1D = cache.Config{SizeBytes: dkb * 1024, HitLatency: cactiLatency(dkb), Classify: true}
-			r := runBaseline(w, cfg)
-			if sweep == "L1-I" && ikb == 32 {
-				baseCycles = r.Cycles
-			}
+		baseCycles := rs[ki*len(specs)].Sim.Cycles
+		for si, s := range specs {
+			r := rs[ki*len(specs)+si].Sim
 			speedup := "-"
 			if baseCycles > 0 {
 				speedup = f3(baseCycles / r.Cycles)
 			}
-			ki := float64(r.Instructions) / 1000
+			ki2 := float64(r.Instructions) / 1000
+			kb := s.ikb
+			if s.sweep == "L1-D" {
+				kb = s.dkb
+			}
 			table.Rows = append(table.Rows, []string{
-				sweep, fmt.Sprint(ikb*boolToInt(sweep == "L1-I") + dkb*boolToInt(sweep == "L1-D")),
-				f(r.IMPKI()), f(float64(r.ICompulsory) / ki), f(float64(r.ICapacity) / ki), f(float64(r.IConflict) / ki),
-				f(r.DMPKI()), f(float64(r.DCompulsory) / ki), f(float64(r.DCapacity) / ki), f(float64(r.DConflict) / ki),
+				s.sweep, fmt.Sprint(kb),
+				f(r.IMPKI()), f(float64(r.ICompulsory) / ki2), f(float64(r.ICapacity) / ki2), f(float64(r.IConflict) / ki2),
+				f(r.DMPKI()), f(float64(r.DCompulsory) / ki2), f(float64(r.DCapacity) / ki2), f(float64(r.DConflict) / ki2),
 				speedup,
 			})
 		}
-		// Establish the 32KB/32KB baseline first so every row has a speedup.
-		run("L1-I", 32, 32)
-		for _, kb := range figure1Sizes {
-			if kb != 32 {
-				run("L1-I", kb, 32)
-			}
-		}
-		for _, kb := range figure1Sizes {
-			if kb != 32 {
-				run("L1-D", 32, kb)
-			}
-		}
-		table.Note = "Capacity misses dominate instructions; compulsory dominates data (Section 2.1.1)."
 		tables = append(tables, table)
 	}
-	return tables
-}
-
-func boolToInt(b bool) int {
-	if b {
-		return 1
-	}
-	return 0
+	return tables, nil
 }
 
 // Figure2 reproduces the replacement-policy comparison: I-MPKI at 32KB for
 // LRU, LIP, BIP, DIP, SRRIP, BRRIP and DRRIP.
-func Figure2(opt Options) Table {
+func Figure2(opt Options) (Table, error) {
 	opt = opt.withDefaults()
+	kinds := []workload.Kind{workload.TPCC1, workload.TPCE, workload.MapReduce}
+	policies := cache.Kinds()
+
+	var jobs []runner.Job
+	for _, kind := range kinds {
+		for _, policy := range policies {
+			cfg := defaultMachine()
+			cfg.L1I.Policy = policy
+			jobs = append(jobs, baselineJob(opt.workloadCfg(kind), cfg))
+		}
+	}
+	rs, err := opt.run(jobs)
+	if err != nil {
+		return Table{}, err
+	}
+
 	table := Table{
 		Title:  "Figure 2 — I-MPKI with different cache replacement policies (32KB L1-I)",
 		Note:   "Best non-LRU policies reduce misses by only a few percent (the paper reports 8% for BRRIP/DRRIP).",
 		Header: []string{"workload", "LRU", "LIP", "BIP", "DIP", "SRRIP", "BRRIP", "DRRIP", "best vs LRU"},
 	}
-	for _, kind := range []workload.Kind{workload.TPCC1, workload.TPCE, workload.MapReduce} {
-		w := opt.workloadFor(kind)
-		row := []string{w.Name}
+	for ki, kind := range kinds {
+		row := []string{kind.String()}
 		var lru, best float64
-		for _, policy := range cache.Kinds() {
-			cfg := defaultMachine()
-			cfg.L1I.Policy = policy
-			r := runBaseline(w, cfg)
-			m := r.IMPKI()
+		for pi, policy := range policies {
+			m := rs[ki*len(policies)+pi].Sim.IMPKI()
 			if policy == cache.LRU {
 				lru, best = m, m
 			} else if m < best {
@@ -121,33 +143,40 @@ func Figure2(opt Options) Table {
 		row = append(row, pct(1-best/lru))
 		table.Rows = append(table.Rows, row)
 	}
-	return table
+	return table, nil
 }
 
 // Figure3 reproduces the instruction-block reuse breakdown: the share of
 // instruction accesses to blocks touched by a single thread, few (<=60%)
 // threads, or most threads — globally and judged within each transaction
 // type.
-func Figure3(opt Options) Table {
+func Figure3(opt Options) (Table, error) {
 	opt = opt.withDefaults()
+	kinds := []workload.Kind{workload.TPCC1, workload.TPCE}
+
+	var jobs []runner.Job
+	for _, kind := range kinds {
+		cfg := defaultMachine()
+		cfg.TrackReuse = true
+		jobs = append(jobs, sliccJob(opt.workloadCfg(kind), cfg, slicc.DefaultConfig(slicc.SW)))
+	}
+	rs, err := opt.run(jobs)
+	if err != nil {
+		return Table{}, err
+	}
+
 	table := Table{
 		Title:  "Figure 3 — instruction accesses by block reuse class",
 		Note:   "Per-type sharing approaches 100% 'most': same-type transactions run nearly identical code.",
 		Header: []string{"workload", "view", "single", "few", "most"},
 	}
-	for _, kind := range []workload.Kind{workload.TPCC1, workload.TPCE} {
-		w := opt.workloadFor(kind)
-		cfg := defaultMachine()
-		cfg.TrackReuse = true
-		m := sim.New(cfg, slicc.New(slicc.DefaultConfig(slicc.SW)), nil, w.Threads())
-		m.Run()
-		g := m.Reuse().Global()
-		p := m.Reuse().PerType()
+	for ki, kind := range kinds {
+		g, p := rs[ki].ReuseGlobal, rs[ki].ReusePerType
 		table.Rows = append(table.Rows,
-			[]string{w.Name, "Global", pct(g.Single), pct(g.Few), pct(g.Most)},
-			[]string{w.Name, "Per Transaction", pct(p.Single), pct(p.Few), pct(p.Most)})
+			[]string{kind.String(), "Global", pct(g.Single), pct(g.Few), pct(g.Most)},
+			[]string{kind.String(), "Per Transaction", pct(p.Single), pct(p.Few), pct(p.Most)})
 	}
-	return table
+	return table, nil
 }
 
 // figure7FillUps and figure7Matched are the paper's threshold grids.
@@ -158,21 +187,18 @@ var (
 
 // Figure7 explores fill-up_t x matched_t with dilution_t=0 and idealized
 // (exact, uncharged) remote tag search, exactly as Section 5.2 does.
-func Figure7(opt Options) Table {
+func Figure7(opt Options) (Table, error) {
 	opt = opt.withDefaults()
-	table := Table{
-		Title:  "Figure 7 — MPKI and speedup vs fill-up_t and matched_t (dilution_t=0, ideal search)",
-		Note:   "The paper finds little sensitivity to fill-up_t and best performance at matched_t=4.",
-		Header: []string{"workload", "fill-up_t", "matched_t", "I-MPKI", "D-MPKI", "speedup"},
-	}
+	kinds := []workload.Kind{workload.TPCC1, workload.TPCE}
 	fillUps, matched := figure7FillUps, figure7Matched
 	if opt.Quick {
 		fillUps, matched = []int{128, 256}, []int{2, 4, 8}
 	}
-	for _, kind := range []workload.Kind{workload.TPCC1, workload.TPCE} {
-		w := opt.workloadFor(kind)
-		base := runBaseline(w, defaultMachine())
-		table.Rows = append(table.Rows, []string{w.Name, "Base", "-", f(base.IMPKI()), f(base.DMPKI()), "1.000"})
+
+	var jobs []runner.Job
+	for _, kind := range kinds {
+		w := opt.workloadCfg(kind)
+		jobs = append(jobs, baselineJob(w, defaultMachine()))
 		for _, fu := range fillUps {
 			for _, mt := range matched {
 				cfg := slicc.Config{
@@ -182,165 +208,243 @@ func Figure7(opt Options) Table {
 					DilutionT:   0,
 					ExactSearch: true,
 				}.WithDefaults()
-				r := runSLICC(w, defaultMachine(), cfg)
+				jobs = append(jobs, sliccJob(w, defaultMachine(), cfg))
+			}
+		}
+	}
+	rs, err := opt.run(jobs)
+	if err != nil {
+		return Table{}, err
+	}
+
+	table := Table{
+		Title:  "Figure 7 — MPKI and speedup vs fill-up_t and matched_t (dilution_t=0, ideal search)",
+		Note:   "The paper finds little sensitivity to fill-up_t and best performance at matched_t=4.",
+		Header: []string{"workload", "fill-up_t", "matched_t", "I-MPKI", "D-MPKI", "speedup"},
+	}
+	group := 1 + len(fillUps)*len(matched)
+	for ki, kind := range kinds {
+		base := rs[ki*group].Sim
+		table.Rows = append(table.Rows, []string{kind.String(), "Base", "-", f(base.IMPKI()), f(base.DMPKI()), "1.000"})
+		i := ki*group + 1
+		for _, fu := range fillUps {
+			for _, mt := range matched {
+				r := rs[i].Sim
+				i++
 				table.Rows = append(table.Rows, []string{
-					w.Name, fmt.Sprint(fu), fmt.Sprint(mt),
+					kind.String(), fmt.Sprint(fu), fmt.Sprint(mt),
 					f(r.IMPKI()), f(r.DMPKI()), f3(r.SpeedupOver(base)),
 				})
 			}
 		}
 	}
-	return table
+	return table, nil
 }
 
 // Figure8 sweeps dilution_t with fill-up_t=256 and matched_t=4.
-func Figure8(opt Options) Table {
+func Figure8(opt Options) (Table, error) {
 	opt = opt.withDefaults()
+	kinds := []workload.Kind{workload.TPCC1, workload.TPCE}
+	dilutions := []int{2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 22, 24, 26, 28, 30}
+	if opt.Quick {
+		dilutions = []int{2, 10, 20, 30}
+	}
+
+	var jobs []runner.Job
+	for _, kind := range kinds {
+		w := opt.workloadCfg(kind)
+		jobs = append(jobs, baselineJob(w, defaultMachine()))
+		for _, dil := range dilutions {
+			cfg := slicc.Config{Variant: slicc.SW, DilutionT: dil, CountSearchBroadcasts: true}.WithDefaults()
+			jobs = append(jobs, sliccJob(w, defaultMachine(), cfg))
+		}
+	}
+	rs, err := opt.run(jobs)
+	if err != nil {
+		return Table{}, err
+	}
+
 	table := Table{
 		Title:  "Figure 8 — MPKI and speedup vs dilution_t (fill-up_t=256, matched_t=4)",
 		Note:   "Moderate dilution thresholds balance migration overhead against I-MPKI; very large values choke migration.",
 		Header: []string{"workload", "dilution_t", "I-MPKI", "D-MPKI", "migrations", "speedup"},
 	}
-	dilutions := []int{2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 22, 24, 26, 28, 30}
-	if opt.Quick {
-		dilutions = []int{2, 10, 20, 30}
-	}
-	for _, kind := range []workload.Kind{workload.TPCC1, workload.TPCE} {
-		w := opt.workloadFor(kind)
-		base := runBaseline(w, defaultMachine())
-		for _, dil := range dilutions {
-			cfg := slicc.Config{Variant: slicc.SW, DilutionT: dil, CountSearchBroadcasts: true}.WithDefaults()
-			r := runSLICC(w, defaultMachine(), cfg)
+	group := 1 + len(dilutions)
+	for ki, kind := range kinds {
+		base := rs[ki*group].Sim
+		for di, dil := range dilutions {
+			r := rs[ki*group+1+di].Sim
 			table.Rows = append(table.Rows, []string{
-				w.Name, fmt.Sprint(dil),
+				kind.String(), fmt.Sprint(dil),
 				f(r.IMPKI()), f(r.DMPKI()), fmt.Sprint(r.Migrations), f3(r.SpeedupOver(base)),
 			})
 		}
 	}
-	return table
+	return table, nil
 }
 
 // figure9Bits is the paper's 512..8192-bit filter sweep.
 var figure9Bits = []int{512, 1024, 2048, 4096, 8192}
 
+// figure9SampleThreads bounds the replayed thread sample per filter size.
+const figure9SampleThreads = 8
+
 // Figure9 measures partial-address bloom filter accuracy: for every L1-I
 // access of a baseline replay, the filter's answer is compared with the
 // cache's actual hit/miss.
-func Figure9(opt Options) Table {
+func Figure9(opt Options) (Table, error) {
 	opt = opt.withDefaults()
+	kinds := []workload.Kind{workload.TPCC1, workload.TPCE}
+
+	var jobs []runner.Job
+	for _, kind := range kinds {
+		for _, bits := range figure9Bits {
+			jobs = append(jobs, runner.Job{
+				Kind:          runner.KindBloomAccuracy,
+				Workload:      opt.workloadCfg(kind),
+				Cache:         cache.Config{SizeBytes: 32 * 1024},
+				BloomBits:     bits,
+				SampleThreads: figure9SampleThreads,
+			})
+		}
+	}
+	rs, err := opt.run(jobs)
+	if err != nil {
+		return Table{}, err
+	}
+
 	table := Table{
 		Title:  "Figure 9 — partial-address bloom filter accuracy vs size (32KB L1-I)",
 		Note:   "The 2K-bit filter reaches ~99% agreement, the configuration used everywhere else.",
 		Header: []string{"workload", "bits", "accuracy"},
 	}
-	for _, kind := range []workload.Kind{workload.TPCC1, workload.TPCE} {
-		w := opt.workloadFor(kind)
+	i := 0
+	for _, kind := range kinds {
 		for _, bits := range figure9Bits {
-			c := cache.New(cache.Config{SizeBytes: 32 * 1024})
-			filt := bloom.New(bloom.Config{Bits: bits})
-			c.OnInsert = filt.Insert
-			c.OnEvict = filt.Remove
-			var tr bloom.AccuracyTracker
-			// Replay a sample of threads through one cache+filter pair.
-			threads := w.Threads()
-			n := len(threads)
-			if n > 8 {
-				n = 8
-			}
-			for _, th := range threads[:n] {
-				src := th.New()
-				for {
-					op, ok := src.Next()
-					if !ok {
-						break
-					}
-					filterHit := filt.Contains(c.BlockAddr(op.PC))
-					res := c.Access(op.PC, false)
-					tr.Record(filterHit, res.Hit)
-				}
-			}
-			table.Rows = append(table.Rows, []string{w.Name, fmt.Sprint(bits), pct(tr.Accuracy())})
+			table.Rows = append(table.Rows, []string{kind.String(), fmt.Sprint(bits), pct(rs[i].BloomAccuracy)})
+			i++
 		}
 	}
-	return table
+	return table, nil
 }
+
+// figure10Variants are the SLICC variants of Figures 10/11 in bar order.
+var figure10Variants = []slicc.Variant{slicc.Oblivious, slicc.Pp, slicc.SW}
 
 // Figure10 reports L1 I- and D-MPKI for the baseline and all three SLICC
 // variants across the four workloads.
-func Figure10(opt Options) Table {
+func Figure10(opt Options) (Table, error) {
 	opt = opt.withDefaults()
+	kinds := workload.Kinds()
+
+	var jobs []runner.Job
+	for _, kind := range kinds {
+		w := opt.workloadCfg(kind)
+		jobs = append(jobs, baselineJob(w, defaultMachine()))
+		for _, variant := range figure10Variants {
+			jobs = append(jobs, sliccJob(w, defaultMachine(), slicc.DefaultConfig(variant)))
+		}
+	}
+	rs, err := opt.run(jobs)
+	if err != nil {
+		return Table{}, err
+	}
+
 	table := Table{
 		Title:  "Figure 10 — L1 I-MPKI and D-MPKI per policy",
 		Note:   "SLICC-SW cuts instruction misses most; data misses rise only slightly. MapReduce is unaffected.",
 		Header: []string{"workload", "policy", "I-MPKI", "D-MPKI", "I vs base", "D vs base", "migrations"},
 	}
-	for _, kind := range workload.Kinds() {
-		w := opt.workloadFor(kind)
-		base := runBaseline(w, defaultMachine())
+	group := 1 + len(figure10Variants)
+	for ki, kind := range kinds {
+		base := rs[ki*group].Sim
 		table.Rows = append(table.Rows, []string{
-			w.Name, "Base", f(base.IMPKI()), f(base.DMPKI()), "-", "-", "0"})
-		for _, variant := range []slicc.Variant{slicc.Oblivious, slicc.Pp, slicc.SW} {
-			r := runSLICC(w, defaultMachine(), slicc.DefaultConfig(variant))
+			kind.String(), "Base", f(base.IMPKI()), f(base.DMPKI()), "-", "-", "0"})
+		for vi, variant := range figure10Variants {
+			r := rs[ki*group+1+vi].Sim
 			table.Rows = append(table.Rows, []string{
-				w.Name, variant.String(), f(r.IMPKI()), f(r.DMPKI()),
+				kind.String(), variant.String(), f(r.IMPKI()), f(r.DMPKI()),
 				pct(r.IMPKI()/base.IMPKI() - 1), pct(r.DMPKI()/base.DMPKI() - 1),
 				fmt.Sprint(r.Migrations),
 			})
 		}
 	}
-	return table
+	return table, nil
 }
 
 // Figure11 reports overall performance: baseline, next-line prefetcher,
 // the three SLICC variants, the paper's PIF upper bound (512KB L1-I at 32KB
 // latency), and — as an extension — a finite-storage PIF-style stream
 // prefetcher ("PIF-40KB").
-func Figure11(opt Options) Table {
+func Figure11(opt Options) (Table, error) {
 	opt = opt.withDefaults()
+	kinds := workload.Kinds()
+
+	var jobs []runner.Job
+	for _, kind := range kinds {
+		w := opt.workloadCfg(kind)
+		jobs = append(jobs,
+			baselineJob(w, defaultMachine()),
+			policyJob(w, defaultMachine(), runner.NextLine),
+			sliccJob(w, defaultMachine(), slicc.DefaultConfig(slicc.Oblivious)),
+			sliccJob(w, defaultMachine(), slicc.DefaultConfig(slicc.Pp)),
+			sliccJob(w, defaultMachine(), slicc.DefaultConfig(slicc.SW)),
+			baselineJob(w, pifMachine()),
+			policyJob(w, defaultMachine(), runner.Stream),
+		)
+	}
+	rs, err := opt.run(jobs)
+	if err != nil {
+		return Table{}, err
+	}
+
 	table := Table{
 		Title:  "Figure 11 — speedup over baseline",
 		Note:   "PIF here is the paper's upper-bound model; PIF-40KB is a finite-history stream prefetcher at PIF's storage budget (extension).",
 		Header: []string{"workload", "Base", "Next-Line", "SLICC", "SLICC-Pp", "SLICC-SW", "PIF", "PIF-40KB"},
 	}
-	for _, kind := range workload.Kinds() {
-		w := opt.workloadFor(kind)
-		base := runBaseline(w, defaultMachine())
-		nl := sim.New(defaultMachine(), sched.NewBaseline(), prefetch.NewNextLine(), w.Threads()).Run()
-		ob := runSLICC(w, defaultMachine(), slicc.DefaultConfig(slicc.Oblivious))
-		pp := runSLICC(w, defaultMachine(), slicc.DefaultConfig(slicc.Pp))
-		sw := runSLICC(w, defaultMachine(), slicc.DefaultConfig(slicc.SW))
-		pif := runBaseline(w, pifMachine())
-		stream := sim.New(defaultMachine(), sched.NewBaseline(), prefetch.NewStream(), w.Threads()).Run()
-		table.Rows = append(table.Rows, []string{
-			w.Name, "1.000",
-			f3(nl.SpeedupOver(base)), f3(ob.SpeedupOver(base)), f3(pp.SpeedupOver(base)),
-			f3(sw.SpeedupOver(base)), f3(pif.SpeedupOver(base)), f3(stream.SpeedupOver(base)),
-		})
+	const group = 7
+	for ki, kind := range kinds {
+		base := rs[ki*group].Sim
+		row := []string{kind.String(), "1.000"}
+		for j := 1; j < group; j++ {
+			row = append(row, f3(rs[ki*group+j].Sim.SpeedupOver(base)))
+		}
+		table.Rows = append(table.Rows, row)
 	}
-	return table
+	return table, nil
 }
 
 // BPKI reports the Section 5.8 remote-segment-search broadcast rates.
-func BPKI(opt Options) Table {
+func BPKI(opt Options) (Table, error) {
 	opt = opt.withDefaults()
+	kinds := []workload.Kind{workload.TPCC1, workload.TPCE}
+
+	var jobs []runner.Job
+	for _, kind := range kinds {
+		for _, variant := range figure10Variants {
+			jobs = append(jobs, sliccJob(opt.workloadCfg(kind), defaultMachine(), slicc.DefaultConfig(variant)))
+		}
+	}
+	rs, err := opt.run(jobs)
+	if err != nil {
+		return Table{}, err
+	}
+
 	table := Table{
 		Title:  "Section 5.8 — search broadcasts per kilo-instruction (BPKI)",
 		Note:   "Type-aware variants search less: teams keep threads near their segments.",
 		Header: []string{"workload", "SLICC", "SLICC-Pp", "SLICC-SW", "instr/migration (SW)"},
 	}
-	for _, kind := range []workload.Kind{workload.TPCC1, workload.TPCE} {
-		w := opt.workloadFor(kind)
-		row := []string{w.Name}
-		var swRes sim.Result
-		for _, variant := range []slicc.Variant{slicc.Oblivious, slicc.Pp, slicc.SW} {
-			r := runSLICC(w, defaultMachine(), slicc.DefaultConfig(variant))
-			row = append(row, f3(r.BPKI()))
-			if variant == slicc.SW {
-				swRes = r
-			}
+	group := len(figure10Variants)
+	for ki, kind := range kinds {
+		row := []string{kind.String()}
+		for vi := range figure10Variants {
+			row = append(row, f3(rs[ki*group+vi].Sim.BPKI()))
 		}
-		row = append(row, fmt.Sprintf("%.0f", swRes.InstrPerMigration()))
+		sw := rs[ki*group+group-1].Sim
+		row = append(row, fmt.Sprintf("%.0f", sw.InstrPerMigration()))
 		table.Rows = append(table.Rows, row)
 	}
-	return table
+	return table, nil
 }

@@ -38,7 +38,9 @@ func Table1() Table {
 // Table2 reproduces the system parameter table from the simulator's
 // default configuration.
 func Table2() Table {
-	m := defaultMachine()
+	// WithDefaults so the displayed torus shape is the derived 4x4, not the
+	// zero value.
+	m := defaultMachine().WithDefaults()
 	mm := mem.Config{}
 	c := cpu.Config{}.WithDefaults()
 	// Defaults applied by the respective packages.

@@ -1,0 +1,500 @@
+// Package runner executes simulation jobs on a worker pool. It is the
+// parallel engine underneath the experiment harness and the public API:
+// every simulation in the paper's evaluation is a pure function of
+// (workload config, machine config, policy), so jobs are declared as plain
+// comparable values, deduplicated by content, memoized across batches, and
+// executed on GOMAXPROCS workers with context cancellation.
+//
+// The contract that makes this safe:
+//
+//   - workload.Workload is immutable after New, so one synthesis is shared
+//     by every simulation of that workload (each sim re-creates its own
+//     trace sources from the immutable thread descriptors);
+//   - sim.Machine is single-use and built per job, so concurrent jobs share
+//     nothing mutable;
+//   - results are independent of execution order, so a batch's results are
+//     deterministic for any worker count.
+package runner
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"slicc/internal/bloom"
+	"slicc/internal/cache"
+	"slicc/internal/prefetch"
+	"slicc/internal/sched"
+	"slicc/internal/sim"
+	islicc "slicc/internal/slicc"
+	"slicc/internal/workload"
+)
+
+// PolicyKind selects a job's scheduler/prefetcher pair. The PIF upper bound
+// needs no kind of its own: it is Baseline on a machine whose L1-I config
+// was transformed by prefetch.PIFUpperBoundL1I.
+type PolicyKind int
+
+// Policy kinds.
+const (
+	// Baseline is the conventional OS scheduler.
+	Baseline PolicyKind = iota
+	// NextLine is Baseline plus a next-line instruction prefetcher.
+	NextLine
+	// SLICC runs internal/slicc with the spec's SLICC configuration
+	// (which selects the variant).
+	SLICC
+	// Stream is Baseline plus the finite-storage temporal stream
+	// prefetcher.
+	Stream
+	// STEPS is the time-multiplexing related-work policy.
+	STEPS
+	// CSP migrates for system code only; its shared-code ranges are
+	// derived from the job's workload at execution time, keeping the job
+	// spec declarative.
+	CSP
+)
+
+// PolicySpec declares a job's policy as data.
+type PolicySpec struct {
+	Kind PolicyKind
+	// SLICC configures the SLICC policy; ignored for other kinds.
+	SLICC islicc.Config
+}
+
+// JobKind separates full machine simulations from the bloom-accuracy replay
+// of Figure 9 (which drives one cache+filter pair, not a machine).
+type JobKind int
+
+// Job kinds.
+const (
+	// KindSim runs a full multicore simulation.
+	KindSim JobKind = iota
+	// KindBloomAccuracy replays a thread sample through one cache+bloom
+	// filter pair and records filter/ground-truth agreement (Figure 9).
+	KindBloomAccuracy
+)
+
+// Job declares one unit of work as a comparable value: two jobs that
+// compare equal produce identical results, which is what dedup and
+// memoization key on.
+type Job struct {
+	Kind     JobKind
+	Workload workload.Config
+
+	// KindSim fields.
+	Machine sim.Config
+	Policy  PolicySpec
+
+	// KindBloomAccuracy fields.
+	Cache         cache.Config
+	BloomBits     int
+	SampleThreads int
+}
+
+// normalized fills defaulted spellings in so that semantically identical
+// jobs compare equal.
+func (j Job) normalized() Job {
+	j.Workload = j.Workload.WithDefaults()
+	switch j.Kind {
+	case KindSim:
+		j.Machine = j.Machine.WithDefaults()
+		if j.Policy.Kind == SLICC {
+			j.Policy.SLICC = j.Policy.SLICC.WithDefaults()
+		}
+	case KindBloomAccuracy:
+		j.Machine = sim.Config{}
+		j.Policy = PolicySpec{}
+	}
+	return j
+}
+
+// Result is one job's outcome.
+type Result struct {
+	// Sim holds the machine metrics for KindSim jobs.
+	Sim sim.Result
+	// ReuseGlobal/ReusePerType are filled when the job's machine set
+	// TrackReuse (the Figure 3 breakdown).
+	ReuseGlobal, ReusePerType sim.ReuseBreakdown
+	// BloomAccuracy is the filter/ground-truth agreement for
+	// KindBloomAccuracy jobs.
+	BloomAccuracy float64
+	// Err is non-nil when the job was cancelled mid-run.
+	Err error
+}
+
+// Stats counts the pool's work since creation.
+type Stats struct {
+	// JobsRequested is the total jobs passed to Run.
+	JobsRequested int
+	// JobsExecuted is how many simulations actually ran.
+	JobsExecuted int
+	// DedupHits is how many requested jobs were served by an identical
+	// job's execution (in the same batch or memoized from an earlier one).
+	DedupHits int
+	// WorkloadsBuilt / WorkloadHits count workload-synthesis cache
+	// misses/hits; the cache is keyed by (kind, threads, seed, scale).
+	WorkloadsBuilt int
+	WorkloadHits   int
+}
+
+// Options configures a pool.
+type Options struct {
+	// Workers bounds concurrent job executions (default GOMAXPROCS).
+	Workers int
+	// OnProgress, if set, is called (without any pool lock held) as jobs
+	// are scheduled and as they finish, with the pool-lifetime completed
+	// and scheduled counts.
+	OnProgress func(done, scheduled int)
+}
+
+// Pool runs jobs on a bounded set of workers and memoizes results for the
+// pool's lifetime, so repeated jobs — within a batch, across batches, or
+// across concurrent batches — simulate once.
+type Pool struct {
+	workers    int
+	onProgress func(done, scheduled int)
+	// sem bounds concurrent job executions pool-wide: concurrent Run
+	// calls share the budget instead of multiplying it.
+	sem chan struct{}
+
+	mu        sync.Mutex
+	memo      map[Job]*entry
+	workloads map[workload.Config]*wlEntry
+	stats     Stats
+	scheduled int
+	done      int
+}
+
+// entry is a memoized (possibly in-flight) job execution.
+type entry struct {
+	ready chan struct{} // closed once res is valid
+	res   Result
+}
+
+// wlEntry is a memoized (possibly in-flight) workload synthesis.
+type wlEntry struct {
+	ready chan struct{}
+	w     *workload.Workload
+}
+
+// New builds a pool.
+func New(opts Options) *Pool {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{
+		workers:    opts.Workers,
+		onProgress: opts.OnProgress,
+		sem:        make(chan struct{}, opts.Workers),
+		memo:       make(map[Job]*entry),
+		workloads:  make(map[workload.Config]*wlEntry),
+	}
+}
+
+// Stats returns a snapshot of the pool's counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Run executes jobs and returns their results in input order. Identical
+// jobs (within this batch or from any earlier Run on the pool) execute
+// once. On cancellation Run returns ctx.Err() promptly; jobs already
+// claimed but not finished are released so a later Run can retry them.
+func (p *Pool) Run(ctx context.Context, jobs []Job) ([]Result, error) {
+	norm := make([]Job, len(jobs))
+	entries := make([]*entry, len(jobs))
+	var mine []*entry
+	var mineJobs []Job
+
+	p.mu.Lock()
+	p.stats.JobsRequested += len(jobs)
+	p.mu.Unlock()
+	dedupped := make([]bool, len(jobs))
+	for i, j := range jobs {
+		j = j.normalized()
+		norm[i] = j
+		e, claimed := p.claim(j)
+		if claimed {
+			mine = append(mine, e)
+			mineJobs = append(mineJobs, j)
+		} else {
+			dedupped[i] = true
+			p.mu.Lock()
+			p.stats.DedupHits++
+			p.mu.Unlock()
+		}
+		entries[i] = e
+	}
+	p.progress()
+	p.dispatch(ctx, mineJobs, mine)
+
+	// Gather, waiting on entries owned by concurrent Run calls. Entries
+	// that failed because a *different* Run's context was cancelled are
+	// re-claimed (the fail path evicted them from the memo) and
+	// re-dispatched as a parallel batch, so one caller's cancellation
+	// neither poisons nor serializes another's results.
+	for {
+		var retry []int
+		for i, e := range entries {
+			select {
+			case <-e.ready:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if e.res.Err != nil && ctx.Err() == nil {
+				retry = append(retry, i)
+			}
+		}
+		if len(retry) == 0 {
+			break
+		}
+		var retryJobs []Job
+		var retryEntries []*entry
+		for _, i := range retry {
+			e, claimed := p.claim(norm[i])
+			entries[i] = e
+			if claimed {
+				// A job counted as a dedup hit whose owner was cancelled
+				// ends up executed by this Run after all; un-count the hit
+				// to keep JobsRequested == JobsExecuted + DedupHits.
+				if dedupped[i] {
+					dedupped[i] = false
+					p.mu.Lock()
+					p.stats.DedupHits--
+					p.mu.Unlock()
+				}
+				retryJobs = append(retryJobs, norm[i])
+				retryEntries = append(retryEntries, e)
+			}
+		}
+		if len(retryJobs) > 0 {
+			p.progress()
+			p.dispatch(ctx, retryJobs, retryEntries)
+		}
+	}
+
+	results := make([]Result, len(jobs))
+	var firstErr error
+	for i, e := range entries {
+		results[i] = e.res
+		if firstErr == nil && e.res.Err != nil {
+			firstErr = e.res.Err
+		}
+	}
+	return results, firstErr
+}
+
+// dispatch executes claimed entries on up to Workers goroutines (the
+// pool-wide semaphore still bounds global concurrency) and resolves every
+// entry before returning: entries not executed because ctx was cancelled
+// are failed and released for a future retry.
+func (p *Pool) dispatch(ctx context.Context, jobs []Job, entries []*entry) {
+	if len(jobs) == 0 {
+		return
+	}
+	workers := p.workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	feed := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range feed {
+				p.execute(ctx, jobs[k], entries[k])
+			}
+		}()
+	}
+feeding:
+	for k := range jobs {
+		select {
+		case feed <- k:
+		case <-ctx.Done():
+			break feeding
+		}
+	}
+	close(feed)
+	wg.Wait()
+	for k, e := range entries {
+		select {
+		case <-e.ready:
+		default:
+			p.fail(jobs[k], e, ctx.Err())
+		}
+	}
+}
+
+// claim returns the memo entry for j, registering a fresh in-flight entry
+// (claimed=true) when none exists; the caller that claimed it must resolve
+// it via execute or fail.
+func (p *Pool) claim(j Job) (e *entry, claimed bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if e, ok := p.memo[j]; ok {
+		return e, false
+	}
+	e = &entry{ready: make(chan struct{})}
+	p.memo[j] = e
+	p.scheduled++
+	return e, true
+}
+
+// execute runs one claimed job and publishes its result. It blocks on the
+// pool-wide worker semaphore, so total concurrency stays at Options.Workers
+// no matter how many Run calls are in flight.
+func (p *Pool) execute(ctx context.Context, j Job, e *entry) {
+	select {
+	case p.sem <- struct{}{}:
+	case <-ctx.Done():
+		p.fail(j, e, ctx.Err())
+		return
+	}
+	defer func() { <-p.sem }()
+	if err := ctx.Err(); err != nil {
+		p.fail(j, e, err)
+		return
+	}
+	res := p.exec(ctx, j)
+	if res.Err != nil {
+		p.fail(j, e, res.Err)
+		return
+	}
+	p.mu.Lock()
+	p.stats.JobsExecuted++
+	p.done++
+	p.mu.Unlock()
+	e.res = res
+	close(e.ready)
+	p.progress()
+}
+
+// fail publishes an error result and evicts the entry so a later Run
+// re-executes the job instead of replaying the cancellation.
+func (p *Pool) fail(j Job, e *entry, err error) {
+	if err == nil {
+		err = context.Canceled
+	}
+	p.mu.Lock()
+	if p.memo[j] == e {
+		delete(p.memo, j)
+	}
+	p.scheduled--
+	p.mu.Unlock()
+	e.res = Result{Err: err}
+	close(e.ready)
+}
+
+func (p *Pool) progress() {
+	if p.onProgress == nil {
+		return
+	}
+	p.mu.Lock()
+	done, scheduled := p.done, p.scheduled
+	p.mu.Unlock()
+	p.onProgress(done, scheduled)
+}
+
+// Workload returns the synthesized workload for cfg, building it at most
+// once per pool (concurrent requests for the same config share one
+// synthesis). The returned workload is immutable and safe to share.
+func (p *Pool) Workload(cfg workload.Config) *workload.Workload {
+	cfg = cfg.WithDefaults()
+	p.mu.Lock()
+	e, ok := p.workloads[cfg]
+	if ok {
+		p.stats.WorkloadHits++
+		p.mu.Unlock()
+		<-e.ready
+		return e.w
+	}
+	e = &wlEntry{ready: make(chan struct{})}
+	p.workloads[cfg] = e
+	p.stats.WorkloadsBuilt++
+	p.mu.Unlock()
+
+	e.w = workload.New(cfg)
+	close(e.ready)
+	return e.w
+}
+
+// exec performs the actual work for one job.
+func (p *Pool) exec(ctx context.Context, j Job) Result {
+	w := p.Workload(j.Workload)
+	switch j.Kind {
+	case KindBloomAccuracy:
+		return execBloom(ctx, j, w)
+	default:
+		return execSim(ctx, j, w)
+	}
+}
+
+// execSim builds and runs one machine.
+func execSim(ctx context.Context, j Job, w *workload.Workload) Result {
+	policy, pref := buildPolicy(j.Policy, w)
+	m := sim.New(j.Machine, policy, pref, w.Threads())
+	r, err := m.RunContext(ctx)
+	res := Result{Sim: r, Err: err}
+	if j.Machine.TrackReuse && m.Reuse() != nil {
+		res.ReuseGlobal = m.Reuse().Global()
+		res.ReusePerType = m.Reuse().PerType()
+	}
+	return res
+}
+
+// buildPolicy materializes a declarative policy spec against its workload.
+func buildPolicy(spec PolicySpec, w *workload.Workload) (sim.Policy, sim.Prefetcher) {
+	switch spec.Kind {
+	case NextLine:
+		return sched.NewBaseline(), prefetch.NewNextLine()
+	case SLICC:
+		return islicc.New(spec.SLICC), nil
+	case Stream:
+		return sched.NewBaseline(), prefetch.NewStream()
+	case STEPS:
+		return sched.NewSTEPS(), nil
+	case CSP:
+		var ranges []sched.BlockRange
+		for _, r := range w.SharedRanges() {
+			ranges = append(ranges, sched.BlockRange{Lo: r[0], Hi: r[1]})
+		}
+		return sched.NewCSP(ranges), nil
+	default:
+		return sched.NewBaseline(), nil
+	}
+}
+
+// execBloom replays a sample of the workload's threads through one
+// cache+filter pair and measures their agreement (Figure 9).
+func execBloom(ctx context.Context, j Job, w *workload.Workload) Result {
+	c := cache.New(j.Cache)
+	filt := bloom.New(bloom.Config{Bits: j.BloomBits})
+	c.OnInsert = filt.Insert
+	c.OnEvict = filt.Remove
+	var tr bloom.AccuracyTracker
+	threads := w.Threads()
+	n := len(threads)
+	if j.SampleThreads > 0 && n > j.SampleThreads {
+		n = j.SampleThreads
+	}
+	for _, th := range threads[:n] {
+		if err := ctx.Err(); err != nil {
+			return Result{Err: err}
+		}
+		src := th.New()
+		for {
+			op, ok := src.Next()
+			if !ok {
+				break
+			}
+			filterHit := filt.Contains(c.BlockAddr(op.PC))
+			res := c.Access(op.PC, false)
+			tr.Record(filterHit, res.Hit)
+		}
+	}
+	return Result{BloomAccuracy: tr.Accuracy()}
+}

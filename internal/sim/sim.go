@@ -12,6 +12,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -59,6 +60,11 @@ type Config struct {
 	// TLB configures the TLBs when EnableTLB is set.
 	TLB tlb.Config
 }
+
+// WithDefaults returns the configuration with every zero field replaced by
+// its default. It is idempotent; job-oriented callers (internal/runner) use
+// it to normalize configurations before content-keying them.
+func (c Config) WithDefaults() Config { return c.withDefaults() }
 
 func (c Config) withDefaults() Config {
 	if c.Cores == 0 {
@@ -290,9 +296,31 @@ func (m *Machine) PrefetchInstr(c int, addr uint64) {
 
 // Run executes all threads to completion and returns the results.
 func (m *Machine) Run() Result {
+	r, _ := m.RunContext(context.Background())
+	return r
+}
+
+// cancelCheckMask throttles the cancellation poll to every 1024 steps; a
+// channel select per instruction would dominate the simulation loop.
+const cancelCheckMask = 1024 - 1
+
+// RunContext is Run with cooperative cancellation: when ctx is cancelled the
+// run stops within a bounded number of simulated instructions and the
+// partial result is returned alongside ctx.Err(). A completed run returns a
+// nil error.
+func (m *Machine) RunContext(ctx context.Context) (Result, error) {
+	done := ctx.Done()
 	m.policy.Attach(m, m.threads)
 	m.fillIdleCores()
-	for {
+	for steps := uint64(0); ; steps++ {
+		if done != nil && steps&cancelCheckMask == 0 {
+			select {
+			case <-done:
+				m.aborted = true
+				return m.result(), ctx.Err()
+			default:
+			}
+		}
 		c := m.nextCore()
 		if c < 0 {
 			if !m.fillIdleCores() {
@@ -306,7 +334,7 @@ func (m *Machine) Run() Result {
 			break
 		}
 	}
-	return m.result()
+	return m.result(), nil
 }
 
 // nextCore picks the running core with the smallest local time.

@@ -64,6 +64,12 @@ type Config struct {
 	Scale float64
 }
 
+// WithDefaults returns the configuration with zero fields replaced by their
+// defaults. It is idempotent; the runner's workload cache normalizes configs
+// with it so that explicit and defaulted spellings of the same workload
+// share one synthesis.
+func (c Config) WithDefaults() Config { return c.withDefaults() }
+
 func (c Config) withDefaults() Config {
 	if c.Threads == 0 {
 		if c.Kind == MapReduce {

@@ -38,10 +38,11 @@
 package slicc
 
 import (
+	"context"
 	"fmt"
 
 	"slicc/internal/prefetch"
-	"slicc/internal/sched"
+	"slicc/internal/runner"
 	"slicc/internal/sim"
 	islicc "slicc/internal/slicc"
 	"slicc/internal/workload"
@@ -275,73 +276,74 @@ func (r Result) Speedup(base Result) float64 {
 	return base.Cycles / r.Cycles
 }
 
-// Run executes one simulation to completion.
-func Run(cfg Config) (Result, error) {
-	cfg = cfg.withDefaults()
-	if cfg.Threads < 0 || cfg.Scale < 0 {
-		return Result{}, fmt.Errorf("slicc: negative Threads or Scale")
+// validate rejects configurations the simulator cannot run.
+func (c Config) validate() error {
+	if c.Threads < 0 || c.Scale < 0 {
+		return fmt.Errorf("slicc: negative Threads or Scale")
 	}
-	if int(cfg.Benchmark) < 0 || cfg.Benchmark > MapReduce {
-		return Result{}, fmt.Errorf("slicc: unknown benchmark %d", int(cfg.Benchmark))
+	if int(c.Benchmark) < 0 || c.Benchmark > MapReduce {
+		return fmt.Errorf("slicc: unknown benchmark %d", int(c.Benchmark))
 	}
-	if int(cfg.Policy) < 0 || cfg.Policy > STEPS {
-		return Result{}, fmt.Errorf("slicc: unknown policy %d", int(cfg.Policy))
+	if int(c.Policy) < 0 || c.Policy > STEPS {
+		return fmt.Errorf("slicc: unknown policy %d", int(c.Policy))
 	}
+	return nil
+}
 
-	w := workload.New(workload.Config{
-		Kind:    cfg.Benchmark.kind(),
-		Threads: cfg.Threads,
-		Seed:    cfg.Seed,
-		Scale:   cfg.Scale,
-	})
+// job translates a validated, defaulted Config into a declarative runner
+// job. Policies become data (PolicySpec), which is what lets the runner
+// deduplicate identical simulations by content.
+func (c Config) job() runner.Job {
+	wcfg := workload.Config{
+		Kind:    c.Benchmark.kind(),
+		Threads: c.Threads,
+		Seed:    c.Seed,
+		Scale:   c.Scale,
+	}
 
 	mcfg := sim.Config{
-		Cores:           cfg.Cores,
-		TrackReuse:      cfg.TrackReuse,
-		MaxInstructions: cfg.MaxInstructions,
-		EnableTLB:       cfg.EnableTLB,
-		LogEvents:       cfg.LogEvents,
+		Cores:           c.Cores,
+		TrackReuse:      c.TrackReuse,
+		MaxInstructions: c.MaxInstructions,
+		EnableTLB:       c.EnableTLB,
+		LogEvents:       c.LogEvents,
 	}
-	mcfg.L1I.SizeBytes = cfg.L1IKB * 1024
-	mcfg.L1D.SizeBytes = cfg.L1DKB * 1024
-	mcfg.L1I.Classify = cfg.Classify
-	mcfg.L1D.Classify = cfg.Classify
+	mcfg.L1I.SizeBytes = c.L1IKB * 1024
+	mcfg.L1D.SizeBytes = c.L1DKB * 1024
+	mcfg.L1I.Classify = c.Classify
+	mcfg.L1D.Classify = c.Classify
 
-	var policy sim.Policy
-	var pref sim.Prefetcher
-	switch cfg.Policy {
-	case Baseline:
-		policy = sched.NewBaseline()
+	spec := runner.PolicySpec{Kind: runner.Baseline}
+	switch c.Policy {
 	case NextLine:
-		policy = sched.NewBaseline()
-		pref = prefetch.NewNextLine()
+		spec.Kind = runner.NextLine
 	case SLICC:
-		policy = islicc.New(cfg.SLICC.toInternal(islicc.Oblivious))
+		spec = runner.PolicySpec{Kind: runner.SLICC, SLICC: c.SLICC.toInternal(islicc.Oblivious)}
 	case SLICCPp:
-		policy = islicc.New(cfg.SLICC.toInternal(islicc.Pp))
+		spec = runner.PolicySpec{Kind: runner.SLICC, SLICC: c.SLICC.toInternal(islicc.Pp)}
 	case SLICCSW:
-		policy = islicc.New(cfg.SLICC.toInternal(islicc.SW))
+		spec = runner.PolicySpec{Kind: runner.SLICC, SLICC: c.SLICC.toInternal(islicc.SW)}
 	case PIF:
-		policy = sched.NewBaseline()
 		mcfg.L1I = prefetch.PIFUpperBoundL1I(mcfg.L1I)
-		mcfg.L1I.Classify = cfg.Classify
+		mcfg.L1I.Classify = c.Classify
 	case StreamPrefetch:
-		policy = sched.NewBaseline()
-		pref = prefetch.NewStream()
+		spec.Kind = runner.Stream
 	case STEPS:
-		policy = sched.NewSTEPS()
+		spec.Kind = runner.STEPS
 	}
+	return runner.Job{Workload: wcfg, Machine: mcfg, Policy: spec}
+}
 
-	m := sim.New(mcfg, policy, pref, w.Threads())
-	r := m.Run()
-
+// result converts a runner result back into the public form.
+func (c Config) result(rr runner.Result) Result {
+	r := rr.Sim
 	ki := float64(r.Instructions) / 1000
 	if ki == 0 {
 		ki = 1
 	}
 	out := Result{
-		Benchmark:         cfg.Benchmark,
-		Policy:            cfg.Policy,
+		Benchmark:         c.Benchmark,
+		Policy:            c.Policy,
 		Instructions:      r.Instructions,
 		Cycles:            r.Cycles,
 		IMPKI:             r.IMPKI(),
@@ -364,32 +366,69 @@ func Run(cfg Config) (Result, error) {
 		ThreadsFinished:   r.ThreadsFinished,
 		Aborted:           r.Aborted,
 	}
-	if cfg.LogEvents {
+	if c.LogEvents {
 		out.Events = make([]SchedulingEvent, len(r.Events))
 		for i, e := range r.Events {
 			out.Events[i] = SchedulingEvent{Cycle: e.Cycle, ThreadID: e.ThreadID, From: e.From, To: e.To, Switch: e.Switch}
 		}
 	}
-	if cfg.TrackReuse && m.Reuse() != nil {
-		g, p := m.Reuse().Global(), m.Reuse().PerType()
+	if c.TrackReuse {
+		g, p := rr.ReuseGlobal, rr.ReusePerType
 		out.ReuseGlobal = ReuseBreakdown{g.Single, g.Few, g.Most}
 		out.ReusePerType = ReuseBreakdown{p.Single, p.Few, p.Most}
 	}
-	return out, nil
+	return out
 }
 
-// Compare runs the same benchmark under several policies and returns results
-// in order, all against identical workloads.
+// Run executes one simulation to completion.
+func Run(cfg Config) (Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cooperative cancellation: when ctx is cancelled
+// the simulation stops promptly and ctx.Err() is returned.
+func RunContext(ctx context.Context, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	rs, err := runner.New(runner.Options{Workers: 1}).Run(ctx, []runner.Job{cfg.job()})
+	if err != nil {
+		return Result{}, err
+	}
+	return cfg.result(rs[0]), nil
+}
+
+// Compare runs the same benchmark under several policies and returns
+// results in order, all against identical workloads. The simulations run
+// in parallel (up to GOMAXPROCS at a time); results are deterministic and
+// independent of the parallelism.
 func Compare(base Config, policies ...Policy) ([]Result, error) {
-	results := make([]Result, 0, len(policies))
-	for _, p := range policies {
+	return CompareContext(context.Background(), base, policies...)
+}
+
+// CompareContext is Compare with cooperative cancellation. The workload is
+// synthesized once and shared; identical policy entries simulate once.
+func CompareContext(ctx context.Context, base Config, policies ...Policy) ([]Result, error) {
+	cfgs := make([]Config, len(policies))
+	jobs := make([]runner.Job, len(policies))
+	for i, p := range policies {
 		cfg := base
 		cfg.Policy = p
-		r, err := Run(cfg)
-		if err != nil {
+		cfg = cfg.withDefaults()
+		if err := cfg.validate(); err != nil {
 			return nil, fmt.Errorf("slicc: policy %v: %w", p, err)
 		}
-		results = append(results, r)
+		cfgs[i] = cfg
+		jobs[i] = cfg.job()
+	}
+	rs, err := runner.New(runner.Options{}).Run(ctx, jobs)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]Result, len(rs))
+	for i, rr := range rs {
+		results[i] = cfgs[i].result(rr)
 	}
 	return results, nil
 }

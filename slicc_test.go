@@ -2,9 +2,19 @@ package slicc
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
+
+// skipShort skips multi-simulation tests under -short; single-sim API
+// coverage still runs.
+func skipShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("multi-simulation test (run without -short)")
+	}
+}
 
 // small returns a fast configuration for API tests.
 func small(b Benchmark, p Policy) Config {
@@ -40,6 +50,7 @@ func TestRunRejectsBadConfig(t *testing.T) {
 }
 
 func TestRunDeterministic(t *testing.T) {
+	skipShort(t)
 	a, err := Run(small(TPCE, SLICCSW))
 	if err != nil {
 		t.Fatal(err)
@@ -54,6 +65,7 @@ func TestRunDeterministic(t *testing.T) {
 }
 
 func TestCompareOrdering(t *testing.T) {
+	skipShort(t)
 	rs, err := Compare(small(TPCC1, Baseline), Baseline, SLICCSW)
 	if err != nil {
 		t.Fatal(err)
@@ -103,6 +115,7 @@ func TestTrackReuse(t *testing.T) {
 }
 
 func TestPIFConfig(t *testing.T) {
+	skipShort(t)
 	cfg := small(TPCC1, PIF)
 	cfg.Classify = true
 	r, err := Run(cfg)
@@ -186,6 +199,7 @@ func TestExperimentDispatch(t *testing.T) {
 }
 
 func TestParamsOverride(t *testing.T) {
+	skipShort(t)
 	cfg := small(TPCC1, SLICCSW)
 	cfg.SLICC = Params{DilutionT: -1, MatchedT: 2, ExactSearch: true}
 	r, err := Run(cfg)
@@ -194,5 +208,55 @@ func TestParamsOverride(t *testing.T) {
 	}
 	if r.Migrations == 0 {
 		t.Fatal("no migrations with permissive thresholds")
+	}
+}
+
+func TestRunContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, small(TPCC1, Baseline)); err == nil {
+		t.Fatal("cancelled RunContext returned no error")
+	}
+	// Cancelled contexts must not mask config validation.
+	if _, err := RunContext(ctx, Config{Threads: -1}); err == nil || !strings.Contains(err.Error(), "negative") {
+		t.Fatalf("validation error = %v, want negative Threads/Scale", err)
+	}
+}
+
+// TestCompareContextMatchesRun pins the equivalence between the parallel
+// Compare path and individual Run calls: same workload, same results.
+func TestCompareContextMatchesRun(t *testing.T) {
+	skipShort(t)
+	cfg := small(TPCC1, Baseline)
+	rs, err := CompareContext(context.Background(), cfg, Baseline, SLICCSW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := Run(small(TPCC1, SLICCSW))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[1].Cycles != direct.Cycles || rs[1].IMPKI != direct.IMPKI || rs[1].Migrations != direct.Migrations {
+		t.Fatalf("CompareContext result %+v != Run result %+v", rs[1], direct)
+	}
+}
+
+func TestEngine(t *testing.T) {
+	eng := NewEngine(EngineOptions{Workers: 2})
+	if _, err := eng.Experiment(context.Background(), "fig99", true, 1); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	tabs, err := eng.Experiment(context.Background(), "table3", true, 1)
+	if err != nil || len(tabs) != 1 {
+		t.Fatalf("table3 via engine: %v, %d tables", err, len(tabs))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.Experiment(ctx, "fig8", true, 1); err == nil {
+		t.Fatal("cancelled experiment returned no error")
+	}
+	// Simulation-free ids must honor cancellation too.
+	if _, err := eng.Experiment(ctx, "table1", true, 1); err == nil {
+		t.Fatal("cancelled static experiment returned no error")
 	}
 }
