@@ -2,7 +2,12 @@ package slicc
 
 import (
 	"context"
+	"os"
+	"path/filepath"
 	"testing"
+
+	"slicc/internal/trace"
+	"slicc/internal/workload"
 )
 
 // Benchmarks regenerating each paper experiment (quick-size workloads so a
@@ -240,4 +245,120 @@ func BenchmarkAblationYieldOnStay(b *testing.B) {
 	}
 	b.ReportMetric(plain, "slicc-sw-speedup")
 	b.ReportMetric(combined, "with-yield-speedup")
+}
+
+// --- trace container benchmarks ---------------------------------------------
+
+// benchTraceWorkload is the capture subject for the trace-format
+// benchmarks: a medium TPC-C slice (~a few hundred thousand ops).
+func benchTraceWorkload() workload.Config {
+	return workload.Config{Kind: workload.TPCC1, Threads: 8, Seed: 9, Scale: 0.2}
+}
+
+// benchCapture writes the benchmark workload to a container once per run
+// and returns its path, size, and total op count.
+func benchCapture(b *testing.B) (string, int64, uint64) {
+	b.Helper()
+	path := filepath.Join(b.TempDir(), "bench.trace")
+	w := workload.New(benchTraceWorkload())
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := trace.WriteWorkload(f, w.Name, w.Threads()); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := trace.OpenWorkload(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ops := c.Ops()
+	c.Close()
+	return path, st.Size(), ops
+}
+
+// BenchmarkTraceEncode measures whole-workload capture throughput
+// (generator -> delta encoding -> container bytes); bytes/s is the
+// container output rate.
+func BenchmarkTraceEncode(b *testing.B) {
+	w := workload.New(benchTraceWorkload())
+	path := filepath.Join(b.TempDir(), "enc.trace")
+	var size int64
+	for i := 0; i < b.N; i++ {
+		f, err := os.Create(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := trace.WriteWorkload(f, w.Name, w.Threads()); err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if size == 0 {
+			st, err := os.Stat(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			size = st.Size()
+			b.SetBytes(size)
+		}
+	}
+}
+
+// BenchmarkTraceDecode measures streaming replay throughput: every thread
+// of the container is drained through a FileSource. ops/s is the figure
+// that bounds how fast trace-driven simulation can possibly go.
+func BenchmarkTraceDecode(b *testing.B) {
+	path, size, totalOps := benchCapture(b)
+	c, err := trace.OpenWorkload(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	b.SetBytes(size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var n uint64
+		for ti := 0; ti < c.NumThreads(); ti++ {
+			src := c.Source(ti)
+			for {
+				if _, ok := src.Next(); !ok {
+					break
+				}
+				n++
+			}
+			if err := src.Err(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if n != totalOps {
+			b.Fatalf("replayed %d ops, want %d", n, totalOps)
+		}
+	}
+	b.ReportMetric(float64(totalOps)*float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+}
+
+// BenchmarkTraceReplaySim measures a full simulation driven from a
+// recorded container (the TracePath path through the engine), against
+// which BenchmarkSimulatorThroughput's synthetic-source runs compare.
+func BenchmarkTraceReplaySim(b *testing.B) {
+	path, _, _ := benchCapture(b)
+	b.ResetTimer()
+	var instr uint64
+	for i := 0; i < b.N; i++ {
+		r, err := Run(Config{TracePath: path, Policy: SLICCSW})
+		if err != nil {
+			b.Fatal(err)
+		}
+		instr = r.Instructions
+	}
+	b.ReportMetric(float64(instr), "sim-instructions/op")
 }

@@ -31,6 +31,7 @@ func main() {
 		run      = flag.String("run", "all", "experiment id or 'all'")
 		quick    = flag.Bool("quick", false, "shrink workloads ~20x for a fast smoke run")
 		seed     = flag.Int64("seed", 1, "workload seed")
+		tracePth = flag.String("trace", "", "replay every benchmark from this recorded trace container (see docs/TRACES.md)")
 		out      = flag.String("out", "", "write results to this file instead of stdout")
 		asJSON   = flag.Bool("json", false, "emit JSON instead of aligned text tables")
 		workers  = flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulation workers")
@@ -88,7 +89,8 @@ func main() {
 		wg.Add(1)
 		go func(i int, id string) {
 			defer wg.Done()
-			tables, err := engine.Experiment(context.Background(), id, *quick, *seed)
+			opts := slicc.ExperimentOptions{Quick: *quick, Seed: *seed, TracePath: *tracePth}
+			tables, err := engine.ExperimentWith(context.Background(), id, opts)
 			outcomes[i] = outcome{tables: tables, err: err, doneAt: time.Since(start)}
 		}(i, id)
 	}

@@ -49,6 +49,7 @@ func keys[M map[string]V, V any](m M) string {
 func main() {
 	var (
 		workloadName = flag.String("workload", "tpcc1", "benchmark: "+keys(benchmarks))
+		tracePath    = flag.String("trace", "", "replay this recorded trace container instead of a synthetic benchmark (see docs/TRACES.md)")
 		policyName   = flag.String("policy", "slicc-sw", "policy: "+keys(policies))
 		threads      = flag.Int("threads", 64, "transactions/tasks (0 = benchmark default)")
 		seed         = flag.Int64("seed", 1, "workload seed")
@@ -65,10 +66,14 @@ func main() {
 	)
 	flag.Parse()
 
-	bench, ok := benchmarks[*workloadName]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown workload %q (have %s)\n", *workloadName, keys(benchmarks))
-		os.Exit(2)
+	var bench slicc.Benchmark
+	if *tracePath == "" {
+		var ok bool
+		bench, ok = benchmarks[*workloadName]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown workload %q (have %s)\n", *workloadName, keys(benchmarks))
+			os.Exit(2)
+		}
 	}
 	policy, ok := policies[*policyName]
 	if !ok {
@@ -78,6 +83,7 @@ func main() {
 
 	cfg := slicc.Config{
 		Benchmark: bench,
+		TracePath: *tracePath,
 		Policy:    policy,
 		Threads:   *threads,
 		Seed:      *seed,
@@ -110,7 +116,11 @@ func main() {
 		}
 	}
 
-	fmt.Printf("workload      %s\n", r.Benchmark)
+	if r.TracePath != "" {
+		fmt.Printf("workload      trace %s\n", r.TracePath)
+	} else {
+		fmt.Printf("workload      %s\n", r.Benchmark)
+	}
 	fmt.Printf("policy        %s\n", r.Policy)
 	fmt.Printf("instructions  %d\n", r.Instructions)
 	fmt.Printf("cycles        %.0f\n", r.Cycles)

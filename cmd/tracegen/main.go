@@ -1,8 +1,16 @@
-// Command tracegen inspects and exports the synthetic workload traces.
+// Command tracegen inspects, captures and verifies workload traces.
 //
 //	tracegen -workload tpcc1 -summary            # per-type footprints and mix
 //	tracegen -workload tpce -thread 3 -n 20      # print a thread's first ops
-//	tracegen -workload tpcc1 -thread 0 -dump t0.trace   # binary export
+//	tracegen -workload tpcc1 -thread 0 -dump t0.trace    # single-thread v1 export
+//	tracegen -workload tpcc1 -dump-all wl.trace          # whole-workload v2 container
+//	tracegen -info wl.trace                              # print a container's header
+//	tracegen -workload tpcc1 -verify wl.trace            # diff replay vs regeneration
+//
+// A container written by -dump-all replays through the simulator via
+// slicc.Config.TracePath (or sliccsim/experiments -trace), producing
+// results identical to running the captured workload directly. The binary
+// formats are specified byte-by-byte in docs/TRACES.md.
 package main
 
 import (
@@ -30,10 +38,21 @@ func main() {
 		summary  = flag.Bool("summary", false, "print workload summary and exit")
 		threadID = flag.Int("thread", -1, "thread to inspect")
 		n        = flag.Int("n", 32, "ops to print for -thread")
-		dump     = flag.String("dump", "", "write the selected thread's full trace to this file")
+		dump     = flag.String("dump", "", "write the selected thread's full trace to this file (v1 format)")
+		dumpAll  = flag.String("dump-all", "", "capture the entire workload to this container file (v2 format)")
+		info     = flag.String("info", "", "print the header of this trace container and exit")
+		verify   = flag.String("verify", "", "replay this container and diff it against the regenerated workload")
 		analyze  = flag.Bool("analyze", false, "print a reuse-distance analysis of the selected thread")
 	)
 	flag.Parse()
+
+	// -info needs no workload synthesis: it reads only the container header.
+	if *info != "" {
+		if err := printInfo(*info); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	kind, ok := kinds[*kindName]
 	if !ok {
@@ -41,6 +60,21 @@ func main() {
 		os.Exit(2)
 	}
 	w := workload.New(workload.Config{Kind: kind, Threads: *threads, Seed: *seed, Scale: *scale})
+
+	if *dumpAll != "" {
+		if err := dumpWorkload(w, *dumpAll); err != nil {
+			fatal(err)
+		}
+		if *verify == "" {
+			return
+		}
+	}
+	if *verify != "" {
+		if err := verifyContainer(w, *verify); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *summary || *threadID < 0 {
 		fmt.Printf("workload %s: %d segments, %d types, %d threads\n",
@@ -81,13 +115,11 @@ func main() {
 		ops := trace.Record(th.New(), 0)
 		f, err := os.Create(*dump)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(err)
 		}
 		defer f.Close()
 		if err := trace.WriteTrace(f, ops); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Printf("wrote %d ops to %s\n", len(ops), *dump)
 		return
@@ -110,4 +142,124 @@ func main() {
 		}
 		fmt.Println(line)
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+// dumpWorkload captures every thread of w into a v2 container at path.
+func dumpWorkload(w *workload.Workload, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteWorkload(f, w.Name, w.Threads()); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	c, err := trace.OpenWorkload(path)
+	if err != nil {
+		return fmt.Errorf("re-opening just-written container: %w", err)
+	}
+	defer c.Close()
+	fmt.Printf("wrote %s: %d threads, %d ops, %d bytes (%.2f bytes/op)\n",
+		path, c.NumThreads(), c.Ops(), st.Size(), float64(st.Size())/float64(c.Ops()))
+	return nil
+}
+
+// printInfo decodes and prints a container's header without touching the
+// op streams.
+func printInfo(path string) error {
+	c, err := trace.OpenWorkload(path)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	st, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("container     %s\n", path)
+	fmt.Printf("format        v%d\n", c.Version())
+	fmt.Printf("workload      %s\n", c.Name())
+	fmt.Printf("threads       %d\n", c.NumThreads())
+	fmt.Printf("total ops     %d\n", c.Ops())
+	fmt.Printf("file size     %d bytes (%.2f bytes/op)\n", st.Size(), float64(st.Size())/float64(c.Ops()))
+	types := map[string]int{}
+	for i := 0; i < c.NumThreads(); i++ {
+		types[c.Meta(i).TypeName]++
+	}
+	fmt.Printf("type mix      ")
+	first := true
+	for i := 0; i < c.NumThreads(); i++ {
+		name := c.Meta(i).TypeName
+		if cnt, ok := types[name]; ok {
+			if !first {
+				fmt.Printf(", ")
+			}
+			fmt.Printf("%s x%d", name, cnt)
+			delete(types, name)
+			first = false
+		}
+	}
+	fmt.Println()
+	return nil
+}
+
+// verifyContainer replays every thread of the container at path and diffs
+// it, op by op, against the regenerated synthetic workload w. A clean
+// verify proves the capture is a faithful, losslessly decodable recording
+// of the workload the flags describe.
+func verifyContainer(w *workload.Workload, path string) error {
+	c, err := trace.OpenWorkload(path)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	gen := w.Threads()
+	if c.NumThreads() != len(gen) {
+		return fmt.Errorf("verify: container has %d threads, workload has %d (same -threads/-seed/-scale?)",
+			c.NumThreads(), len(gen))
+	}
+	var total uint64
+	for i := 0; i < c.NumThreads(); i++ {
+		m := c.Meta(i)
+		if m.ID != gen[i].ID || m.Type != gen[i].Type || m.TypeName != gen[i].TypeName {
+			return fmt.Errorf("verify: thread %d metadata mismatch: container (id=%d type=%d %q), workload (id=%d type=%d %q)",
+				i, m.ID, m.Type, m.TypeName, gen[i].ID, gen[i].Type, gen[i].TypeName)
+		}
+		rec := c.Source(i)
+		ref := gen[i].New()
+		var op uint64
+		for {
+			got, okGot := rec.Next()
+			want, okWant := ref.Next()
+			if okGot != okWant {
+				return fmt.Errorf("verify: thread %d length mismatch at op %d (container ended: %v, generator ended: %v)",
+					i, op, !okGot, !okWant)
+			}
+			if !okGot {
+				break
+			}
+			if got != want {
+				return fmt.Errorf("verify: thread %d op %d mismatch: replayed %+v, regenerated %+v", i, op, got, want)
+			}
+			op++
+		}
+		if err := rec.Err(); err != nil {
+			return fmt.Errorf("verify: thread %d stream: %w", i, err)
+		}
+		total += op
+	}
+	fmt.Printf("verify ok: %d threads, %d ops replay identically\n", c.NumThreads(), total)
+	return nil
 }

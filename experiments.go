@@ -125,6 +125,20 @@ func NewEngine(o EngineOptions) *Engine {
 	return &Engine{pool: runner.New(runner.Options{Workers: o.Workers, OnProgress: o.Progress})}
 }
 
+// ExperimentOptions parameterizes ExperimentWith beyond the quick/seed
+// pair of Experiment.
+type ExperimentOptions struct {
+	// Quick shrinks workloads ~20x for smoke runs.
+	Quick bool
+	// Seed drives workload synthesis (default 1).
+	Seed int64
+	// TracePath, when set, replays every simulated benchmark from the
+	// recorded trace container at this path instead of its synthetic
+	// workload (see Config.TracePath and docs/TRACES.md). Benchmark-
+	// labelled rows then all describe the recorded workload.
+	TracePath string
+}
+
 // Experiment regenerates one of the paper's tables/figures by id ("fig1"
 // .. "fig11", "table1".."table3", "bpki") or one of the extension studies
 // ("tlb", "steps", "scaling"). Quick mode shrinks workloads by roughly 20x
@@ -132,6 +146,12 @@ func NewEngine(o EngineOptions) *Engine {
 // seed defaults to 1. Cancelling ctx aborts in-flight simulations and
 // returns ctx.Err().
 func (e *Engine) Experiment(ctx context.Context, id string, quick bool, seed int64) ([]ExperimentTable, error) {
+	return e.ExperimentWith(ctx, id, ExperimentOptions{Quick: quick, Seed: seed})
+}
+
+// ExperimentWith is Experiment with the full option set — most notably
+// replaying a recorded trace through the experiment grid via TracePath.
+func (e *Engine) ExperimentWith(ctx context.Context, id string, o ExperimentOptions) ([]ExperimentTable, error) {
 	run, ok := experimentRunners[id]
 	if !ok {
 		return nil, fmt.Errorf("slicc: unknown experiment %q (have %v)", id, ExperimentIDs())
@@ -141,7 +161,7 @@ func (e *Engine) Experiment(ctx context.Context, id string, quick bool, seed int
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return run(experiments.Options{Quick: quick, Seed: seed, Ctx: ctx, Pool: e.pool})
+	return run(experiments.Options{Quick: o.Quick, Seed: o.Seed, TracePath: o.TracePath, Ctx: ctx, Pool: e.pool})
 }
 
 // Stats returns the engine's dedup/cache counters.

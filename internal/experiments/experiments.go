@@ -35,6 +35,14 @@ type Options struct {
 	Threads int
 	// Scale overrides the per-transaction work multiplier (0 = default).
 	Scale float64
+	// TracePath, when set, replaces every benchmark with the recorded
+	// trace container at this path: each figure's simulations replay the
+	// trace instead of synthesizing workloads, so any externally captured
+	// trace can be pushed through the paper's experiment grid. Benchmark
+	// rows then all describe the same recorded workload (and dedup
+	// collapses their simulations), which is the point: the benchmark axis
+	// is replaced by the capture.
+	TracePath string
 	// Ctx cancels in-flight simulations (nil = run to completion).
 	Ctx context.Context
 	// Pool executes the declared jobs. nil uses a private single-worker
@@ -64,8 +72,12 @@ func (o Options) withDefaults() Options {
 }
 
 // workloadCfg declares the benchmark at the options' size. MapReduce keeps
-// its 300 tasks in full runs (the paper's configuration).
+// its 300 tasks in full runs (the paper's configuration). With TracePath
+// set, every benchmark resolves to the recorded trace instead.
 func (o Options) workloadCfg(kind workload.Kind) workload.Config {
+	if o.TracePath != "" {
+		return workload.Config{TracePath: o.TracePath}
+	}
 	threads := o.Threads
 	if kind == workload.MapReduce && !o.Quick {
 		threads = 300

@@ -18,8 +18,12 @@ package runner
 
 import (
 	"context"
+	"errors"
+	"fmt"
+	"os"
 	"runtime"
 	"sync"
+	"time"
 
 	"slicc/internal/bloom"
 	"slicc/internal/cache"
@@ -27,6 +31,7 @@ import (
 	"slicc/internal/sched"
 	"slicc/internal/sim"
 	islicc "slicc/internal/slicc"
+	"slicc/internal/trace"
 	"slicc/internal/workload"
 )
 
@@ -119,8 +124,15 @@ type Result struct {
 	// BloomAccuracy is the filter/ground-truth agreement for
 	// KindBloomAccuracy jobs.
 	BloomAccuracy float64
-	// Err is non-nil when the job was cancelled mid-run.
+	// Err is non-nil when the job was cancelled mid-run or failed outright
+	// (e.g. its trace container could not be opened).
 	Err error
+}
+
+// isCancellation reports whether err is a context cancellation rather than
+// a deterministic job failure.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // Stats counts the pool's work since creation.
@@ -161,9 +173,24 @@ type Pool struct {
 	mu        sync.Mutex
 	memo      map[Job]*entry
 	workloads map[workload.Config]*wlEntry
-	stats     Stats
-	scheduled int
-	done      int
+	// digests caches trace-file content digests by path, revalidated
+	// against (size, mtime) so a re-recorded file is re-hashed.
+	digests map[string]digestEntry
+	// tracePaths remembers a path holding each digest's contents: job keys
+	// carry only the digest (so identical recordings dedup across names),
+	// and execution resolves the digest back to a readable file here.
+	tracePaths map[string]string
+	stats      Stats
+	scheduled  int
+	done       int
+}
+
+// digestEntry is one cached trace-file digest with the stat fingerprint it
+// was computed under.
+type digestEntry struct {
+	size   int64
+	mtime  time.Time
+	digest string
 }
 
 // entry is a memoized (possibly in-flight) job execution.
@@ -172,10 +199,12 @@ type entry struct {
 	res   Result
 }
 
-// wlEntry is a memoized (possibly in-flight) workload synthesis.
+// wlEntry is a memoized (possibly in-flight) workload synthesis or trace
+// open.
 type wlEntry struct {
 	ready chan struct{}
 	w     *workload.Workload
+	err   error
 }
 
 // New builds a pool.
@@ -189,6 +218,8 @@ func New(opts Options) *Pool {
 		sem:        make(chan struct{}, opts.Workers),
 		memo:       make(map[Job]*entry),
 		workloads:  make(map[workload.Config]*wlEntry),
+		digests:    make(map[string]digestEntry),
+		tracePaths: make(map[string]string),
 	}
 }
 
@@ -201,21 +232,47 @@ func (p *Pool) Stats() Stats {
 
 // Run executes jobs and returns their results in input order. Identical
 // jobs (within this batch or from any earlier Run on the pool) execute
-// once. On cancellation Run returns ctx.Err() promptly; jobs already
-// claimed but not finished are released so a later Run can retry them.
+// once; trace-backed jobs are keyed by the content digest of their trace
+// file, so the memoization stays sound across renames and re-recordings.
+// On cancellation Run returns ctx.Err() promptly; jobs already claimed but
+// not finished are released so a later Run can retry them.
 func (p *Pool) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 	norm := make([]Job, len(jobs))
 	entries := make([]*entry, len(jobs))
 	var mine []*entry
 	var mineJobs []Job
 
+	// Normalize (including trace-digest resolution) for the whole batch
+	// before claiming anything: a digest failure must be able to return
+	// early, and an early return after a claim would orphan the claimed
+	// entry's ready channel and deadlock every later Run of that job.
+	for i, j := range jobs {
+		j = j.normalized()
+		if j.Workload.TracePath != "" {
+			if j.Workload.TraceDigest == "" {
+				d, err := p.traceDigest(j.Workload.TracePath)
+				if err != nil {
+					return nil, err
+				}
+				j.Workload.TraceDigest = d
+			}
+			p.mu.Lock()
+			if _, ok := p.tracePaths[j.Workload.TraceDigest]; !ok {
+				p.tracePaths[j.Workload.TraceDigest] = j.Workload.TracePath
+			}
+			p.mu.Unlock()
+			// Key on contents only: the same recording under two names is
+			// one job, and a re-recorded name is a different one.
+			j.Workload.TracePath = ""
+		}
+		norm[i] = j
+	}
+
 	p.mu.Lock()
 	p.stats.JobsRequested += len(jobs)
 	p.mu.Unlock()
 	dedupped := make([]bool, len(jobs))
-	for i, j := range jobs {
-		j = j.normalized()
-		norm[i] = j
+	for i, j := range norm {
 		e, claimed := p.claim(j)
 		if claimed {
 			mine = append(mine, e)
@@ -235,7 +292,9 @@ func (p *Pool) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 	// that failed because a *different* Run's context was cancelled are
 	// re-claimed (the fail path evicted them from the memo) and
 	// re-dispatched as a parallel batch, so one caller's cancellation
-	// neither poisons nor serializes another's results.
+	// neither poisons nor serializes another's results. Only cancellation
+	// is worth retrying: a job that failed on its own (e.g. an unreadable
+	// trace file) would fail identically again.
 	for {
 		var retry []int
 		for i, e := range entries {
@@ -244,7 +303,7 @@ func (p *Pool) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 			case <-ctx.Done():
 				return nil, ctx.Err()
 			}
-			if e.res.Err != nil && ctx.Err() == nil {
+			if isCancellation(e.res.Err) && ctx.Err() == nil {
 				retry = append(retry, i)
 			}
 		}
@@ -399,10 +458,13 @@ func (p *Pool) progress() {
 	p.onProgress(done, scheduled)
 }
 
-// Workload returns the synthesized workload for cfg, building it at most
-// once per pool (concurrent requests for the same config share one
-// synthesis). The returned workload is immutable and safe to share.
-func (p *Pool) Workload(cfg workload.Config) *workload.Workload {
+// Workload returns the workload for cfg — synthesized for benchmark
+// configs, opened from the trace container for trace configs — building it
+// at most once per pool (concurrent requests for the same config share one
+// construction). The returned workload is immutable and safe to share; a
+// trace workload streams ops from its open container on demand, so sharing
+// it costs header-sized memory no matter how large the file is.
+func (p *Pool) Workload(cfg workload.Config) (*workload.Workload, error) {
 	cfg = cfg.WithDefaults()
 	p.mu.Lock()
 	e, ok := p.workloads[cfg]
@@ -410,21 +472,73 @@ func (p *Pool) Workload(cfg workload.Config) *workload.Workload {
 		p.stats.WorkloadHits++
 		p.mu.Unlock()
 		<-e.ready
-		return e.w
+		return e.w, e.err
 	}
 	e = &wlEntry{ready: make(chan struct{})}
 	p.workloads[cfg] = e
 	p.stats.WorkloadsBuilt++
 	p.mu.Unlock()
 
-	e.w = workload.New(cfg)
+	switch {
+	case cfg.TracePath != "":
+		e.w, e.err = workload.FromTraceFile(cfg.TracePath)
+	case cfg.TraceDigest != "":
+		// A digest-only config came from a normalized job; resolve it back
+		// to the path that carried it.
+		p.mu.Lock()
+		path := p.tracePaths[cfg.TraceDigest]
+		p.mu.Unlock()
+		if path == "" {
+			e.err = fmt.Errorf("runner: no known path for trace digest %s", cfg.TraceDigest)
+		} else {
+			e.w, e.err = workload.FromTraceFile(path)
+		}
+	default:
+		e.w = workload.New(cfg)
+	}
+	if e.err != nil {
+		// Evict the failure so a later request (say, after the user fixes
+		// the file) retries instead of replaying the error forever.
+		p.mu.Lock()
+		if p.workloads[cfg] == e {
+			delete(p.workloads, cfg)
+		}
+		p.mu.Unlock()
+	}
 	close(e.ready)
-	return e.w
+	return e.w, e.err
+}
+
+// traceDigest returns the content digest of the trace file at path, cached
+// per pool and revalidated against the file's (size, mtime) so a
+// re-recorded file is re-hashed rather than served stale.
+func (p *Pool) traceDigest(path string) (string, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return "", err
+	}
+	p.mu.Lock()
+	e, ok := p.digests[path]
+	p.mu.Unlock()
+	if ok && e.size == st.Size() && e.mtime.Equal(st.ModTime()) {
+		return e.digest, nil
+	}
+	d, err := trace.FileDigest(path)
+	if err != nil {
+		return "", err
+	}
+	p.mu.Lock()
+	p.digests[path] = digestEntry{size: st.Size(), mtime: st.ModTime(), digest: d}
+	p.mu.Unlock()
+	return d, nil
 }
 
 // exec performs the actual work for one job.
 func (p *Pool) exec(ctx context.Context, j Job) Result {
-	w := p.Workload(j.Workload)
+	w, err := p.Workload(j.Workload)
+	if err != nil {
+		return Result{Err: err}
+	}
 	switch j.Kind {
 	case KindBloomAccuracy:
 		return execBloom(ctx, j, w)

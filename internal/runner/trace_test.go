@@ -1,0 +1,141 @@
+package runner
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"slicc/internal/trace"
+	"slicc/internal/workload"
+)
+
+// writeContainer captures a tiny synthetic workload into dir/name.
+func writeContainer(t *testing.T, dir, name string, cfg workload.Config) string {
+	t.Helper()
+	w := workload.New(cfg)
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := trace.WriteWorkload(f, w.Name, w.Threads()); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestTraceJobsDedupByContentDigest(t *testing.T) {
+	dir := t.TempDir()
+	cfg := workload.Config{Kind: workload.TPCC1, Threads: 3, Seed: 2, Scale: 0.05}
+	a := writeContainer(t, dir, "a.trace", cfg)
+	b := writeContainer(t, dir, "b.trace", cfg) // identical contents, other name
+
+	p := New(Options{Workers: 2})
+	jobs := []Job{
+		{Workload: workload.Config{TracePath: a}},
+		{Workload: workload.Config{TracePath: b}},
+	}
+	rs, err := p.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[0].Sim.Instructions == 0 {
+		t.Fatal("trace job simulated nothing")
+	}
+	if rs[0].Sim.Cycles != rs[1].Sim.Cycles || rs[0].Sim.Instructions != rs[1].Sim.Instructions {
+		t.Fatal("identical traces under different names produced different results")
+	}
+	st := p.Stats()
+	if st.JobsExecuted != 1 || st.DedupHits != 1 {
+		t.Fatalf("executed %d / dedup %d, want 1/1: identical contents must dedup across paths",
+			st.JobsExecuted, st.DedupHits)
+	}
+}
+
+func TestTraceJobsRekeyOnRerecord(t *testing.T) {
+	dir := t.TempDir()
+	path := writeContainer(t, dir, "wl.trace", workload.Config{Kind: workload.TPCC1, Threads: 3, Seed: 2, Scale: 0.05})
+
+	p := New(Options{Workers: 1})
+	r1, err := p.Run(context.Background(), []Job{{Workload: workload.Config{TracePath: path}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-record the same path with a different workload; nudge mtime so the
+	// digest cache cannot serve the stale fingerprint.
+	writeContainer(t, dir, "wl.trace", workload.Config{Kind: workload.TPCC1, Threads: 4, Seed: 9, Scale: 0.05})
+	if err := os.Chtimes(path, time.Now().Add(2*time.Second), time.Now().Add(2*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := p.Run(context.Background(), []Job{{Workload: workload.Config{TracePath: path}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.JobsExecuted != 2 {
+		t.Fatalf("executed %d jobs, want 2: a re-recorded file must not replay memoized results", st.JobsExecuted)
+	}
+	if r1[0].Sim.Instructions == r2[0].Sim.Instructions {
+		t.Fatal("different recordings produced identical instruction counts (suspicious)")
+	}
+}
+
+func TestTraceJobMissingFile(t *testing.T) {
+	p := New(Options{Workers: 1})
+	_, err := p.Run(context.Background(), []Job{{Workload: workload.Config{TracePath: filepath.Join(t.TempDir(), "missing")}}})
+	if err == nil {
+		t.Fatal("missing trace file did not error")
+	}
+}
+
+func TestTraceJobCorruptFileErrorsOnce(t *testing.T) {
+	// A corrupt container must produce a prompt deterministic error — not a
+	// cancellation-style retry loop.
+	path := filepath.Join(t.TempDir(), "bad.trace")
+	if err := os.WriteFile(path, []byte("SLTR\x02garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p := New(Options{Workers: 1})
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.Run(context.Background(), []Job{{Workload: workload.Config{TracePath: path}}})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("corrupt trace accepted")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Run did not return: deterministic failure is being retried forever")
+	}
+}
+
+// TestDigestFailureDoesNotOrphanClaims reproduces the batch-normalization
+// hazard: a digest failure for one job must not leave other jobs of the
+// same batch claimed-but-unresolved, or every later Run of those jobs
+// would block forever on the orphaned entry.
+func TestDigestFailureDoesNotOrphanClaims(t *testing.T) {
+	p := New(Options{Workers: 1})
+	good := Job{Workload: workload.Config{Kind: workload.TPCC1, Threads: 2, Seed: 1, Scale: 0.05}}
+	bad := Job{Workload: workload.Config{TracePath: filepath.Join(t.TempDir(), "missing")}}
+	if _, err := p.Run(context.Background(), []Job{good, bad}); err == nil {
+		t.Fatal("missing trace file did not error")
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.Run(context.Background(), []Job{good})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("good job deadlocked after a digest failure in its batch")
+	}
+}

@@ -1,0 +1,559 @@
+package trace
+
+// This file implements the v2 whole-workload trace container: a single
+// binary file holding every thread of a workload, replayable with constant
+// memory. The v1 format (trace.go) serializes one thread and is decoded
+// fully into memory; v2 adds a thread table with per-thread metadata and
+// per-thread delta-encoded op streams addressable by byte offset, so a
+// FileSource can stream any thread straight off the file. docs/TRACES.md is
+// the byte-level specification of both versions.
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+)
+
+// containerVersion identifies the v2 multi-thread container format.
+const containerVersion = 2
+
+// Sanity bounds enforced when decoding container headers. They reject
+// forged headers early instead of letting a hostile file drive huge
+// allocations; real workloads sit orders of magnitude below all of them.
+const (
+	maxNameLen   = 1 << 12 // workload and type names
+	maxThreads   = 1 << 22 // threads per container
+	maxThreadID  = 1 << 31 // per-thread id values
+	maxTypeIndex = 1 << 16 // transaction type indices (index slices downstream)
+	minOpBytes   = 2       // flags byte + at least a 1-byte PC delta
+	sourceBufKB  = 64      // FileSource read-ahead buffer
+	threadFixedW = 24      // bytes of fixed-width (ops, offset, length) per thread
+	// minTableEntry is the smallest on-disk thread-table entry: 1-byte id,
+	// 1-byte type, 1-byte empty name, and the fixed-width triple. Bounding
+	// the declared thread count by file size / minTableEntry rejects forged
+	// counts before the table is allocated.
+	minTableEntry = 3 + threadFixedW
+)
+
+// ThreadMeta is the per-thread header record of a v2 container: the
+// thread's identity plus the size and location of its op stream.
+type ThreadMeta struct {
+	// ID is the thread id recorded at capture time.
+	ID int
+	// Type is the transaction type index within the captured workload.
+	Type int
+	// TypeName is the human-readable transaction type.
+	TypeName string
+	// Ops is the number of ops in the thread's stream.
+	Ops uint64
+
+	// offset/length locate the encoded op stream within the container.
+	offset, length int64
+}
+
+// countingWriter tracks the absolute file offset of everything written
+// through it, which is how WriteWorkload learns the patch positions and
+// stream offsets it writes into the thread table.
+type countingWriter struct {
+	w   io.Writer
+	off int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.off += int64(n)
+	return n, err
+}
+
+func writeUvarint(w io.Writer, v uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, err := w.Write(buf[:n])
+	return err
+}
+
+func writeString(w io.Writer, s string) error {
+	if err := writeUvarint(w, uint64(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+// WriteWorkload writes every thread of a workload to w as a v2 container.
+// Threads are drained via their New sources in slice order, one at a time,
+// so memory stays constant no matter how large the capture is. The writer
+// must be an io.WriteSeeker because per-thread op counts and stream sizes
+// are known only after each stream is drained: the thread table is laid
+// down first with zeroed fixed-width fields and patched at the end.
+func WriteWorkload(w io.WriteSeeker, name string, threads []Thread) error {
+	// Enforce the reader's bounds at write time too: a capture that the
+	// format's own reader would reject must fail here, not at replay.
+	if len(threads) > maxThreads {
+		return fmt.Errorf("%w: %d threads exceeds container limit", ErrBadTrace, len(threads))
+	}
+	if len(name) > maxNameLen {
+		return fmt.Errorf("%w: workload name of %d bytes exceeds limit %d", ErrBadTrace, len(name), maxNameLen)
+	}
+	for i, th := range threads {
+		if len(th.TypeName) > maxNameLen {
+			return fmt.Errorf("%w: thread %d type name of %d bytes exceeds limit %d", ErrBadTrace, i, len(th.TypeName), maxNameLen)
+		}
+		if th.ID < 0 || th.ID > maxThreadID {
+			return fmt.Errorf("%w: thread %d id %d out of range", ErrBadTrace, i, th.ID)
+		}
+		if th.Type < 0 || th.Type > maxTypeIndex {
+			return fmt.Errorf("%w: thread %d type index %d out of range", ErrBadTrace, i, th.Type)
+		}
+	}
+	cw := &countingWriter{w: w}
+	if _, err := cw.Write(traceMagic[:]); err != nil {
+		return err
+	}
+	if _, err := cw.Write([]byte{containerVersion}); err != nil {
+		return err
+	}
+	if err := writeString(cw, name); err != nil {
+		return err
+	}
+	if err := writeUvarint(cw, uint64(len(threads))); err != nil {
+		return err
+	}
+
+	// Thread table. The variable-width identity fields are final; the
+	// fixed-width (ops, offset, length) triple of each entry is zeroed now
+	// and patched once the thread's stream has been written.
+	patchAt := make([]int64, len(threads))
+	var zero [threadFixedW]byte
+	for i, th := range threads {
+		if err := writeUvarint(cw, uint64(th.ID)); err != nil {
+			return err
+		}
+		if err := writeUvarint(cw, uint64(th.Type)); err != nil {
+			return err
+		}
+		if err := writeString(cw, th.TypeName); err != nil {
+			return err
+		}
+		patchAt[i] = cw.off
+		if _, err := cw.Write(zero[:]); err != nil {
+			return err
+		}
+	}
+
+	// Op streams: drain each thread's source through a buffered
+	// delta-encoder. Only one source is live at a time and nothing is
+	// retained, so writing a multi-GB container uses constant memory.
+	metas := make([]ThreadMeta, len(threads))
+	bw := bufio.NewWriterSize(cw, sourceBufKB<<10)
+	for i, th := range threads {
+		start := cw.off
+		var (
+			prevPC, prevData uint64
+			count            uint64
+			buf              [binary.MaxVarintLen64]byte
+		)
+		src := th.New()
+		for {
+			op, ok := src.Next()
+			if !ok {
+				break
+			}
+			var flags byte
+			if op.HasData {
+				flags |= 1
+			}
+			if op.IsWrite {
+				flags |= 2
+			}
+			if err := bw.WriteByte(flags); err != nil {
+				return err
+			}
+			n := binary.PutVarint(buf[:], int64(op.PC-prevPC))
+			if _, err := bw.Write(buf[:n]); err != nil {
+				return err
+			}
+			prevPC = op.PC
+			if op.HasData {
+				n = binary.PutVarint(buf[:], int64(op.DataAddr-prevData))
+				if _, err := bw.Write(buf[:n]); err != nil {
+					return err
+				}
+				prevData = op.DataAddr
+			}
+			count++
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		metas[i] = ThreadMeta{Ops: count, offset: start, length: cw.off - start}
+	}
+	end := cw.off
+
+	// Patch the fixed-width fields, then restore the write position so a
+	// caller appending after WriteWorkload lands past the container.
+	var fixed [threadFixedW]byte
+	for i, at := range patchAt {
+		binary.LittleEndian.PutUint64(fixed[0:], metas[i].Ops)
+		binary.LittleEndian.PutUint64(fixed[8:], uint64(metas[i].offset))
+		binary.LittleEndian.PutUint64(fixed[16:], uint64(metas[i].length))
+		if _, err := w.Seek(at, io.SeekStart); err != nil {
+			return err
+		}
+		if _, err := w.Write(fixed[:]); err != nil {
+			return err
+		}
+	}
+	_, err := w.Seek(end, io.SeekStart)
+	return err
+}
+
+// File is an open trace container. It supports both the v2 multi-thread
+// format and, for interoperability with single-thread dumps, the v1 format
+// (exposed as a one-thread container). A File only holds the decoded header;
+// op streams stay on disk and are streamed on demand by FileSource, so an
+// arbitrarily large container costs header-sized memory. A File is safe for
+// concurrent use: sources read through io.ReaderAt and share no state.
+type File struct {
+	r       io.ReaderAt
+	closer  io.Closer
+	version int
+	name    string
+	metas   []ThreadMeta
+}
+
+// OpenWorkload opens the trace container at path. Close the returned File
+// when no source derived from it is in use anymore.
+func OpenWorkload(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	c, err := NewFileReader(f, st.Size())
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("trace: %s: %w", path, err)
+	}
+	c.closer = f
+	return c, nil
+}
+
+// NewFileReader parses a container header from r (of the given total size)
+// and returns a File streaming from it. It validates the header fully —
+// versions, string and table bounds, and that every thread's stream span
+// and op count are consistent with the file size — so later streaming hits
+// no surprises a well-formed header could have caught.
+func NewFileReader(r io.ReaderAt, size int64) (*File, error) {
+	hr := &posReader{r: io.NewSectionReader(r, 0, size)}
+	br := bufio.NewReader(hr)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("reading magic: %w", errTruncated(err))
+	}
+	if magic != traceMagic {
+		return nil, ErrBadTrace
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, errTruncated(err)
+	}
+	switch ver {
+	case traceVersion:
+		return newV1Reader(r, size, br, hr)
+	case containerVersion:
+	default:
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadTrace, ver)
+	}
+
+	name, err := readString(br, maxNameLen)
+	if err != nil {
+		return nil, fmt.Errorf("workload name: %w", err)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, errTruncated(err)
+	}
+	if count > maxThreads {
+		return nil, fmt.Errorf("%w: absurd thread count %d", ErrBadTrace, count)
+	}
+	// The remaining bytes must at least hold the declared table; checking
+	// before allocating keeps a forged count in a tiny file from driving a
+	// huge ThreadMeta allocation.
+	if consumed := hr.pos - int64(br.Buffered()); count > uint64(size-consumed)/minTableEntry {
+		return nil, fmt.Errorf("%w: thread count %d cannot fit in %d bytes", ErrBadTrace, count, size)
+	}
+	metas := make([]ThreadMeta, count)
+	var fixed [threadFixedW]byte
+	for i := range metas {
+		id, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("thread %d id: %w", i, errTruncated(err))
+		}
+		if id > maxThreadID {
+			return nil, fmt.Errorf("%w: thread %d absurd id %d", ErrBadTrace, i, id)
+		}
+		ty, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("thread %d type: %w", i, errTruncated(err))
+		}
+		if ty > maxTypeIndex {
+			return nil, fmt.Errorf("%w: thread %d absurd type index %d", ErrBadTrace, i, ty)
+		}
+		tn, err := readString(br, maxNameLen)
+		if err != nil {
+			return nil, fmt.Errorf("thread %d type name: %w", i, err)
+		}
+		if _, err := io.ReadFull(br, fixed[:]); err != nil {
+			return nil, fmt.Errorf("thread %d table entry: %w", i, errTruncated(err))
+		}
+		metas[i] = ThreadMeta{
+			ID:       int(id),
+			Type:     int(ty),
+			TypeName: tn,
+			Ops:      binary.LittleEndian.Uint64(fixed[0:]),
+			offset:   int64(binary.LittleEndian.Uint64(fixed[8:])),
+			length:   int64(binary.LittleEndian.Uint64(fixed[16:])),
+		}
+	}
+	tableEnd := hr.pos - int64(br.Buffered())
+	for i, m := range metas {
+		// Streams must lie between the thread table and end-of-file, and a
+		// declared op count must be achievable in the declared byte length
+		// (every op occupies at least minOpBytes); this rejects forged
+		// counts at open time instead of mid-replay.
+		if m.offset < tableEnd || m.length < 0 || m.offset > size || m.length > size-m.offset {
+			return nil, fmt.Errorf("%w: thread %d stream [%d,+%d) outside file", ErrBadTrace, i, m.offset, m.length)
+		}
+		if m.Ops > uint64(m.length)/minOpBytes {
+			return nil, fmt.Errorf("%w: thread %d claims %d ops in %d bytes", ErrBadTrace, i, m.Ops, m.length)
+		}
+	}
+	return &File{r: r, version: containerVersion, name: name, metas: metas}, nil
+}
+
+// newV1Reader adapts a v1 single-thread trace (magic and version already
+// consumed from br) as a one-thread container. The remaining layout is the
+// declared op count followed by the op records; their byte span is the rest
+// of the file.
+func newV1Reader(r io.ReaderAt, size int64, br *bufio.Reader, hr *posReader) (*File, error) {
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, errTruncated(err)
+	}
+	bodyStart := hr.pos - int64(br.Buffered())
+	bodyLen := size - bodyStart
+	if count > uint64(bodyLen)/minOpBytes {
+		return nil, fmt.Errorf("%w: v1 trace claims %d ops in %d bytes", ErrBadTrace, count, bodyLen)
+	}
+	meta := ThreadMeta{TypeName: "recorded", Ops: count, offset: bodyStart, length: bodyLen}
+	return &File{r: r, version: traceVersion, name: "v1 trace", metas: []ThreadMeta{meta}}, nil
+}
+
+// posReader counts bytes consumed from an io.Reader so header parsing can
+// locate where the buffered reader's underlying position is.
+type posReader struct {
+	r   io.Reader
+	pos int64
+}
+
+func (p *posReader) Read(b []byte) (int, error) {
+	n, err := p.r.Read(b)
+	p.pos += int64(n)
+	return n, err
+}
+
+func readString(br *bufio.Reader, max int) (string, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", errTruncated(err)
+	}
+	if n > uint64(max) {
+		return "", fmt.Errorf("%w: string length %d exceeds limit %d", ErrBadTrace, n, max)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(br, b); err != nil {
+		return "", errTruncated(err)
+	}
+	return string(b), nil
+}
+
+// errTruncated maps io.EOF (a clean end mid-structure) to ErrUnexpectedEOF
+// so truncation is always reported as an error, never as success.
+func errTruncated(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// Version reports the container's format version (1 or 2).
+func (f *File) Version() int { return f.version }
+
+// Name returns the workload name recorded in the container ("v1 trace" for
+// adapted v1 files).
+func (f *File) Name() string { return f.name }
+
+// NumThreads returns the number of threads in the container.
+func (f *File) NumThreads() int { return len(f.metas) }
+
+// Meta returns thread i's header record.
+func (f *File) Meta(i int) ThreadMeta { return f.metas[i] }
+
+// Ops returns the total op count across all threads.
+func (f *File) Ops() uint64 {
+	var n uint64
+	for _, m := range f.metas {
+		n += m.Ops
+	}
+	return n
+}
+
+// Source returns a fresh streaming source over thread i's ops. Every call
+// yields an independent source starting at the thread's first op; sources
+// from one File may be consumed concurrently.
+func (f *File) Source(i int) *FileSource {
+	m := f.metas[i]
+	return &FileSource{
+		r:    bufio.NewReaderSize(io.NewSectionReader(f.r, m.offset, m.length), sourceBufKB<<10),
+		want: m.Ops,
+		v1:   f.version == traceVersion,
+	}
+}
+
+// Threads returns the container's threads in recorded order, each with a
+// New that streams its ops from the file. The returned threads remain valid
+// only while the File is open.
+func (f *File) Threads() []Thread {
+	ths := make([]Thread, len(f.metas))
+	for i, m := range f.metas {
+		i := i
+		ths[i] = Thread{
+			ID:       m.ID,
+			Type:     m.Type,
+			TypeName: m.TypeName,
+			New:      func() Source { return f.Source(i) },
+		}
+	}
+	return ths
+}
+
+// Close releases the underlying file. Sources created from the File must
+// not be used afterwards.
+func (f *File) Close() error {
+	if f.closer == nil {
+		return nil
+	}
+	return f.closer.Close()
+}
+
+// FileSource streams one thread's ops from an open container. It implements
+// Source with constant memory: one fixed read-ahead buffer, no retained
+// ops. A malformed stream (truncation inside an op, trailing garbage, or a
+// record that disagrees with the header) ends the stream early; Err reports
+// what happened.
+type FileSource struct {
+	r        *bufio.Reader
+	want     uint64 // ops the header promised
+	read     uint64
+	prevPC   uint64
+	prevData uint64
+	v1       bool // absolute uvarint addresses (v1) vs zigzag deltas (v2)
+	err      error
+}
+
+// Next implements Source.
+func (s *FileSource) Next() (Op, bool) {
+	if s.err != nil || s.read >= s.want {
+		s.checkTrailer()
+		return Op{}, false
+	}
+	flags, err := s.r.ReadByte()
+	if err != nil {
+		s.fail("flags", err)
+		return Op{}, false
+	}
+	if flags&^3 != 0 {
+		s.err = fmt.Errorf("%w: op %d has invalid flags %#x", ErrBadTrace, s.read, flags)
+		return Op{}, false
+	}
+	var op Op
+	op.HasData = flags&1 != 0
+	op.IsWrite = flags&2 != 0
+	if s.v1 {
+		if op.PC, err = binary.ReadUvarint(s.r); err != nil {
+			s.fail("pc", err)
+			return Op{}, false
+		}
+		if op.HasData {
+			if op.DataAddr, err = binary.ReadUvarint(s.r); err != nil {
+				s.fail("data", err)
+				return Op{}, false
+			}
+		}
+	} else {
+		d, err := binary.ReadVarint(s.r)
+		if err != nil {
+			s.fail("pc delta", err)
+			return Op{}, false
+		}
+		op.PC = s.prevPC + uint64(d)
+		s.prevPC = op.PC
+		if op.HasData {
+			if d, err = binary.ReadVarint(s.r); err != nil {
+				s.fail("data delta", err)
+				return Op{}, false
+			}
+			op.DataAddr = s.prevData + uint64(d)
+			s.prevData = op.DataAddr
+		}
+	}
+	s.read++
+	return op, true
+}
+
+// checkTrailer runs once the declared op count has been delivered: any
+// bytes left in the stream span mean the header and body disagree.
+func (s *FileSource) checkTrailer() {
+	if s.err != nil || s.read != s.want {
+		return
+	}
+	s.read = s.want + 1 // read > want marks the check as done
+	if _, err := s.r.ReadByte(); err == nil {
+		s.err = fmt.Errorf("%w: trailing bytes after op %d", ErrBadTrace, s.want)
+	}
+}
+
+func (s *FileSource) fail(what string, err error) {
+	s.err = fmt.Errorf("trace: op %d %s: %w", s.read, what, errTruncated(err))
+}
+
+// Err returns the first error the stream hit, or nil after a clean replay.
+// A non-nil Err means Next stopped early: the container is corrupt or
+// truncated and the replay is incomplete.
+func (s *FileSource) Err() error { return s.err }
+
+// FileDigest returns the hex SHA-256 of the file at path. The runner keys
+// its dedup/memoization cache on this digest for trace-backed jobs, so two
+// jobs naming different paths with identical contents simulate once, and
+// re-recording a file under the same name does not replay stale results.
+func FileDigest(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

@@ -1,0 +1,523 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// memFile is an in-memory io.WriteSeeker for container round-trip tests.
+type memFile struct {
+	buf []byte
+	pos int64
+}
+
+func (m *memFile) Write(p []byte) (int, error) {
+	if need := m.pos + int64(len(p)); need > int64(len(m.buf)) {
+		m.buf = append(m.buf, make([]byte, need-int64(len(m.buf)))...)
+	}
+	copy(m.buf[m.pos:], p)
+	m.pos += int64(len(p))
+	return len(p), nil
+}
+
+func (m *memFile) Seek(off int64, whence int) (int64, error) {
+	switch whence {
+	case io.SeekStart:
+		m.pos = off
+	case io.SeekCurrent:
+		m.pos += off
+	case io.SeekEnd:
+		m.pos = int64(len(m.buf)) + off
+	}
+	return m.pos, nil
+}
+
+// sliceThread wraps an op slice as a Thread whose New replays it.
+func sliceThread(id, ty int, name string, ops []Op) Thread {
+	return Thread{ID: id, Type: ty, TypeName: name, New: func() Source { return NewSliceSource(ops) }}
+}
+
+// testThreads builds a small three-thread workload exercising deltas in
+// both directions, data ops, stores, and an empty thread.
+func testThreads() ([]Thread, [][]Op) {
+	streams := [][]Op{
+		{
+			{PC: 0x400000},
+			{PC: 0x400004, HasData: true, DataAddr: 0x7000_0000_0000},
+			{PC: 0x400008, HasData: true, IsWrite: true, DataAddr: 0x6000_0000_0000},
+			{PC: 0x3ff000}, // backwards PC jump
+		},
+		{}, // a thread with no ops at all
+		{
+			{PC: 1 << 62, HasData: true, DataAddr: ^uint64(0)}, // extreme addresses
+			{PC: 0, HasData: true, DataAddr: 0},
+		},
+	}
+	threads := []Thread{
+		sliceThread(0, 0, "NewOrder", streams[0]),
+		sliceThread(7, 1, "Payment", streams[1]),
+		sliceThread(2, 0, "NewOrder", streams[2]),
+	}
+	return threads, streams
+}
+
+func writeTestContainer(t *testing.T) (*memFile, [][]Op) {
+	t.Helper()
+	threads, streams := testThreads()
+	var m memFile
+	if err := WriteWorkload(&m, "test-wl", threads); err != nil {
+		t.Fatal(err)
+	}
+	return &m, streams
+}
+
+func drain(t *testing.T, s *FileSource) []Op {
+	t.Helper()
+	var ops []Op
+	for {
+		op, ok := s.Next()
+		if !ok {
+			break
+		}
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+func TestContainerRoundTrip(t *testing.T) {
+	m, streams := writeTestContainer(t)
+	f, err := NewFileReader(bytes.NewReader(m.buf), int64(len(m.buf)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Version() != 2 {
+		t.Fatalf("Version = %d, want 2", f.Version())
+	}
+	if f.Name() != "test-wl" {
+		t.Fatalf("Name = %q", f.Name())
+	}
+	if f.NumThreads() != 3 {
+		t.Fatalf("NumThreads = %d", f.NumThreads())
+	}
+	wantMeta := []ThreadMeta{
+		{ID: 0, Type: 0, TypeName: "NewOrder", Ops: 4},
+		{ID: 7, Type: 1, TypeName: "Payment", Ops: 0},
+		{ID: 2, Type: 0, TypeName: "NewOrder", Ops: 2},
+	}
+	var total uint64
+	for i, want := range wantMeta {
+		got := f.Meta(i)
+		if got.ID != want.ID || got.Type != want.Type || got.TypeName != want.TypeName || got.Ops != want.Ops {
+			t.Fatalf("Meta(%d) = %+v, want %+v", i, got, want)
+		}
+		total += want.Ops
+	}
+	if f.Ops() != total {
+		t.Fatalf("Ops() = %d, want %d", f.Ops(), total)
+	}
+	for i, want := range streams {
+		src := f.Source(i)
+		got := drain(t, src)
+		if err := src.Err(); err != nil {
+			t.Fatalf("thread %d: %v", i, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("thread %d: %d ops, want %d", i, len(got), len(want))
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("thread %d op %d = %+v, want %+v", i, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestContainerThreadsIndependentSources(t *testing.T) {
+	m, streams := writeTestContainer(t)
+	f, err := NewFileReader(bytes.NewReader(m.buf), int64(len(m.buf)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ths := f.Threads()
+	// Two sources of the same thread must replay independently from the top.
+	a, b := ths[0].New(), ths[0].New()
+	opA, _ := a.Next()
+	for range streams[0] {
+		b.Next()
+	}
+	opA2, _ := a.Next()
+	if opA != streams[0][0] || opA2 != streams[0][1] {
+		t.Fatal("draining one source advanced another")
+	}
+	if ths[1].ID != 7 || ths[2].TypeName != "NewOrder" {
+		t.Fatal("thread metadata not propagated")
+	}
+}
+
+func TestOpenWorkloadV1(t *testing.T) {
+	ops := []Op{
+		{PC: 0x400000},
+		{PC: 0x400004, HasData: true, DataAddr: 0x1234, IsWrite: true},
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "v1.trace")
+	w, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTrace(w, ops); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	f, err := OpenWorkload(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if f.Version() != 1 || f.NumThreads() != 1 || f.Meta(0).Ops != 2 {
+		t.Fatalf("v1 adapter: version=%d threads=%d ops=%d", f.Version(), f.NumThreads(), f.Meta(0).Ops)
+	}
+	src := f.Source(0)
+	got := drain(t, src)
+	if err := src.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != ops[0] || got[1] != ops[1] {
+		t.Fatalf("v1 replay = %+v, want %+v", got, ops)
+	}
+}
+
+func TestOpenWorkloadErrors(t *testing.T) {
+	m, _ := writeTestContainer(t)
+	valid := m.buf
+
+	t.Run("corrupt magic", func(t *testing.T) {
+		b := append([]byte(nil), valid...)
+		b[0] = 'X'
+		if _, err := NewFileReader(bytes.NewReader(b), int64(len(b))); !errors.Is(err, ErrBadTrace) {
+			t.Fatalf("err = %v, want ErrBadTrace", err)
+		}
+	})
+	t.Run("unsupported version", func(t *testing.T) {
+		b := append([]byte(nil), valid...)
+		b[4] = 99
+		if _, err := NewFileReader(bytes.NewReader(b), int64(len(b))); !errors.Is(err, ErrBadTrace) {
+			t.Fatalf("err = %v, want ErrBadTrace", err)
+		}
+	})
+	t.Run("truncated header", func(t *testing.T) {
+		// Every prefix that ends inside the header must be rejected with an
+		// error, never accepted or panicked on.
+		hdrEnd := int(valid[5]) + 6 // past magic+version+name; table follows
+		for cut := 0; cut < hdrEnd+8; cut++ {
+			_, err := NewFileReader(bytes.NewReader(valid[:cut]), int64(cut))
+			if err == nil {
+				t.Fatalf("truncation at %d accepted", cut)
+			}
+		}
+	})
+	t.Run("stream outside file", func(t *testing.T) {
+		// Chop the file just before the last thread's stream ends: the
+		// header now points past EOF.
+		cut := len(valid) - 1
+		if _, err := NewFileReader(bytes.NewReader(valid[:cut]), int64(cut)); !errors.Is(err, ErrBadTrace) {
+			t.Fatalf("err = %v, want ErrBadTrace", err)
+		}
+	})
+	t.Run("empty", func(t *testing.T) {
+		if _, err := NewFileReader(bytes.NewReader(nil), 0); err == nil {
+			t.Fatal("empty file accepted")
+		}
+	})
+	t.Run("missing file", func(t *testing.T) {
+		if _, err := OpenWorkload(filepath.Join(t.TempDir(), "nope")); err == nil {
+			t.Fatal("missing file accepted")
+		}
+	})
+}
+
+// patchFixed overwrites thread i's fixed-width table entry. Entries sit at
+// ascending positions; locate them by re-parsing the variable-width prefix.
+func patchFixed(t *testing.T, buf []byte, thread int, ops, offset, length uint64) {
+	t.Helper()
+	pos := 5 // magic + version
+	skipString := func() {
+		n, w := binary.Uvarint(buf[pos:])
+		pos += w + int(n)
+	}
+	skipUvarint := func() uint64 {
+		n, w := binary.Uvarint(buf[pos:])
+		pos += w
+		return n
+	}
+	skipString()                // workload name
+	count := int(skipUvarint()) // thread count
+	if thread >= count {
+		t.Fatalf("thread %d out of range", thread)
+	}
+	for i := 0; ; i++ {
+		skipUvarint() // id
+		skipUvarint() // type
+		skipString()  // type name
+		if i == thread {
+			break
+		}
+		pos += threadFixedW
+	}
+	binary.LittleEndian.PutUint64(buf[pos:], ops)
+	binary.LittleEndian.PutUint64(buf[pos+8:], offset)
+	binary.LittleEndian.PutUint64(buf[pos+16:], length)
+}
+
+func TestForgedOpCount(t *testing.T) {
+	m, _ := writeTestContainer(t)
+	f, err := NewFileReader(bytes.NewReader(m.buf), int64(len(m.buf)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta0 := f.Meta(0)
+
+	// A count that cannot fit the stream's byte length is rejected at open.
+	b := append([]byte(nil), m.buf...)
+	patchFixed(t, b, 0, 1<<40, uint64(meta0.offset), uint64(meta0.length))
+	if _, err := NewFileReader(bytes.NewReader(b), int64(len(b))); !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("absurd op count: err = %v, want ErrBadTrace", err)
+	}
+
+	// A modestly inflated count passes the header check but must surface as
+	// a stream error during replay, after the genuine ops were delivered.
+	b = append([]byte(nil), m.buf...)
+	patchFixed(t, b, 0, meta0.Ops+1, uint64(meta0.offset), uint64(meta0.length))
+	f2, err := NewFileReader(bytes.NewReader(b), int64(len(b)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := f2.Source(0)
+	got := drain(t, src)
+	if uint64(len(got)) != meta0.Ops {
+		t.Fatalf("replayed %d ops, want the %d genuine ones", len(got), meta0.Ops)
+	}
+	if src.Err() == nil {
+		t.Fatal("forged op count replayed without error")
+	}
+
+	// A deflated count leaves trailing bytes in the span: also an error.
+	b = append([]byte(nil), m.buf...)
+	patchFixed(t, b, 0, meta0.Ops-1, uint64(meta0.offset), uint64(meta0.length))
+	f3, err := NewFileReader(bytes.NewReader(b), int64(len(b)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src = f3.Source(0)
+	drain(t, src)
+	if err := src.Err(); !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("trailing bytes: err = %v, want ErrBadTrace", err)
+	}
+}
+
+func TestFileSourceInvalidFlags(t *testing.T) {
+	m, _ := writeTestContainer(t)
+	f, err := NewFileReader(bytes.NewReader(m.buf), int64(len(m.buf)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := append([]byte(nil), m.buf...)
+	b[f.Meta(0).offset] |= 0x80 // set a reserved flag bit on op 0
+	f2, err := NewFileReader(bytes.NewReader(b), int64(len(b)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := f2.Source(0)
+	if _, ok := src.Next(); ok {
+		t.Fatal("op with reserved flags accepted")
+	}
+	if !errors.Is(src.Err(), ErrBadTrace) {
+		t.Fatalf("err = %v, want ErrBadTrace", src.Err())
+	}
+}
+
+// patternReaderAt synthesizes an arbitrarily large container on the fly: a
+// real header followed by an endless repetition of the 2-byte op
+// {flags=0, pc delta=+4}. It stands in for a multi-GB on-disk file, so the
+// test below can prove FileSource streams with constant memory without
+// writing gigabytes to disk.
+type patternReaderAt struct {
+	header []byte
+	size   int64
+}
+
+func (p *patternReaderAt) ReadAt(b []byte, off int64) (int, error) {
+	for i := range b {
+		pos := off + int64(i)
+		if pos >= p.size {
+			return i, io.EOF
+		}
+		if pos < int64(len(p.header)) {
+			b[i] = p.header[pos]
+		} else if (pos-int64(len(p.header)))%2 == 0 {
+			b[i] = 0 // flags: no data access
+		} else {
+			b[i] = 8 // zigzag varint for +4
+		}
+	}
+	return len(b), nil
+}
+
+// TestFileSourceConstantMemory replays the head of a synthetic 4GB-scale
+// container and checks that per-op work allocates nothing: all state is the
+// fixed read-ahead buffer created at Source time, so container size cannot
+// affect replay memory.
+func TestFileSourceConstantMemory(t *testing.T) {
+	var hdr bytes.Buffer
+	hdr.Write([]byte{'S', 'L', 'T', 'R', 2})
+	writeString(&hdr, "huge")
+	writeUvarint(&hdr, 1)
+	writeUvarint(&hdr, 0) // id
+	writeUvarint(&hdr, 0) // type
+	writeString(&hdr, "BigTxn")
+	const bodyBytes = int64(4) << 30 // 4 GiB of op stream
+	var fixed [threadFixedW]byte
+	binary.LittleEndian.PutUint64(fixed[0:], uint64(bodyBytes/2)) // 2 bytes/op
+	binary.LittleEndian.PutUint64(fixed[8:], uint64(hdr.Len()+threadFixedW))
+	binary.LittleEndian.PutUint64(fixed[16:], uint64(bodyBytes))
+	hdr.Write(fixed[:])
+
+	r := &patternReaderAt{header: hdr.Bytes(), size: int64(hdr.Len()) + bodyBytes}
+	f, err := NewFileReader(r, r.size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Ops() != uint64(bodyBytes/2) {
+		t.Fatalf("Ops = %d", f.Ops())
+	}
+	src := f.Source(0)
+	var pc uint64
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 10_000; i++ {
+			op, ok := src.Next()
+			if !ok {
+				t.Fatal("stream ended early")
+			}
+			pc = op.PC
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("replay allocates %.1f objects per 10k ops; FileSource must stream with constant memory", allocs)
+	}
+	if want := uint64(4 * 101 * 10_000); pc != want {
+		t.Fatalf("pc after replay = %d, want %d", pc, want)
+	}
+}
+
+func TestWriteWorkloadSeekRestore(t *testing.T) {
+	threads, _ := testThreads()
+	var m memFile
+	if err := WriteWorkload(&m, "wl", threads); err != nil {
+		t.Fatal(err)
+	}
+	if m.pos != int64(len(m.buf)) {
+		t.Fatalf("write position %d after WriteWorkload, want end of container %d", m.pos, len(m.buf))
+	}
+}
+
+func TestFileDigest(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a")
+	b := filepath.Join(dir, "b")
+	c := filepath.Join(dir, "c")
+	if err := os.WriteFile(a, []byte("same"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(b, []byte("same"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(c, []byte("different"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	da, err := FileDigest(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, _ := FileDigest(b)
+	dc, _ := FileDigest(c)
+	if da != db {
+		t.Fatal("identical contents, different digests")
+	}
+	if da == dc {
+		t.Fatal("different contents, same digest")
+	}
+	if _, err := FileDigest(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing file digested")
+	}
+}
+
+// TestHostileHeaders covers the open-time bounds added for hostile files:
+// forged thread counts, oversized id/type values, and oversized names must
+// all fail cleanly before any large allocation or panic.
+func TestHostileHeaders(t *testing.T) {
+	mk := func(build func(h *bytes.Buffer)) []byte {
+		var h bytes.Buffer
+		h.Write([]byte{'S', 'L', 'T', 'R', 2})
+		build(&h)
+		return h.Bytes()
+	}
+	cases := map[string][]byte{
+		"forged thread count in tiny file": mk(func(h *bytes.Buffer) {
+			writeString(h, "wl")
+			writeUvarint(h, maxThreads) // claims 4M threads in ~10 bytes
+		}),
+		"absurd thread id": mk(func(h *bytes.Buffer) {
+			writeString(h, "wl")
+			writeUvarint(h, 1)
+			writeUvarint(h, uint64(maxThreadID)+1)
+			writeUvarint(h, 0)
+			writeString(h, "t")
+			h.Write(make([]byte, threadFixedW))
+		}),
+		"huge type uvarint decoding to negative int": mk(func(h *bytes.Buffer) {
+			writeString(h, "wl")
+			writeUvarint(h, 1)
+			writeUvarint(h, 0)
+			writeUvarint(h, 1<<63) // int(ty) would be negative
+			writeString(h, "t")
+			h.Write(make([]byte, threadFixedW))
+		}),
+		"oversized name": mk(func(h *bytes.Buffer) {
+			writeUvarint(h, maxNameLen+1)
+			h.Write(make([]byte, maxNameLen+1))
+			writeUvarint(h, 0)
+		}),
+	}
+	for name, b := range cases {
+		if _, err := NewFileReader(bytes.NewReader(b), int64(len(b))); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestWriteWorkloadRejectsUnreadableInputs checks write-time enforcement of
+// the reader's bounds: WriteWorkload must never produce a container its own
+// reader rejects.
+func TestWriteWorkloadRejectsUnreadableInputs(t *testing.T) {
+	longName := string(make([]byte, maxNameLen+1))
+	var m memFile
+	if err := WriteWorkload(&m, longName, nil); err == nil {
+		t.Error("oversized workload name accepted")
+	}
+	for name, th := range map[string]Thread{
+		"oversized type name": sliceThread(0, 0, longName, nil),
+		"negative id":         sliceThread(-1, 0, "t", nil),
+		"oversized type":      sliceThread(0, maxTypeIndex+1, "t", nil),
+	} {
+		var m memFile
+		if err := WriteWorkload(&m, "wl", []Thread{th}); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

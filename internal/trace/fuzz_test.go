@@ -48,3 +48,87 @@ func FuzzReadTrace(f *testing.F) {
 		}
 	})
 }
+
+// FuzzFileReader hammers the v2 container decoder with arbitrary inputs:
+// header parsing must never panic, every thread an accepted container
+// exposes must replay without panicking, and a cleanly replayed container
+// must survive a write/read round trip with identical metadata and ops.
+func FuzzFileReader(f *testing.F) {
+	// Seed with a valid two-thread container and corruptions of it.
+	var m memFile
+	threads := []Thread{
+		sliceThread(0, 0, "A", []Op{{PC: 0x400000}, {PC: 0x400004, HasData: true, DataAddr: 0x99, IsWrite: true}}),
+		sliceThread(1, 1, "B", []Op{{PC: 0x800000}}),
+	}
+	if err := WriteWorkload(&m, "fuzz", threads); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(m.buf)
+	for _, i := range []int{0, 4, 6, len(m.buf) / 2, len(m.buf) - 1} {
+		corrupt := append([]byte(nil), m.buf...)
+		corrupt[i] ^= 0xff
+		f.Add(corrupt)
+	}
+	f.Add(m.buf[:len(m.buf)-3])
+	f.Add([]byte("SLTR\x02"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := NewFileReader(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			return
+		}
+		// Replay every thread; corrupt streams must end with Err, not panic.
+		all := make([][]Op, c.NumThreads())
+		clean := true
+		for i := 0; i < c.NumThreads(); i++ {
+			src := c.Source(i)
+			for {
+				op, ok := src.Next()
+				if !ok {
+					break
+				}
+				all[i] = append(all[i], op)
+			}
+			if src.Err() != nil {
+				clean = false
+			}
+		}
+		if !clean || c.Version() != containerVersion {
+			return
+		}
+		// A cleanly replayed v2 container must round-trip.
+		ths := make([]Thread, c.NumThreads())
+		for i := range ths {
+			meta := c.Meta(i)
+			ths[i] = sliceThread(meta.ID, meta.Type, meta.TypeName, all[i])
+		}
+		var again memFile
+		if err := WriteWorkload(&again, c.Name(), ths); err != nil {
+			t.Fatalf("re-encode of accepted container failed: %v", err)
+		}
+		c2, err := NewFileReader(bytes.NewReader(again.buf), int64(len(again.buf)))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if c2.Name() != c.Name() || c2.NumThreads() != c.NumThreads() {
+			t.Fatal("round trip changed container identity")
+		}
+		for i := 0; i < c2.NumThreads(); i++ {
+			ma, mb := c.Meta(i), c2.Meta(i)
+			if ma.ID != mb.ID || ma.Type != mb.Type || ma.TypeName != mb.TypeName || uint64(len(all[i])) != mb.Ops {
+				t.Fatalf("thread %d metadata changed in round trip", i)
+			}
+			src := c2.Source(i)
+			for k, want := range all[i] {
+				got, ok := src.Next()
+				if !ok || got != want {
+					t.Fatalf("thread %d op %d changed in round trip", i, k)
+				}
+			}
+			if _, ok := src.Next(); ok || src.Err() != nil {
+				t.Fatalf("thread %d round trip gained ops or errored: %v", i, src.Err())
+			}
+		}
+	})
+}

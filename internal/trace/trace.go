@@ -1,8 +1,15 @@
-// Package trace defines the execution-trace model the simulator consumes.
-// The paper extracts annotated x86 traces with PIN and replays them; here a
-// trace is a per-thread stream of Op records produced lazily by a Source
-// (synthetic generators in internal/workload, or recorded streams for
-// tests and tools).
+// Package trace defines the execution-trace model the simulator consumes
+// and the binary formats that persist it. The paper extracts annotated x86
+// traces with PIN and replays them; here a trace is a per-thread stream of
+// Op records produced lazily by a Source — synthetic generators in
+// internal/workload, or recorded streams replayed from trace files.
+//
+// Two on-disk formats exist, specified byte-by-byte in docs/TRACES.md:
+// the v1 single-thread format (WriteTrace/ReadTrace, decoded fully into
+// memory) and the v2 whole-workload container (WriteWorkload/OpenWorkload,
+// one file holding every thread with per-thread metadata), whose
+// FileSource streams ops with constant memory so containers larger than
+// RAM replay fine. OpenWorkload reads both versions.
 package trace
 
 import (
@@ -89,18 +96,22 @@ type Thread struct {
 	New func() Source
 }
 
-// --- binary trace serialization ---------------------------------------------
+// --- binary trace serialization (v1, single thread) --------------------------
 
-// Binary format: magic, version, then one varint-encoded record per op.
-// Flags bit0 = HasData, bit1 = IsWrite.
+// v1 format: magic, version, op count, then one varint-encoded record per
+// op (flags bit0 = HasData, bit1 = IsWrite, absolute addresses). The v2
+// multi-thread container in container.go shares the magic; docs/TRACES.md
+// specifies both layouts.
 var traceMagic = [4]byte{'S', 'L', 'T', 'R'}
 
+// traceVersion identifies the v1 single-thread format.
 const traceVersion = 1
 
 // ErrBadTrace reports a malformed trace stream.
 var ErrBadTrace = errors.New("trace: malformed trace stream")
 
-// WriteTrace encodes ops to w.
+// WriteTrace encodes ops to w in the v1 single-thread format. For whole
+// workloads use WriteWorkload, which writes the streamable v2 container.
 func WriteTrace(w io.Writer, ops []Op) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(traceMagic[:]); err != nil {
@@ -139,7 +150,9 @@ func WriteTrace(w io.Writer, ops []Op) error {
 	return bw.Flush()
 }
 
-// ReadTrace decodes a trace written by WriteTrace.
+// ReadTrace decodes a trace written by WriteTrace, fully into memory. To
+// stream a trace (or read a v2 container) use OpenWorkload, which accepts
+// v1 files too.
 func ReadTrace(r io.Reader) ([]Op, error) {
 	br := bufio.NewReader(r)
 	var magic [4]byte

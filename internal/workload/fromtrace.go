@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"fmt"
+
+	"slicc/internal/trace"
+)
+
+// maxRecordedType bounds the transaction type indices accepted from a
+// container: type indices index slices downstream, so a forged sparse index
+// must not drive a huge allocation.
+const maxRecordedType = 1 << 16
+
+// FromTraceFile opens the trace container at path and wraps it as a
+// Workload, making recorded and synthetic workloads interchangeable
+// everywhere downstream: the simulator, the runner and the experiment
+// harness all consume Threads() and never ask how the ops were produced.
+//
+// The returned workload streams ops straight from the file — each call to a
+// thread's New opens an independent constant-memory trace.FileSource — so
+// replaying a container much larger than RAM is fine. Transaction types are
+// reconstructed from the container's per-thread metadata (name per type
+// index, weight from the recorded mix); code-layout queries that only make
+// sense for synthetic workloads (segment footprints, shared ranges) report
+// empty results.
+//
+// The workload holds the container open for its lifetime. Workloads are
+// cached and shared for the process's lifetime by the runner, so there is
+// deliberately no eager close: the OS reclaims the descriptor on exit.
+func FromTraceFile(path string) (*Workload, error) {
+	f, err := trace.OpenWorkload(path)
+	if err != nil {
+		return nil, err
+	}
+	maxType := 0
+	for i := 0; i < f.NumThreads(); i++ {
+		if t := f.Meta(i).Type; t > maxType {
+			maxType = t
+		}
+	}
+	if maxType > maxRecordedType {
+		f.Close()
+		return nil, fmt.Errorf("workload: %s: absurd transaction type index %d", path, maxType)
+	}
+	types := make([]TxnType, maxType+1)
+	counts := make([]int, maxType+1)
+	for i := 0; i < f.NumThreads(); i++ {
+		m := f.Meta(i)
+		counts[m.Type]++
+		if types[m.Type].Name == "" {
+			types[m.Type].Name = m.TypeName
+		}
+	}
+	for ti := range types {
+		if types[ti].Name == "" {
+			types[ti].Name = fmt.Sprintf("type%d", ti)
+		}
+		if n := f.NumThreads(); n > 0 {
+			types[ti].Weight = float64(counts[ti]) / float64(n)
+		}
+	}
+	return &Workload{
+		Name:      f.Name(),
+		Kind:      Recorded,
+		Config:    Config{TracePath: path},
+		Types:     types,
+		threads:   f.Threads(),
+		container: f,
+	}, nil
+}
+
+// Container returns the trace file backing a Recorded workload, or nil for
+// synthetic workloads.
+func (w *Workload) Container() *trace.File { return w.container }

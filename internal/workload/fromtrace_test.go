@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"slicc/internal/trace"
+)
+
+// captureWorkload writes w's threads to a v2 container and returns its path.
+func captureWorkload(t *testing.T, w *Workload) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "wl.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := trace.WriteWorkload(f, w.Name, w.Threads()); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestFromTraceFileReplaysWorkload(t *testing.T) {
+	syn := New(Config{Kind: TPCC1, Threads: 6, Seed: 3, Scale: 0.1})
+	path := captureWorkload(t, syn)
+
+	rec, err := FromTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Kind != Recorded {
+		t.Fatalf("Kind = %v, want Recorded", rec.Kind)
+	}
+	if rec.Name != syn.Name {
+		t.Fatalf("Name = %q, want %q", rec.Name, syn.Name)
+	}
+	if rec.Container() == nil {
+		t.Fatal("recorded workload has no container")
+	}
+	gen, rep := syn.Threads(), rec.Threads()
+	if len(rep) != len(gen) {
+		t.Fatalf("%d threads, want %d", len(rep), len(gen))
+	}
+	for i := range gen {
+		if rep[i].ID != gen[i].ID || rep[i].Type != gen[i].Type || rep[i].TypeName != gen[i].TypeName {
+			t.Fatalf("thread %d identity mismatch: %+v vs %+v", i, rep[i], gen[i])
+		}
+		a, b := gen[i].New(), rep[i].New()
+		for k := 0; ; k++ {
+			wantOp, wantOK := a.Next()
+			gotOp, gotOK := b.Next()
+			if wantOK != gotOK {
+				t.Fatalf("thread %d: stream lengths diverge at op %d", i, k)
+			}
+			if !wantOK {
+				break
+			}
+			if gotOp != wantOp {
+				t.Fatalf("thread %d op %d = %+v, want %+v", i, k, gotOp, wantOp)
+			}
+		}
+	}
+
+	// Reconstructed types carry names and the recorded mix.
+	counts := map[int]int{}
+	for _, th := range gen {
+		counts[th.Type]++
+	}
+	for ti, ty := range rec.Types {
+		if ty.Name != syn.Types[ti].Name {
+			t.Fatalf("type %d name %q, want %q", ti, ty.Name, syn.Types[ti].Name)
+		}
+		want := float64(counts[ti]) / float64(len(gen))
+		if ty.Weight != want {
+			t.Fatalf("type %d weight %v, want recorded share %v", ti, ty.Weight, want)
+		}
+	}
+
+	// Recorded workloads answer op-count queries from the container.
+	for ti := range rec.Types {
+		if counts[ti] > 0 && rec.EstimateInstructions(ti) == 0 {
+			t.Fatalf("EstimateInstructions(%d) = 0 for a populated type", ti)
+		}
+	}
+	// Code-layout queries have nothing to report but must not panic.
+	if got := rec.SharedRanges(); len(got) != 0 {
+		t.Fatalf("SharedRanges on a recorded workload = %v", got)
+	}
+}
+
+func TestFromTraceFileErrors(t *testing.T) {
+	if _, err := FromTraceFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad")
+	if err := os.WriteFile(bad, []byte("not a trace"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromTraceFile(bad); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestConfigWithDefaultsCanonicalizesTraceConfigs(t *testing.T) {
+	a := Config{TracePath: "x.trace", TraceDigest: "d"}.WithDefaults()
+	b := Config{TracePath: "x.trace", TraceDigest: "d", Kind: TPCE, Threads: 99, Seed: 7, Scale: 2}.WithDefaults()
+	if a != b {
+		t.Fatalf("trace configs did not canonicalize: %+v vs %+v", a, b)
+	}
+	if a.Threads != 0 || a.Kind != TPCC1 {
+		t.Fatalf("synthetic fields leaked into canonical trace config: %+v", a)
+	}
+}
+
+func TestNewRejectsTraceConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New accepted a trace config")
+		}
+	}()
+	New(Config{TracePath: "x.trace"})
+}

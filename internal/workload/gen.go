@@ -238,7 +238,22 @@ func (s *threadSource) nextRowAddr() uint64 {
 
 // EstimateInstructions returns the expected op count of a thread of type ti
 // (used by tests and the tracegen tool; it re-derives a stream and counts).
+// For recorded workloads the container's exact per-thread counts are
+// averaged over the type's instances instead.
 func (w *Workload) EstimateInstructions(ti int) uint64 {
+	if w.container != nil {
+		var sum, n uint64
+		for i := 0; i < w.container.NumThreads(); i++ {
+			if m := w.container.Meta(i); m.Type == ti {
+				sum += m.Ops
+				n++
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		return sum / n
+	}
 	src := newThreadSource(w, 0, ti, threadSeed(w.Config.Seed, -1))
 	var n uint64
 	for {

@@ -35,11 +35,18 @@ const (
 	TPCC10                // TPC-C, 10 warehouses (larger data footprint)
 	TPCE                  // TPC-E, 1000 customers
 	MapReduce             // Hadoop/Mahout text analytics
+
+	// Recorded marks a workload replayed from a trace container rather
+	// than synthesized; it is the Kind of workloads built by FromTraceFile.
+	Recorded Kind = -1
 )
 
 var kindNames = [...]string{"TPC-C-1", "TPC-C-10", "TPC-E", "MapReduce"}
 
 func (k Kind) String() string {
+	if k == Recorded {
+		return "Recorded"
+	}
 	if k < 0 || int(k) >= len(kindNames) {
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -62,6 +69,18 @@ type Config struct {
 	// Scale multiplies per-transaction work (loop iterations). 1.0
 	// reproduces the default calibration; tests may shrink it.
 	Scale float64
+
+	// TracePath, when non-empty, replays the recorded trace container at
+	// this path instead of synthesizing anything; Kind, Threads, Seed and
+	// Scale are ignored (the container fixes all of them). Build such
+	// workloads with FromTraceFile.
+	TracePath string
+	// TraceDigest is the content digest (trace.FileDigest) of the file at
+	// TracePath. The runner fills it in before using a Config as a cache
+	// key, so memoization keys on the trace's *contents*: renaming a file
+	// does not defeat dedup, and re-recording a file under the same name
+	// does not replay stale results. Leave empty when declaring jobs.
+	TraceDigest string
 }
 
 // WithDefaults returns the configuration with zero fields replaced by their
@@ -71,6 +90,12 @@ type Config struct {
 func (c Config) WithDefaults() Config { return c.withDefaults() }
 
 func (c Config) withDefaults() Config {
+	if c.TracePath != "" {
+		// A recorded workload is fully determined by the container, so the
+		// canonical spelling zeroes every synthetic-only field: differently
+		// spelled configs of the same replay share one cache entry.
+		return Config{TracePath: c.TracePath, TraceDigest: c.TraceDigest}
+	}
 	if c.Threads == 0 {
 		if c.Kind == MapReduce {
 			c.Threads = 300 // the paper's 300 map/reduce tasks
@@ -180,10 +205,19 @@ type Workload struct {
 	orders [][]uint16
 
 	threads []trace.Thread
+
+	// container is the open trace file backing a Recorded workload (nil
+	// for synthetic workloads). It is held for the workload's lifetime:
+	// every thread's New streams from it.
+	container *trace.File
 }
 
-// New synthesizes a workload.
+// New synthesizes a workload. Trace-backed configs (TracePath set) have no
+// synthesis step; build them with FromTraceFile instead.
 func New(cfg Config) *Workload {
+	if cfg.TracePath != "" {
+		panic("workload: New called with a trace config; use FromTraceFile")
+	}
 	cfg = cfg.withDefaults()
 	var w *Workload
 	switch cfg.Kind {

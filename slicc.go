@@ -19,6 +19,10 @@
 //   - counting partial-address bloom filters (SLICC's cache signatures),
 //   - synthetic TPC-C, TPC-E and MapReduce workload generators calibrated
 //     to the memory behaviour Section 2 of the paper measures,
+//   - a documented binary trace format (docs/TRACES.md) with streaming
+//     whole-workload containers: capture any workload with cmd/tracegen
+//     -dump-all and replay it via Config.TracePath in constant memory,
+//     exactly as the paper replays its PIN-recorded Shore-MT traces,
 //   - SLICC itself in three variants (type-oblivious, SLICC-SW, SLICC-Pp
 //     with a scout core) plus the baseline scheduler, a next-line
 //     prefetcher and the paper's PIF upper bound, and
@@ -176,6 +180,18 @@ type Config struct {
 	// Benchmark and Policy select the workload and scheduler.
 	Benchmark Benchmark
 	Policy    Policy
+	// TracePath, when non-empty, replays the recorded trace container at
+	// this path (written by `tracegen -dump-all` or trace.WriteWorkload)
+	// instead of synthesizing a benchmark. Setting a non-zero Benchmark
+	// alongside it is an error; Benchmark's zero value (TPCC1) is
+	// indistinguishable from unset and is simply ignored, as are
+	// Threads/Seed/Scale — the container fixes the workload completely,
+	// and Result.Benchmark is meaningless for trace runs. Replaying a capture of a synthetic workload
+	// produces results identical to running that workload directly. The
+	// trace is streamed with constant memory, and the engine's dedup keys
+	// on the file's content digest, so identical traces under different
+	// names still simulate once. See docs/TRACES.md.
+	TracePath string
 	// Threads is the number of transactions/tasks (default: 128 for OLTP,
 	// 300 for MapReduce — the paper's task counts scaled for practicality).
 	Threads int
@@ -230,6 +246,9 @@ type ReuseBreakdown struct {
 type Result struct {
 	Benchmark Benchmark
 	Policy    Policy
+	// TracePath echoes the replayed container for trace-driven runs
+	// (empty for synthetic runs; Benchmark is then meaningless).
+	TracePath string
 
 	Instructions uint64
 	Cycles       float64
@@ -281,6 +300,9 @@ func (c Config) validate() error {
 	if c.Threads < 0 || c.Scale < 0 {
 		return fmt.Errorf("slicc: negative Threads or Scale")
 	}
+	if c.TracePath != "" && c.Benchmark != 0 {
+		return fmt.Errorf("slicc: TracePath and Benchmark are mutually exclusive")
+	}
 	if int(c.Benchmark) < 0 || c.Benchmark > MapReduce {
 		return fmt.Errorf("slicc: unknown benchmark %d", int(c.Benchmark))
 	}
@@ -299,6 +321,11 @@ func (c Config) job() runner.Job {
 		Threads: c.Threads,
 		Seed:    c.Seed,
 		Scale:   c.Scale,
+	}
+	if c.TracePath != "" {
+		// A recorded workload is fully specified by the container; the
+		// runner fills in the content digest that keys its memoization.
+		wcfg = workload.Config{TracePath: c.TracePath}
 	}
 
 	mcfg := sim.Config{
@@ -344,6 +371,7 @@ func (c Config) result(rr runner.Result) Result {
 	out := Result{
 		Benchmark:         c.Benchmark,
 		Policy:            c.Policy,
+		TracePath:         c.TracePath,
 		Instructions:      r.Instructions,
 		Cycles:            r.Cycles,
 		IMPKI:             r.IMPKI(),

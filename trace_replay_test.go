@@ -1,0 +1,115 @@
+package slicc
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"slicc/internal/trace"
+	"slicc/internal/workload"
+)
+
+// captureContainer writes the synthetic workload for wcfg to a v2 container
+// and returns its path.
+func captureContainer(t testing.TB, dir string, wcfg workload.Config) string {
+	t.Helper()
+	w := workload.New(wcfg)
+	path := filepath.Join(dir, "wl.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := trace.WriteWorkload(f, w.Name, w.Threads()); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestTraceReplayMatchesSynthetic is the acceptance check for the trace
+// subsystem: capturing a synthetic workload and replaying the container
+// through Run must reproduce the direct synthetic run exactly, metric for
+// metric, for every policy family.
+func TestTraceReplayMatchesSynthetic(t *testing.T) {
+	wcfg := workload.Config{Kind: workload.TPCC1, Threads: 8, Seed: 4, Scale: 0.1}
+	path := captureContainer(t, t.TempDir(), wcfg)
+
+	for _, policy := range []Policy{Baseline, SLICCSW, StreamPrefetch} {
+		direct, err := Run(Config{Benchmark: TPCC1, Policy: policy, Threads: 8, Seed: 4, Scale: 0.1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		replay, err := Run(Config{TracePath: path, Policy: policy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The only legitimate difference is the TracePath echo.
+		replay.TracePath = ""
+		if !reflect.DeepEqual(direct, replay) {
+			t.Fatalf("policy %v: replayed result differs from direct run:\ndirect: %+v\nreplay: %+v", policy, direct, replay)
+		}
+	}
+}
+
+func TestTracePathValidation(t *testing.T) {
+	if _, err := Run(Config{TracePath: "x.trace", Benchmark: TPCE}); err == nil {
+		t.Fatal("TracePath+Benchmark accepted")
+	}
+	if _, err := Run(Config{TracePath: filepath.Join(t.TempDir(), "missing"), Policy: Baseline}); err == nil {
+		t.Fatal("missing trace file accepted")
+	}
+}
+
+// TestCompareWithTrace checks the parallel comparison path replays one
+// shared container across policies.
+func TestCompareWithTrace(t *testing.T) {
+	path := captureContainer(t, t.TempDir(), workload.Config{Kind: workload.TPCE, Threads: 6, Seed: 2, Scale: 0.05})
+	rs, err := Compare(Config{TracePath: path}, Baseline, SLICCSW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 || rs[0].Instructions == 0 || rs[0].Instructions != rs[1].Instructions {
+		t.Fatalf("trace compare results inconsistent: %+v", rs)
+	}
+	if rs[1].Policy != SLICCSW || rs[1].TracePath != path {
+		t.Fatalf("result identity wrong: %+v", rs[1])
+	}
+}
+
+// TestExperimentWithTrace pushes a recorded trace through an experiment:
+// every benchmark column replays the same container, so the per-benchmark
+// rows agree and the engine collapses their simulations.
+func TestExperimentWithTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment grid in -short mode")
+	}
+	path := captureContainer(t, t.TempDir(), workload.Config{Kind: workload.TPCC1, Threads: 6, Seed: 3, Scale: 0.05})
+	eng := NewEngine(EngineOptions{})
+	tables, err := eng.ExperimentWith(context.Background(), "fig10", ExperimentOptions{Quick: true, TracePath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) == 0 || len(tables[0].Rows) == 0 {
+		t.Fatal("no experiment output")
+	}
+	// Rows are (benchmark, policy, metrics...). Every benchmark replays the
+	// same container, so rows sharing a policy must report equal metrics.
+	byPolicy := map[string][]string{}
+	for _, row := range tables[0].Rows {
+		if len(row) < 3 {
+			continue
+		}
+		if prev, ok := byPolicy[row[1]]; ok {
+			if !reflect.DeepEqual(prev, row[2:]) {
+				t.Fatalf("policy %s metrics diverge across benchmarks of one recorded workload: %v vs %v", row[1], prev, row[2:])
+			}
+		} else {
+			byPolicy[row[1]] = row[2:]
+		}
+	}
+	if st := eng.Stats(); st.WorkloadsBuilt != 1 {
+		t.Fatalf("built %d workloads for a single-trace experiment, want 1", st.WorkloadsBuilt)
+	}
+}
