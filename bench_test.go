@@ -57,7 +57,11 @@ func BenchmarkBPKI(b *testing.B) { benchExperiment(b, "bpki") }
 // cache, so this tracks the bookkeeping overhead of the parallel engine
 // rather than simulator speed.
 func BenchmarkEngineMemoizedExperiment(b *testing.B) {
-	eng := NewEngine(EngineOptions{})
+	eng, err := NewEngine(EngineOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
 	if _, err := eng.Experiment(context.Background(), "fig3", true, 1); err != nil {
 		b.Fatal(err)
 	}

@@ -19,6 +19,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -36,6 +37,8 @@ func main() {
 		asJSON   = flag.Bool("json", false, "emit JSON instead of aligned text tables")
 		workers  = flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulation workers")
 		progress = flag.Bool("progress", false, "report live simulation progress on stderr")
+		storeDir = flag.String("store", "", "persist results in the content-addressed store at this directory; a warm store re-renders without simulating (see docs/SERVICE.md)")
+		storeMB  = flag.Int64("store-max-mb", 0, "evict least-recently-used store entries past this many MB (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -57,13 +60,18 @@ func main() {
 		w = f
 	}
 
-	opts := slicc.EngineOptions{Workers: *workers}
+	opts := slicc.EngineOptions{Workers: *workers, StoreDir: *storeDir, StoreMaxBytes: *storeMB << 20}
 	if *progress {
 		opts.Progress = func(done, scheduled int) {
 			fmt.Fprintf(os.Stderr, "\rsimulations %d/%d ", done, scheduled)
 		}
 	}
-	engine := slicc.NewEngine(opts)
+	engine, err := slicc.NewEngine(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer engine.Close()
 
 	ids := []string{*run}
 	if *run == "all" {
@@ -99,12 +107,17 @@ func main() {
 		fmt.Fprintln(os.Stderr)
 	}
 
+	// Emit every successful experiment and report every failure: one bad id
+	// must not suppress the others' output, but any failure makes the whole
+	// invocation exit non-zero.
+	var failures []string
 	collected := map[string][]slicc.ExperimentTable{}
 	for i, id := range ids {
 		o := outcomes[i]
 		if o.err != nil {
-			fmt.Fprintln(os.Stderr, o.err)
-			os.Exit(1)
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", id, o.err)
+			failures = append(failures, id)
+			continue
 		}
 		if *asJSON {
 			collected[id] = o.tables
@@ -120,11 +133,16 @@ func main() {
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(collected); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			failures = append(failures, "(json encoding)")
 		}
 	}
 	stats := engine.Stats()
-	fmt.Fprintf(os.Stderr, "total %v: %d simulations executed, %d deduplicated, %d workloads synthesized (%d reused)\n",
+	fmt.Fprintf(os.Stderr, "total %v: %d simulations executed, %d deduplicated, %d store hits, %d workloads synthesized (%d reused)\n",
 		time.Since(start).Round(time.Millisecond),
-		stats.SimsExecuted, stats.DedupHits, stats.WorkloadsBuilt, stats.WorkloadHits)
+		stats.SimsExecuted, stats.DedupHits, stats.StoreHits, stats.WorkloadsBuilt, stats.WorkloadHits)
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "%d experiment(s) failed: %s\n", len(failures), strings.Join(failures, ", "))
+		engine.Close() // os.Exit skips the deferred close
+		os.Exit(1)
+	}
 }

@@ -1,0 +1,109 @@
+// Command sliccd serves the slicc simulation engine over HTTP: submit
+// simulations, poll results, and render the paper's experiments, all on one
+// shared engine whose results persist in a content-addressed store.
+//
+//	sliccd -store /var/lib/slicc/store
+//	sliccd -addr 127.0.0.1:8080 -store ./store -j 8 -timeout 5m
+//
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/simulations?wait=1 \
+//	     -d '{"Benchmark":"tpcc1","Policy":"slicc-sw","Threads":64}'
+//	curl -s localhost:8080/v1/experiments/fig11?quick=1
+//
+// The listen address is printed on stdout once the socket is open (use
+// -addr 127.0.0.1:0 to let the OS pick a free port). SIGINT/SIGTERM drain
+// the server gracefully: the listener closes, in-flight requests get a
+// shutdown grace period, background simulations abort, and the engine —
+// store and cached trace containers included — is closed.
+//
+// See docs/SERVICE.md for the API reference.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"slicc"
+	"slicc/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8080", "listen address (host:0 picks a free port)")
+		storeDir = flag.String("store", "", "persist results in the content-addressed store at this directory")
+		storeMB  = flag.Int64("store-max-mb", 0, "evict least-recently-used store entries past this many MB (0 = unlimited)")
+		workers  = flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulation workers")
+		timeout  = flag.Duration("timeout", 2*time.Minute, "request timeout for experiment runs and ?wait=1 polls")
+		grace    = flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight requests")
+	)
+	flag.Parse()
+
+	if err := run(*addr, *storeDir, *storeMB, *workers, *timeout, *grace); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, storeDir string, storeMB int64, workers int, timeout, grace time.Duration) error {
+	eng, err := slicc.NewEngine(slicc.EngineOptions{
+		Workers:       workers,
+		StoreDir:      storeDir,
+		StoreMaxBytes: storeMB << 20,
+	})
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+
+	srv := server.New(eng, server.Options{Timeout: timeout})
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	// The bound address goes to stdout — it is the service's one piece of
+	// machine-readable startup output, which scripts (and the smoke test)
+	// parse to find a dynamically assigned port.
+	fmt.Printf("sliccd listening on %s\n", ln.Addr())
+	if storeDir != "" {
+		fmt.Fprintf(os.Stderr, "result store at %s\n", storeDir)
+	}
+
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "sliccd: %v, draining (grace %v)\n", sig, grace)
+	case err := <-errc:
+		return fmt.Errorf("sliccd: serve: %w", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("sliccd: shutdown: %w", err)
+	}
+	// Abort background simulations before the engine (and its store) close.
+	srv.Close()
+	return nil
+}

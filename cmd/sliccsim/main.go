@@ -4,53 +4,32 @@
 //	sliccsim -workload tpcc1 -policy slicc-sw -threads 64
 //	sliccsim -workload tpce -policy base -classify
 //	sliccsim -workload tpcc1 -policy slicc-sw -compare
+//	sliccsim -workload tpcc1 -policy slicc-sw -json | jq .Result.IMPKI
+//	sliccsim -store ./store -workload tpcc10 -policy pif
+//
+// With -store, results persist in the content-addressed result store (the
+// same store cmd/experiments and sliccd use): re-running an identical
+// configuration — even from another process or binary — prints without
+// simulating. -json emits the same slicc.Result encoding the sliccd API
+// returns.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 	"strings"
 
 	"slicc"
 )
 
-var benchmarks = map[string]slicc.Benchmark{
-	"tpcc1":     slicc.TPCC1,
-	"tpcc10":    slicc.TPCC10,
-	"tpce":      slicc.TPCE,
-	"mapreduce": slicc.MapReduce,
-}
-
-var policies = map[string]slicc.Policy{
-	"base":     slicc.Baseline,
-	"nextline": slicc.NextLine,
-	"slicc":    slicc.SLICC,
-	"slicc-pp": slicc.SLICCPp,
-	"slicc-sw": slicc.SLICCSW,
-	"pif":      slicc.PIF,
-	"stream":   slicc.StreamPrefetch,
-	"steps":    slicc.STEPS,
-}
-
-// keys lists a flag-value map's names, sorted so help and error text is
-// deterministic (map iteration order is not).
-func keys[M map[string]V, V any](m M) string {
-	var ks []string
-	for k := range m {
-		ks = append(ks, k)
-	}
-	sort.Strings(ks)
-	return strings.Join(ks, ", ")
-}
-
 func main() {
 	var (
-		workloadName = flag.String("workload", "tpcc1", "benchmark: "+keys(benchmarks))
+		workloadName = flag.String("workload", "tpcc1", "benchmark: "+strings.Join(slicc.BenchmarkNames(), ", "))
 		tracePath    = flag.String("trace", "", "replay this recorded trace container instead of a synthetic benchmark (see docs/TRACES.md)")
-		policyName   = flag.String("policy", "slicc-sw", "policy: "+keys(policies))
+		policyName   = flag.String("policy", "slicc-sw", "policy: "+strings.Join(slicc.PolicyNames(), ", "))
 		threads      = flag.Int("threads", 64, "transactions/tasks (0 = benchmark default)")
 		seed         = flag.Int64("seed", 1, "workload seed")
 		scale        = flag.Float64("scale", 1, "per-transaction work multiplier")
@@ -63,21 +42,24 @@ func main() {
 		matched      = flag.Int("matched", 0, "SLICC matched_t (0 = paper default 4)")
 		dilution     = flag.Int("dilution", 0, "SLICC dilution_t (0 = paper default 10, -1 = disabled)")
 		events       = flag.Int("events", 0, "print the first N migration/context-switch events")
+		asJSON       = flag.Bool("json", false, "emit the result as JSON (the sliccd wire encoding) instead of text")
+		storeDir     = flag.String("store", "", "persist results in the content-addressed store at this directory (see docs/SERVICE.md)")
+		storeMB      = flag.Int64("store-max-mb", 0, "evict least-recently-used store entries past this many MB (0 = unlimited)")
 	)
 	flag.Parse()
 
 	var bench slicc.Benchmark
 	if *tracePath == "" {
-		var ok bool
-		bench, ok = benchmarks[*workloadName]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown workload %q (have %s)\n", *workloadName, keys(benchmarks))
+		var err error
+		bench, err = slicc.ParseBenchmark(*workloadName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
 	}
-	policy, ok := policies[*policyName]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown policy %q (have %s)\n", *policyName, keys(policies))
+	policy, err := slicc.ParsePolicy(*policyName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
@@ -96,26 +78,65 @@ func main() {
 		SLICC:     slicc.Params{FillUpT: *fillUp, MatchedT: *matched, DilutionT: *dilution},
 	}
 
+	// All runs go through an engine so -store works uniformly; without
+	// -store this is the same fresh in-memory pool slicc.Run would use.
+	engine, err := slicc.NewEngine(slicc.EngineOptions{StoreDir: *storeDir, StoreMaxBytes: *storeMB << 20})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer engine.Close()
+
 	// With -compare, the policy and baseline simulations run in parallel
-	// (CompareContext shares one synthesized workload between them).
+	// (the engine shares one synthesized workload between them).
 	runCompare := *compare && policy != slicc.Baseline
 	var r, base slicc.Result
 	if runCompare {
-		rs, err := slicc.CompareContext(context.Background(), cfg, policy, slicc.Baseline)
+		rs, err := engine.Compare(context.Background(), cfg, policy, slicc.Baseline)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		r, base = rs[0], rs[1]
 	} else {
-		var err error
-		r, err = slicc.Run(cfg)
+		r, err = engine.Run(context.Background(), cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 	}
 
+	if *asJSON {
+		printJSON(r, base, runCompare)
+		return
+	}
+	printText(r, base, runCompare, *classify, *events)
+}
+
+// jsonOutput is the machine-readable result envelope: Result uses exactly
+// the encoding the sliccd API returns for a simulation.
+type jsonOutput struct {
+	Result   slicc.Result
+	Baseline *slicc.Result `json:",omitempty"`
+	Speedup  float64       `json:",omitempty"`
+}
+
+func printJSON(r, base slicc.Result, compared bool) {
+	out := jsonOutput{Result: r}
+	if compared {
+		b := base
+		out.Baseline = &b
+		out.Speedup = r.Speedup(base)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func printText(r, base slicc.Result, compared, classify bool, events int) {
 	if r.TracePath != "" {
 		fmt.Printf("workload      trace %s\n", r.TracePath)
 	} else {
@@ -126,7 +147,7 @@ func main() {
 	fmt.Printf("cycles        %.0f\n", r.Cycles)
 	fmt.Printf("I-MPKI        %.2f\n", r.IMPKI)
 	fmt.Printf("D-MPKI        %.2f\n", r.DMPKI)
-	if *classify {
+	if classify {
 		fmt.Printf("I 3C          compulsory %.2f / capacity %.2f / conflict %.2f\n",
 			r.ICompulsoryMPKI, r.ICapacityMPKI, r.IConflictMPKI)
 		fmt.Printf("D 3C          compulsory %.2f / capacity %.2f / conflict %.2f\n",
@@ -140,10 +161,10 @@ func main() {
 	if r.BPKI > 0 {
 		fmt.Printf("search BPKI   %.3f\n", r.BPKI)
 	}
-	if *events > 0 {
-		fmt.Printf("first %d scheduling events:\n", *events)
+	if events > 0 {
+		fmt.Printf("first %d scheduling events:\n", events)
 		for i, e := range r.Events {
-			if i >= *events {
+			if i >= events {
 				break
 			}
 			kind := "migrate"
@@ -155,7 +176,7 @@ func main() {
 		}
 	}
 
-	if runCompare {
+	if compared {
 		fmt.Printf("speedup       %.3fx over baseline (%.0f cycles)\n", r.Speedup(base), base.Cycles)
 		fmt.Printf("I-MPKI change %+.1f%%\n", 100*(r.IMPKI/base.IMPKI-1))
 		fmt.Printf("D-MPKI change %+.1f%%\n", 100*(r.DMPKI/base.DMPKI-1))

@@ -6,6 +6,7 @@
 //	tracegen -workload tpcc1 -dump-all wl.trace          # whole-workload v2 container
 //	tracegen -info wl.trace                              # print a container's header
 //	tracegen -workload tpcc1 -verify wl.trace            # diff replay vs regeneration
+//	tracegen -workload tpcc1 -dump-all wl.trace -store ./store   # capture + warm the result store
 //
 // A container written by -dump-all replays through the simulator via
 // slicc.Config.TracePath (or sliccsim/experiments -trace), producing
@@ -14,10 +15,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
+	"slicc"
 	"slicc/internal/trace"
 	"slicc/internal/workload"
 )
@@ -43,6 +46,8 @@ func main() {
 		info     = flag.String("info", "", "print the header of this trace container and exit")
 		verify   = flag.String("verify", "", "replay this container and diff it against the regenerated workload")
 		analyze  = flag.Bool("analyze", false, "print a reuse-distance analysis of the selected thread")
+		storeDir = flag.String("store", "", "after -dump-all/-verify, run a baseline replay of the container on a store-backed engine, warming the result store at this directory (see docs/SERVICE.md)")
+		storeMB  = flag.Int64("store-max-mb", 0, "evict least-recently-used store entries past this many MB (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -66,11 +71,17 @@ func main() {
 			fatal(err)
 		}
 		if *verify == "" {
+			if err := warmStore(*storeDir, *storeMB, *dumpAll); err != nil {
+				fatal(err)
+			}
 			return
 		}
 	}
 	if *verify != "" {
 		if err := verifyContainer(w, *verify); err != nil {
+			fatal(err)
+		}
+		if err := warmStore(*storeDir, *storeMB, *verify); err != nil {
 			fatal(err)
 		}
 		return
@@ -147,6 +158,33 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, err)
 	os.Exit(1)
+}
+
+// warmStore replays the container at path once under the baseline policy on
+// a store-backed engine, so the capture's first simulation result (keyed by
+// the container's content digest) is already persisted when experiments or
+// sliccd later replay the same recording. A no-op without -store.
+func warmStore(dir string, maxMB int64, path string) error {
+	if dir == "" {
+		return nil
+	}
+	eng, err := slicc.NewEngine(slicc.EngineOptions{StoreDir: dir, StoreMaxBytes: maxMB << 20})
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+	r, err := eng.Run(context.Background(), slicc.Config{TracePath: path, Policy: slicc.Baseline})
+	if err != nil {
+		return err
+	}
+	stats := eng.Stats()
+	verb := "simulated"
+	if stats.StoreHits > 0 {
+		verb = "already stored"
+	}
+	fmt.Printf("store %s: baseline replay %s (%d instructions, %.0f cycles)\n",
+		dir, verb, r.Instructions, r.Cycles)
+	return nil
 }
 
 // dumpWorkload captures every thread of w into a v2 container at path.

@@ -8,6 +8,7 @@ import (
 
 	"slicc/internal/experiments"
 	"slicc/internal/runner"
+	"slicc/internal/store"
 )
 
 // ExperimentTable is a formatted experiment result (one table or figure
@@ -94,16 +95,32 @@ type EngineOptions struct {
 	// completed, with engine-lifetime counts. It may be called from
 	// multiple goroutines.
 	Progress func(done, scheduled int)
+	// StoreDir, when non-empty, backs the engine's memoization with the
+	// persistent result store rooted at this directory (created if
+	// needed): results are written there as simulations complete and
+	// identical simulations — in any later process, or concurrently in
+	// another process sharing the directory — are served from disk
+	// instead of executing. See docs/SERVICE.md for the store's layout
+	// and on-disk format.
+	StoreDir string
+	// StoreMaxBytes bounds the store directory's size (0 = unlimited);
+	// least-recently-used entries are evicted past the budget.
+	StoreMaxBytes int64
 }
 
 // EngineStats snapshots an engine's work counters.
 type EngineStats struct {
 	// SimsRequested / SimsExecuted count requested versus actually
-	// executed simulations; the difference went to the dedup cache.
+	// executed simulations; the difference went to the dedup cache or the
+	// persistent store.
 	SimsRequested, SimsExecuted int
 	// DedupHits counts simulations served by an identical earlier (or
 	// concurrent) one.
 	DedupHits int
+	// StoreHits / StorePuts count simulations served from / recorded to
+	// the persistent store (zero without StoreDir). At any quiescent
+	// point SimsRequested == SimsExecuted + DedupHits + StoreHits.
+	StoreHits, StorePuts int
 	// WorkloadsBuilt / WorkloadHits count workload-synthesis cache
 	// misses/hits.
 	WorkloadsBuilt, WorkloadHits int
@@ -117,12 +134,61 @@ type EngineStats struct {
 // use; cross-experiment dedup works even between concurrent Experiment
 // calls.
 type Engine struct {
-	pool *runner.Pool
+	pool  *runner.Pool
+	store *store.Store // nil without EngineOptions.StoreDir
 }
 
-// NewEngine builds an experiment engine.
-func NewEngine(o EngineOptions) *Engine {
-	return &Engine{pool: runner.New(runner.Options{Workers: o.Workers, OnProgress: o.Progress})}
+// NewEngine builds an experiment engine. The error is non-nil only when
+// EngineOptions.StoreDir is set and the store cannot be opened. Callers
+// that configure a store (or replay trace containers) should Close the
+// engine when done with it.
+func NewEngine(o EngineOptions) (*Engine, error) {
+	ropts := runner.Options{Workers: o.Workers, OnProgress: o.Progress}
+	var st *store.Store
+	if o.StoreDir != "" {
+		var err error
+		st, err = store.Open(o.StoreDir, store.Options{MaxBytes: o.StoreMaxBytes})
+		if err != nil {
+			return nil, fmt.Errorf("slicc: opening result store: %w", err)
+		}
+		ropts.Memo = runner.NewStoreMemo(st)
+	}
+	return &Engine{pool: runner.New(ropts), store: st}, nil
+}
+
+// Close releases the engine's long-lived resources: cached trace-container
+// file handles (which otherwise stay open for the engine's lifetime) and
+// the persistent result store. Call it after outstanding Run/Experiment
+// calls return; the engine must not be used afterwards.
+func (e *Engine) Close() error {
+	err := e.pool.Close()
+	if e.store != nil {
+		if serr := e.store.Close(); err == nil {
+			err = serr
+		}
+	}
+	return err
+}
+
+// Run executes one simulation on the engine's shared pool, with the
+// engine's full memoization stack: an identical simulation already executed
+// by this engine — or present in the persistent store — does not run again.
+func (e *Engine) Run(ctx context.Context, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	rs, err := e.pool.Run(ctx, []runner.Job{cfg.job()})
+	if err != nil {
+		return Result{}, err
+	}
+	return cfg.result(rs[0]), nil
+}
+
+// Compare runs the same benchmark under several policies on the engine's
+// shared pool and returns results in order (see CompareContext).
+func (e *Engine) Compare(ctx context.Context, base Config, policies ...Policy) ([]Result, error) {
+	return compareOn(ctx, e.pool, base, policies...)
 }
 
 // ExperimentOptions parameterizes ExperimentWith beyond the quick/seed
@@ -171,6 +237,8 @@ func (e *Engine) Stats() EngineStats {
 		SimsRequested:  s.JobsRequested,
 		SimsExecuted:   s.JobsExecuted,
 		DedupHits:      s.DedupHits,
+		StoreHits:      s.StoreHits,
+		StorePuts:      s.StorePuts,
 		WorkloadsBuilt: s.WorkloadsBuilt,
 		WorkloadHits:   s.WorkloadHits,
 	}
@@ -179,7 +247,12 @@ func (e *Engine) Stats() EngineStats {
 // Experiment is the original serial-era entry point, kept as a wrapper: it
 // runs the experiment on a fresh engine with default parallelism and no
 // cancellation. Use an Engine to share the dedup cache across experiments
-// or to control worker count and cancellation.
+// or to control worker count, persistence and cancellation.
 func Experiment(id string, quick bool, seed int64) ([]ExperimentTable, error) {
-	return NewEngine(EngineOptions{}).Experiment(context.Background(), id, quick, seed)
+	eng, err := NewEngine(EngineOptions{})
+	if err != nil {
+		return nil, err
+	}
+	defer eng.Close()
+	return eng.Experiment(context.Background(), id, quick, seed)
 }

@@ -1,0 +1,114 @@
+package runner
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"slicc/internal/sim"
+	"slicc/internal/store"
+)
+
+// Memo is a persistent memoization layer under the pool's in-flight dedup.
+// The pool consults it once per *claimed* job — after in-memory dedup, so
+// concurrent identical jobs cost one lookup — and records every successful
+// execution. Implementations must be safe for concurrent use and must only
+// return results previously recorded for exactly that key; a Memo that
+// simply always misses is valid.
+//
+// Keys come from JobKey, so a Memo shared between processes (the store-
+// backed one) is shared between every binary that runs the same jobs.
+type Memo interface {
+	// Get returns the recorded result for key, if any.
+	Get(key string) (Result, bool)
+	// Put records a successful result under key. Best effort: a Memo that
+	// fails to record must simply miss later.
+	Put(key string, res Result)
+}
+
+// jobKeyVersion tags the hash input. Bump it whenever Job's schema or the
+// meaning of any field changes, so stale persisted results from older
+// binaries become unreachable instead of silently wrong.
+const jobKeyVersion = "slicc-job-v1"
+
+// JobKey returns the stable content key of a job: a hex SHA-256 over a
+// versioned, canonical encoding of the normalized job. Two jobs that
+// describe the same simulation — including differently spelled defaults —
+// have equal keys; any semantic difference changes the key.
+//
+// Trace-driven jobs must carry Workload.TraceDigest (the runner resolves it
+// before keying): the key then covers the trace's *contents*, so renaming a
+// container does not defeat persistent memoization and re-recording one
+// does not replay stale results.
+func JobKey(j Job) string {
+	j = j.normalized()
+	// Paths never reach the key: contents are identified by digest only.
+	j.Workload.TracePath = ""
+	b, err := json.Marshal(j)
+	if err != nil {
+		// Job is a tree of plain exported value fields; Marshal cannot fail.
+		panic(fmt.Sprintf("runner: encoding job key: %v", err))
+	}
+	h := sha256.New()
+	h.Write([]byte(jobKeyVersion))
+	h.Write([]byte{'\n'})
+	h.Write(b)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// storedResult is the persisted subset of Result: everything except Err
+// (failed and cancelled jobs are never persisted).
+type storedResult struct {
+	Sim                       sim.Result
+	ReuseGlobal, ReusePerType sim.ReuseBreakdown
+	BloomAccuracy             float64
+}
+
+// storeMemo adapts a content-addressed store.Store to the Memo interface,
+// encoding results with gob (bit-exact for floats, so a replayed result
+// formats byte-identically to the executed one).
+type storeMemo struct {
+	s *store.Store
+}
+
+// NewStoreMemo wraps a result store as a pool Memo.
+func NewStoreMemo(s *store.Store) Memo { return storeMemo{s: s} }
+
+func (m storeMemo) Get(key string) (Result, bool) {
+	b, ok := m.s.Get(key)
+	if !ok {
+		return Result{}, false
+	}
+	var sr storedResult
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&sr); err != nil {
+		// An undecodable payload (written by a binary with different result
+		// types under the same key version) is a miss, like any corruption.
+		return Result{}, false
+	}
+	return Result{
+		Sim:           sr.Sim,
+		ReuseGlobal:   sr.ReuseGlobal,
+		ReusePerType:  sr.ReusePerType,
+		BloomAccuracy: sr.BloomAccuracy,
+	}, true
+}
+
+func (m storeMemo) Put(key string, res Result) {
+	if res.Err != nil {
+		return
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(storedResult{
+		Sim:           res.Sim,
+		ReuseGlobal:   res.ReuseGlobal,
+		ReusePerType:  res.ReusePerType,
+		BloomAccuracy: res.BloomAccuracy,
+	}); err != nil {
+		return
+	}
+	// Best effort by contract: a failed write only costs a future re-run.
+	_ = m.s.Put(key, buf.Bytes())
+}

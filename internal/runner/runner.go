@@ -144,6 +144,12 @@ type Stats struct {
 	// DedupHits is how many requested jobs were served by an identical
 	// job's execution (in the same batch or memoized from an earlier one).
 	DedupHits int
+	// StoreHits is how many requested jobs were served by the persistent
+	// Memo instead of executing. JobsRequested == JobsExecuted + DedupHits
+	// + StoreHits at every quiescent point.
+	StoreHits int
+	// StorePuts is how many executed results were recorded in the Memo.
+	StorePuts int
 	// WorkloadsBuilt / WorkloadHits count workload-synthesis cache
 	// misses/hits; the cache is keyed by (kind, threads, seed, scale).
 	WorkloadsBuilt int
@@ -158,6 +164,11 @@ type Options struct {
 	// are scheduled and as they finish, with the pool-lifetime completed
 	// and scheduled counts.
 	OnProgress func(done, scheduled int)
+	// Memo, if set, persists results beneath the in-flight dedup: a
+	// claimed job consults the Memo (keyed by JobKey) before executing and
+	// records its result after. A store-backed Memo (NewStoreMemo) makes
+	// memoization durable across processes.
+	Memo Memo
 }
 
 // Pool runs jobs on a bounded set of workers and memoizes results for the
@@ -166,6 +177,8 @@ type Options struct {
 type Pool struct {
 	workers    int
 	onProgress func(done, scheduled int)
+	// persist is the optional durable memoization layer (Options.Memo).
+	persist Memo
 	// sem bounds concurrent job executions pool-wide: concurrent Run
 	// calls share the budget instead of multiplying it.
 	sem chan struct{}
@@ -215,6 +228,7 @@ func New(opts Options) *Pool {
 	return &Pool{
 		workers:    opts.Workers,
 		onProgress: opts.OnProgress,
+		persist:    opts.Memo,
 		sem:        make(chan struct{}, opts.Workers),
 		memo:       make(map[Job]*entry),
 		workloads:  make(map[workload.Config]*wlEntry),
@@ -228,6 +242,36 @@ func (p *Pool) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.stats
+}
+
+// Close releases resources the pool caches for its lifetime — today that
+// is the open trace containers behind recorded workloads, whose
+// descriptors would otherwise live as long as the process. It waits for
+// in-flight workload constructions, then closes and evicts every cached
+// workload. Close does not stop running jobs; call it after outstanding
+// Run calls return. The pool remains usable afterwards (closed workloads
+// are simply rebuilt on demand), so a long-lived caller may also use Close
+// as a cache flush.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	cached := make([]*wlEntry, 0, len(p.workloads))
+	for _, e := range p.workloads {
+		cached = append(cached, e)
+	}
+	p.workloads = make(map[workload.Config]*wlEntry)
+	p.mu.Unlock()
+
+	var firstErr error
+	for _, e := range cached {
+		<-e.ready
+		if e.w == nil {
+			continue
+		}
+		if err := e.w.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 // Run executes jobs and returns their results in input order. Identical
@@ -406,7 +450,26 @@ func (p *Pool) claim(j Job) (e *entry, claimed bool) {
 // execute runs one claimed job and publishes its result. It blocks on the
 // pool-wide worker semaphore, so total concurrency stays at Options.Workers
 // no matter how many Run calls are in flight.
+//
+// The persistent Memo sits directly under the claim: only the one claimant
+// of a job looks it up (concurrent identical jobs cost one disk read), a
+// hit publishes without ever taking a worker slot, and a miss executes and
+// records the result for every future process.
 func (p *Pool) execute(ctx context.Context, j Job, e *entry) {
+	var key string
+	if p.persist != nil {
+		key = JobKey(j)
+		if res, ok := p.persist.Get(key); ok {
+			p.mu.Lock()
+			p.stats.StoreHits++
+			p.done++
+			p.mu.Unlock()
+			e.res = res
+			close(e.ready)
+			p.progress()
+			return
+		}
+	}
 	select {
 	case p.sem <- struct{}{}:
 	case <-ctx.Done():
@@ -422,6 +485,12 @@ func (p *Pool) execute(ctx context.Context, j Job, e *entry) {
 	if res.Err != nil {
 		p.fail(j, e, res.Err)
 		return
+	}
+	if p.persist != nil {
+		p.persist.Put(key, res)
+		p.mu.Lock()
+		p.stats.StorePuts++
+		p.mu.Unlock()
 	}
 	p.mu.Lock()
 	p.stats.JobsExecuted++

@@ -1,0 +1,400 @@
+// Package server exposes the slicc simulation engine over HTTP: the
+// sliccd front door. One shared slicc.Engine (with its in-memory dedup and
+// optional persistent result store) serves every request, so identical
+// work — across requests, across clients, and with a store across server
+// restarts — executes once.
+//
+// # API
+//
+//	POST /v1/simulations        submit a slicc.Config (JSON body); returns
+//	                            the content-keyed job id. Identical
+//	                            submissions coalesce onto one execution.
+//	                            ?wait=1 blocks (within the request timeout)
+//	                            for the result.
+//	GET  /v1/simulations/{id}   result or status of a submitted simulation.
+//	GET  /v1/experiments/{id}   run one of the paper's experiments and
+//	                            return its rendered tables (?quick=1,
+//	                            &seed=N, &format=text).
+//	GET  /v1/stats              engine work counters (executions, dedup and
+//	                            store hits).
+//	GET  /healthz               liveness.
+//
+// Every error is a JSON object {"error": "..."} with a meaningful status
+// code. See docs/SERVICE.md for the full reference.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"slicc"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Timeout bounds synchronous request handling: experiment runs and
+	// ?wait=1 simulation waits are cancelled when it expires (default
+	// 2 minutes). Submitted simulations keep running in the background
+	// after their submitting request times out.
+	Timeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Timeout == 0 {
+		o.Timeout = 2 * time.Minute
+	}
+	return o
+}
+
+// Server routes HTTP requests onto one shared engine.
+type Server struct {
+	eng  *slicc.Engine
+	opts Options
+
+	// baseCtx parents every simulation execution; Close cancels it so
+	// in-flight simulations abort during shutdown.
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	// running tracks in-flight simulation goroutines; Close waits for them
+	// so the engine (and its store) can be closed safely afterwards.
+	running sync.WaitGroup
+
+	mu   sync.Mutex
+	sims map[string]*simEntry
+	// order is the insertion order of sims, for bounded-memory eviction of
+	// completed entries.
+	order []string
+}
+
+// maxTrackedSims bounds the service-level result map: past this, the
+// oldest *completed* entries are dropped (their results persist in the
+// store if one is configured; a dropped id simply polls as 404).
+const maxTrackedSims = 4096
+
+// simEntry is one content-keyed simulation accepted by the service. The
+// entry outlives its submitting request: status is poll-able until the
+// server exits.
+type simEntry struct {
+	id   string
+	cfg  slicc.Config
+	done chan struct{} // closed when result/err are valid
+
+	result slicc.Result
+	err    error
+}
+
+// New builds a Server over eng. The caller retains ownership of the
+// engine; closing the Server stops in-flight simulations but does not
+// close the engine.
+func New(eng *slicc.Engine, opts Options) *Server {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		eng:     eng,
+		opts:    opts.withDefaults(),
+		baseCtx: ctx,
+		cancel:  cancel,
+		sims:    make(map[string]*simEntry),
+	}
+}
+
+// Close aborts in-flight simulations and waits for their goroutines to
+// drain, so the caller may close the engine immediately afterwards. It
+// does not close the engine itself.
+func (s *Server) Close() error {
+	s.cancel()
+	s.running.Wait()
+	return nil
+}
+
+// Handler returns the server's routing handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/simulations", s.handleSubmit)
+	mux.HandleFunc("GET /v1/simulations/{id}", s.handleSimulation)
+	mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no route for %s %s", r.Method, r.URL.Path))
+	})
+	return mux
+}
+
+// errorBody is the uniform JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorBody{Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	// Marshal before touching the ResponseWriter: once the status line is
+	// out an encoding failure could only produce a truncated body.
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		code = http.StatusInternalServerError
+		b, _ = json.Marshal(errorBody{Error: "encoding response: " + err.Error()})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(b, '\n'))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// statsResponse reports engine counters plus service-level bookkeeping.
+type statsResponse struct {
+	Engine      slicc.EngineStats `json:"engine"`
+	Simulations int               `json:"simulations"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	n := len(s.sims)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, statsResponse{Engine: s.eng.Stats(), Simulations: n})
+}
+
+// simResponse describes one simulation's state.
+type simResponse struct {
+	ID string `json:"id"`
+	// Status is "running", "done" or "failed".
+	Status string        `json:"status"`
+	Config slicc.Config  `json:"config"`
+	Result *slicc.Result `json:"result,omitempty"`
+	Error  string        `json:"error,omitempty"`
+}
+
+func (e *simEntry) response() simResponse {
+	resp := simResponse{ID: e.id, Status: "running", Config: e.cfg}
+	select {
+	case <-e.done:
+		if e.err != nil {
+			resp.Status = "failed"
+			resp.Error = e.err.Error()
+		} else {
+			resp.Status = "done"
+			r := e.result
+			resp.Result = &r
+		}
+	default:
+	}
+	return resp
+}
+
+// handleSubmit accepts a slicc.Config and coalesces it onto the existing
+// execution of the same content key, starting one if needed.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	var cfg slicc.Config
+	if err := dec.Decode(&cfg); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding config: "+err.Error())
+		return
+	}
+	// TracePath names a file on the *server's* filesystem; accepting it
+	// from the network would let clients probe arbitrary paths and hash
+	// unbounded special files. Trace replay stays a CLI/library feature
+	// (warm the store with tracegen/experiments -store instead).
+	if cfg.TracePath != "" {
+		writeError(w, http.StatusUnprocessableEntity,
+			"TracePath is not accepted over the API; replay traces via the CLIs and share results through the store")
+		return
+	}
+	id, err := cfg.Key()
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+
+	s.mu.Lock()
+	e, existed := s.sims[id]
+	if !existed {
+		e = &simEntry{id: id, cfg: cfg, done: make(chan struct{})}
+		s.sims[id] = e
+		s.order = append(s.order, id)
+		s.evictCompletedLocked()
+		s.running.Add(1)
+		go func() {
+			defer s.running.Done()
+			// The simulation belongs to the service, not the submitting
+			// request: it survives client disconnects and is aborted only
+			// by server shutdown.
+			e.result, e.err = s.eng.Run(s.baseCtx, e.cfg)
+			close(e.done)
+			if e.err != nil {
+				// Drop failed entries so a later identical submission
+				// retries instead of replaying a possibly transient
+				// failure forever (mirroring the pool's own evict-on-fail
+				// policy). Waiters holding the entry still see the error.
+				s.evict(id, e)
+			}
+		}()
+	}
+	s.mu.Unlock()
+
+	if boolParam(r, "wait") {
+		select {
+		case <-e.done:
+		case <-time.After(s.opts.Timeout):
+			// Not an error: the job is accepted and still running.
+		case <-r.Context().Done():
+		case <-s.baseCtx.Done():
+		}
+	}
+	resp := e.response()
+	code := http.StatusOK
+	if !existed && resp.Status == "running" {
+		code = http.StatusAccepted
+	}
+	writeJSON(w, code, resp)
+}
+
+// evict removes id's entry if it is still e (a newer retry must survive).
+func (s *Server) evict(id string, e *simEntry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sims[id] == e {
+		delete(s.sims, id)
+	}
+}
+
+// evictCompletedLocked bounds s.sims at maxTrackedSims by dropping the
+// oldest completed entries (running ones are never dropped). Caller holds
+// s.mu.
+func (s *Server) evictCompletedLocked() {
+	if len(s.sims) <= maxTrackedSims {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		e, ok := s.sims[id]
+		if !ok {
+			continue // already evicted (failure path)
+		}
+		completed := false
+		select {
+		case <-e.done:
+			completed = true
+		default:
+		}
+		if completed && len(s.sims) > maxTrackedSims {
+			delete(s.sims, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+func (s *Server) handleSimulation(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	e, ok := s.sims[id]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown simulation %q", id))
+		return
+	}
+	if boolParam(r, "wait") {
+		select {
+		case <-e.done:
+		case <-time.After(s.opts.Timeout):
+		case <-r.Context().Done():
+		case <-s.baseCtx.Done():
+		}
+	}
+	writeJSON(w, http.StatusOK, e.response())
+}
+
+// experimentResponse carries one experiment's rendered tables.
+type experimentResponse struct {
+	ID     string                  `json:"id"`
+	Quick  bool                    `json:"quick"`
+	Seed   int64                   `json:"seed"`
+	Tables []slicc.ExperimentTable `json:"tables"`
+}
+
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	known := false
+	for _, kid := range slicc.ExperimentIDs() {
+		if id == kid {
+			known = true
+			break
+		}
+	}
+	if !known {
+		writeError(w, http.StatusNotFound,
+			fmt.Sprintf("unknown experiment %q (have %s)", id, strings.Join(slicc.ExperimentIDs(), ", ")))
+		return
+	}
+	seed := int64(1)
+	if v := r.URL.Query().Get("seed"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad seed: "+err.Error())
+			return
+		}
+		seed = n
+	}
+	quick := boolParam(r, "quick")
+
+	ctx, cancelTimeout := context.WithTimeout(r.Context(), s.opts.Timeout)
+	defer cancelTimeout()
+	// Shutdown aborts experiment simulations too.
+	ctx, cancelBase := mergeCancel(ctx, s.baseCtx)
+	defer cancelBase()
+
+	tables, err := s.eng.Experiment(ctx, id, quick, seed)
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, context.DeadlineExceeded) {
+			code = http.StatusGatewayTimeout
+		}
+		writeError(w, code, err.Error())
+		return
+	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, t := range tables {
+			t.Format(w)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, experimentResponse{ID: id, Quick: quick, Seed: seed, Tables: tables})
+}
+
+// boolParam interprets ?name=1/true/yes (missing or anything else = false).
+func boolParam(r *http.Request, name string) bool {
+	switch strings.ToLower(r.URL.Query().Get(name)) {
+	case "1", "true", "yes":
+		return true
+	}
+	return false
+}
+
+// mergeCancel derives a context from primary that is additionally cancelled
+// when secondary ends.
+func mergeCancel(primary, secondary context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(primary)
+	go func() {
+		select {
+		case <-secondary.Done():
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	return ctx, cancel
+}

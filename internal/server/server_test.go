@@ -1,0 +1,334 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"slicc"
+)
+
+// newTestServer boots a handler over a fresh engine (store-backed when dir
+// is non-empty).
+func newTestServer(t *testing.T, dir string) (*httptest.Server, *slicc.Engine) {
+	t.Helper()
+	eng, err := slicc.NewEngine(slicc.EngineOptions{Workers: 2, StoreDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(eng, Options{Timeout: time.Minute})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+		eng.Close()
+	})
+	return ts, eng
+}
+
+// tinyBody is a sub-second simulation request.
+const tinyBody = `{"Benchmark":"tpcc1","Policy":"base","Threads":6,"Seed":3,"Scale":0.1}`
+
+func decode[T any](t *testing.T, r *http.Response) T {
+	t.Helper()
+	defer r.Body.Close()
+	var v T
+	if err := json.NewDecoder(r.Body).Decode(&v); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return v
+}
+
+func TestHealthz(t *testing.T) {
+	ts, _ := newTestServer(t, "")
+	r, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", r.StatusCode)
+	}
+	if got := decode[map[string]string](t, r); got["status"] != "ok" {
+		t.Fatalf("body %v", got)
+	}
+}
+
+func TestSubmitWaitAndPoll(t *testing.T) {
+	ts, eng := newTestServer(t, "")
+	r, err := http.Post(ts.URL+"/v1/simulations?wait=1", "application/json", strings.NewReader(tinyBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", r.StatusCode)
+	}
+	resp := decode[simResponse](t, r)
+	if resp.Status != "done" || resp.Result == nil || len(resp.ID) != 64 {
+		t.Fatalf("response %+v", resp)
+	}
+	if resp.Result.Instructions == 0 || resp.Result.Cycles == 0 {
+		t.Fatalf("empty result %+v", resp.Result)
+	}
+	if resp.Config.Policy != slicc.Baseline || resp.Config.Benchmark != slicc.TPCC1 {
+		t.Fatalf("config echo %+v", resp.Config)
+	}
+
+	// Poll the id.
+	r2, err := http.Get(ts.URL + "/v1/simulations/" + resp.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2 := decode[simResponse](t, r2)
+	if resp2.Status != "done" || resp2.Result == nil || resp2.Result.Cycles != resp.Result.Cycles {
+		t.Fatalf("poll %+v", resp2)
+	}
+
+	// A differently spelled but identical config coalesces onto the same
+	// id without executing again.
+	explicit := `{"Benchmark":"tpcc1","Policy":"base","Threads":6,"Seed":3,"Scale":0.1,"Cores":16,"L1IKB":32,"L1DKB":32}`
+	r3, err := http.Post(ts.URL+"/v1/simulations?wait=1", "application/json", strings.NewReader(explicit))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3 := decode[simResponse](t, r3)
+	if resp3.ID != resp.ID {
+		t.Fatalf("defaulted and explicit configs got distinct ids %s / %s", resp.ID, resp3.ID)
+	}
+	if s := eng.Stats(); s.SimsExecuted != 1 {
+		t.Fatalf("stats %+v, want exactly one execution", s)
+	}
+}
+
+func TestConcurrentIdenticalSubmissionsCoalesce(t *testing.T) {
+	ts, eng := newTestServer(t, "")
+	var wg sync.WaitGroup
+	ids := make([]string, 8)
+	for i := range ids {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := http.Post(ts.URL+"/v1/simulations?wait=1", "application/json", strings.NewReader(tinyBody))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp := decode[simResponse](t, r)
+			if resp.Status != "done" {
+				t.Errorf("submission %d: %+v", i, resp)
+			}
+			ids[i] = resp.ID
+		}(i)
+	}
+	wg.Wait()
+	for _, id := range ids[1:] {
+		if id != ids[0] {
+			t.Fatalf("ids diverge: %v", ids)
+		}
+	}
+	if s := eng.Stats(); s.SimsExecuted != 1 {
+		t.Fatalf("stats %+v: concurrent identical submissions must execute once", s)
+	}
+}
+
+func TestSubmitErrors(t *testing.T) {
+	ts, _ := newTestServer(t, "")
+	cases := []struct {
+		name, body string
+		code       int
+	}{
+		{"malformed-json", `{"Benchmark":`, http.StatusBadRequest},
+		{"unknown-field", `{"Benchmrk":"tpcc1"}`, http.StatusBadRequest},
+		{"unknown-benchmark", `{"Benchmark":"tpcz"}`, http.StatusBadRequest},
+		{"unknown-policy", `{"Policy":"fancy"}`, http.StatusBadRequest},
+		{"invalid-config", `{"Threads":-1}`, http.StatusUnprocessableEntity},
+		// TracePath names server-side files; the API must refuse it.
+		{"trace-path", `{"TracePath":"/etc/passwd"}`, http.StatusUnprocessableEntity},
+		{"trace-and-benchmark", `{"Benchmark":"tpce","TracePath":"/tmp/x.trace"}`, http.StatusUnprocessableEntity},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r, err := http.Post(ts.URL+"/v1/simulations", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.StatusCode != tc.code {
+				t.Fatalf("status %d, want %d", r.StatusCode, tc.code)
+			}
+			if e := decode[errorBody](t, r); e.Error == "" {
+				t.Fatal("empty JSON error")
+			}
+		})
+	}
+}
+
+// TestFailedSimulationRetries: a failed run must not poison its id — the
+// entry is evicted so the next identical submission starts fresh. The
+// deterministic failure here is a server whose base context is already
+// cancelled (Close), making every accepted run fail immediately.
+func TestFailedSimulationRetries(t *testing.T) {
+	eng, err := slicc.NewEngine(slicc.EngineOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	srv := New(eng, Options{Timeout: time.Minute})
+	srv.Close() // cancels baseCtx; runs now fail with context.Canceled
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	r, err := http.Post(ts.URL+"/v1/simulations?wait=1", "application/json", strings.NewReader(tinyBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := decode[simResponse](t, r)
+	// The wait may observe the cancelled base context before the run
+	// goroutine publishes its failure, so "running" is a legal snapshot;
+	// what matters is that the failure is never retained.
+	if resp.Status == "done" {
+		t.Fatalf("response %+v, want a failing run", resp)
+	}
+	// The failed entry must not linger: once its goroutine finishes, the
+	// map is empty again, so a resubmission would re-execute rather than
+	// replay the stale failure.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		srv.mu.Lock()
+		n := len(srv.sims)
+		srv.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("failed entry still tracked (%d entries)", n)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestUnknownRoutesAndIDs(t *testing.T) {
+	ts, _ := newTestServer(t, "")
+	for _, path := range []string{"/v1/simulations/no-such-id", "/v1/experiments/fig99", "/nope"} {
+		r, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s: status %d", path, r.StatusCode)
+		}
+		if e := decode[errorBody](t, r); e.Error == "" {
+			t.Fatalf("%s: empty JSON error", path)
+		}
+	}
+}
+
+func TestExperimentEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t, "")
+	// table2 is simulation-free, so this is instant even in full mode.
+	r, err := http.Get(ts.URL + "/v1/experiments/table2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", r.StatusCode)
+	}
+	resp := decode[experimentResponse](t, r)
+	if resp.ID != "table2" || len(resp.Tables) == 0 || len(resp.Tables[0].Rows) == 0 {
+		t.Fatalf("response %+v", resp)
+	}
+
+	rt, err := http.Get(ts.URL + "/v1/experiments/table2?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Body.Close()
+	text, err := io.ReadAll(rt.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(text), "Table 2") {
+		t.Fatalf("text rendering missing title: %q", text)
+	}
+	if ct := rt.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t, t.TempDir())
+	if _, err := http.Post(ts.URL+"/v1/simulations?wait=1", "application/json", strings.NewReader(tinyBody)); err != nil {
+		t.Fatal(err)
+	}
+	r, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := decode[statsResponse](t, r)
+	if resp.Simulations != 1 || resp.Engine.SimsRequested != 1 || resp.Engine.SimsExecuted != 1 {
+		t.Fatalf("stats %+v", resp)
+	}
+	if resp.Engine.StorePuts != 1 {
+		t.Fatalf("stats %+v: store-backed engine should have recorded the result", resp)
+	}
+}
+
+// TestStoreHitAcrossServers is the in-process version of the CI smoke test:
+// a second service over the same store serves the simulation from disk.
+func TestStoreHitAcrossServers(t *testing.T) {
+	dir := t.TempDir()
+	ts1, eng1 := newTestServer(t, dir)
+	r1, err := http.Post(ts1.URL+"/v1/simulations?wait=1", "application/json", strings.NewReader(tinyBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp1 := decode[simResponse](t, r1)
+	if resp1.Status != "done" {
+		t.Fatalf("first run %+v", resp1)
+	}
+	if s := eng1.Stats(); s.SimsExecuted != 1 || s.StoreHits != 0 {
+		t.Fatalf("first server stats %+v", s)
+	}
+
+	ts2, eng2 := newTestServer(t, dir)
+	r2, err := http.Post(ts2.URL+"/v1/simulations?wait=1", "application/json", strings.NewReader(tinyBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2 := decode[simResponse](t, r2)
+	if resp2.Status != "done" {
+		t.Fatalf("second run %+v", resp2)
+	}
+	if s := eng2.Stats(); s.SimsExecuted != 0 || s.StoreHits != 1 {
+		t.Fatalf("second server stats %+v, want a pure store hit", s)
+	}
+	if resp1.Result.Cycles != resp2.Result.Cycles || resp1.Result.Instructions != resp2.Result.Instructions {
+		t.Fatalf("store-served result diverged: %+v vs %+v", resp1.Result, resp2.Result)
+	}
+}
+
+// TestResultJSONPolicyNames pins the wire encoding: benchmarks and policies
+// marshal as their canonical tokens, not ints.
+func TestResultJSONPolicyNames(t *testing.T) {
+	ts, _ := newTestServer(t, "")
+	r, err := http.Post(ts.URL+"/v1/simulations?wait=1", "application/json", strings.NewReader(tinyBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	raw, err := io.ReadAll(r.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"Benchmark": "tpcc1"`, `"Policy": "base"`, `"status": "done"`} {
+		if !strings.Contains(string(raw), want) {
+			t.Fatalf("wire encoding missing %s in:\n%s", want, raw)
+		}
+	}
+	if strings.Contains(string(raw), `"Benchmark": 0`) {
+		t.Fatalf("numeric benchmark leaked into wire encoding:\n%s", raw)
+	}
+}

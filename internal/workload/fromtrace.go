@@ -25,8 +25,10 @@ const maxRecordedType = 1 << 16
 // empty results.
 //
 // The workload holds the container open for its lifetime. Workloads are
-// cached and shared for the process's lifetime by the runner, so there is
-// deliberately no eager close: the OS reclaims the descriptor on exit.
+// cached and shared by the runner for the pool's lifetime; long-lived
+// callers release the descriptors via Close (the runner's Pool.Close does
+// this for every cached workload), while one-shot CLIs may simply let the
+// OS reclaim them on exit.
 func FromTraceFile(path string) (*Workload, error) {
 	f, err := trace.OpenWorkload(path)
 	if err != nil {
@@ -72,3 +74,13 @@ func FromTraceFile(path string) (*Workload, error) {
 // Container returns the trace file backing a Recorded workload, or nil for
 // synthetic workloads.
 func (w *Workload) Container() *trace.File { return w.container }
+
+// Close releases the trace container backing a Recorded workload (a no-op
+// for synthetic workloads). Sources created from the workload's threads
+// must not be used after Close.
+func (w *Workload) Close() error {
+	if w.container == nil {
+		return nil
+	}
+	return w.container.Close()
+}

@@ -1,0 +1,147 @@
+package slicc
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestServiceSmoke is the end-to-end service check CI runs: build the real
+// sliccd binary, boot it on a random port with a persistent store, submit a
+// quick simulation, restart the server, submit the identical simulation
+// again, and assert the second response was served as a store hit (zero
+// executions in the second process). Skipped under -short because it shells
+// out to `go build`.
+func TestServiceSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and boots the sliccd binary")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "sliccd")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/sliccd")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/sliccd: %v\n%s", err, out)
+	}
+	storeDir := filepath.Join(dir, "store")
+	body := `{"Benchmark":"tpcc1","Policy":"base","Threads":8,"Seed":3,"Scale":0.1}`
+
+	type stats struct {
+		Engine EngineStats `json:"engine"`
+	}
+	submit := func(t *testing.T, base string) (simStatus string, st stats) {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/simulations?wait=1", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sim struct {
+			Status string `json:"status"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&sim); err != nil {
+			t.Fatal(err)
+		}
+		sresp, err := http.Get(base + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sresp.Body.Close()
+		if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return sim.Status, st
+	}
+
+	// First server: executes and persists.
+	base1, stop1 := bootSliccd(t, bin, storeDir)
+	status, st := submit(t, base1)
+	if status != "done" {
+		t.Fatalf("first submission status %q", status)
+	}
+	if st.Engine.SimsExecuted != 1 || st.Engine.StoreHits != 0 || st.Engine.StorePuts != 1 {
+		t.Fatalf("first server stats %+v", st.Engine)
+	}
+	stop1()
+
+	// Second server, same store: must serve from disk without executing.
+	base2, stop2 := bootSliccd(t, bin, storeDir)
+	defer stop2()
+	status, st = submit(t, base2)
+	if status != "done" {
+		t.Fatalf("second submission status %q", status)
+	}
+	if st.Engine.SimsExecuted != 0 || st.Engine.StoreHits != 1 {
+		t.Fatalf("second server stats %+v, want a pure store hit", st.Engine)
+	}
+}
+
+// bootSliccd starts the built binary on a random port and returns its base
+// URL and a graceful-stop function.
+func bootSliccd(t *testing.T, bin, storeDir string) (baseURL string, stop func()) {
+	t.Helper()
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-store", storeDir)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	stopped := false
+	stop = func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		_ = cmd.Process.Signal(syscall.SIGTERM)
+		done := make(chan error, 1)
+		go func() { done <- cmd.Wait() }()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("sliccd exit: %v", err)
+			}
+		case <-time.After(20 * time.Second):
+			_ = cmd.Process.Kill()
+			t.Error("sliccd did not drain within 20s")
+		}
+	}
+	t.Cleanup(stop)
+
+	// The first stdout line announces the bound address.
+	sc := bufio.NewScanner(stdout)
+	lineCh := make(chan string, 1)
+	go func() {
+		if sc.Scan() {
+			lineCh <- sc.Text()
+		}
+		close(lineCh)
+		// Drain so the child never blocks on a full pipe.
+		_, _ = io.Copy(io.Discard, stdout)
+	}()
+	select {
+	case line, ok := <-lineCh:
+		if !ok {
+			t.Fatal("sliccd exited before announcing its address")
+		}
+		const prefix = "sliccd listening on "
+		if !strings.HasPrefix(line, prefix) {
+			t.Fatalf("unexpected startup line %q", line)
+		}
+		addr := strings.TrimPrefix(line, prefix)
+		return fmt.Sprintf("http://%s", addr), stop
+	case <-time.After(20 * time.Second):
+		t.Fatal("sliccd did not start within 20s")
+	}
+	panic("unreachable")
+}

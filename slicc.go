@@ -25,8 +25,13 @@
 //     exactly as the paper replays its PIN-recorded Shore-MT traces,
 //   - SLICC itself in three variants (type-oblivious, SLICC-SW, SLICC-Pp
 //     with a scout core) plus the baseline scheduler, a next-line
-//     prefetcher and the paper's PIF upper bound, and
-//   - an experiment harness regenerating every table and figure.
+//     prefetcher and the paper's PIF upper bound,
+//   - an experiment harness regenerating every table and figure,
+//   - a persistent content-addressed result store (EngineOptions.StoreDir):
+//     simulations memoize across processes, so a warm store re-renders the
+//     whole evaluation without executing anything, and
+//   - sliccd (cmd/sliccd), an HTTP service over a shared Engine — submit
+//     configs, poll results, render experiments (docs/SERVICE.md).
 //
 // The quickest way in:
 //
@@ -43,7 +48,12 @@ package slicc
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
+	"math"
+	"strings"
 
 	"slicc/internal/prefetch"
 	"slicc/internal/runner"
@@ -86,6 +96,70 @@ func (b Benchmark) kind() workload.Kind {
 
 // Benchmarks lists all workloads in Table 1 order.
 func Benchmarks() []Benchmark { return []Benchmark{TPCC1, TPCC10, TPCE, MapReduce} }
+
+// benchmarkTokens are the canonical machine-readable benchmark names, used
+// by the CLIs, the JSON encoding and the sliccd API.
+var benchmarkTokens = map[string]Benchmark{
+	"tpcc1":     TPCC1,
+	"tpcc10":    TPCC10,
+	"tpce":      TPCE,
+	"mapreduce": MapReduce,
+}
+
+// Token returns the benchmark's canonical machine-readable name (the JSON
+// form; String returns the display name).
+func (b Benchmark) Token() string {
+	for tok, v := range benchmarkTokens {
+		if v == b {
+			return tok
+		}
+	}
+	return fmt.Sprintf("benchmark(%d)", int(b))
+}
+
+// ParseBenchmark resolves a benchmark name: a canonical token ("tpcc1",
+// "tpcc10", "tpce", "mapreduce") or a display name ("TPC-C-1"), case-
+// insensitively.
+func ParseBenchmark(s string) (Benchmark, error) {
+	ls := strings.ToLower(s)
+	if b, ok := benchmarkTokens[ls]; ok {
+		return b, nil
+	}
+	for _, b := range Benchmarks() {
+		if strings.EqualFold(s, b.String()) {
+			return b, nil
+		}
+	}
+	return 0, fmt.Errorf("slicc: unknown benchmark %q (have %s)", s, strings.Join(BenchmarkNames(), ", "))
+}
+
+// BenchmarkNames lists the canonical benchmark tokens in Table 1 order.
+func BenchmarkNames() []string {
+	names := make([]string, 0, len(benchmarkTokens))
+	for _, b := range Benchmarks() {
+		names = append(names, b.Token())
+	}
+	return names
+}
+
+// MarshalText encodes the benchmark as its canonical token, so Config and
+// Result marshal to JSON with readable workload names.
+func (b Benchmark) MarshalText() ([]byte, error) {
+	if int(b) < 0 || b > MapReduce {
+		return nil, fmt.Errorf("slicc: unknown benchmark %d", int(b))
+	}
+	return []byte(b.Token()), nil
+}
+
+// UnmarshalText decodes a benchmark token or display name.
+func (b *Benchmark) UnmarshalText(text []byte) error {
+	v, err := ParseBenchmark(string(text))
+	if err != nil {
+		return err
+	}
+	*b = v
+	return nil
+}
 
 // Policy selects the scheduling/prefetching configuration to evaluate
 // (the bars of Figure 11).
@@ -131,6 +205,73 @@ func (p Policy) String() string {
 // the extensions.
 func Policies() []Policy {
 	return []Policy{Baseline, NextLine, SLICC, SLICCPp, SLICCSW, PIF, StreamPrefetch, STEPS}
+}
+
+// policyTokens are the canonical machine-readable policy names, used by the
+// CLIs, the JSON encoding and the sliccd API.
+var policyTokens = map[string]Policy{
+	"base":     Baseline,
+	"nextline": NextLine,
+	"slicc":    SLICC,
+	"slicc-pp": SLICCPp,
+	"slicc-sw": SLICCSW,
+	"pif":      PIF,
+	"stream":   StreamPrefetch,
+	"steps":    STEPS,
+}
+
+// Token returns the policy's canonical machine-readable name (the JSON
+// form; String returns the display name).
+func (p Policy) Token() string {
+	for tok, v := range policyTokens {
+		if v == p {
+			return tok
+		}
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// ParsePolicy resolves a policy name: a canonical token ("base",
+// "nextline", "slicc", "slicc-pp", "slicc-sw", "pif", "stream", "steps")
+// or a display name ("SLICC-SW"), case-insensitively.
+func ParsePolicy(s string) (Policy, error) {
+	ls := strings.ToLower(s)
+	if p, ok := policyTokens[ls]; ok {
+		return p, nil
+	}
+	for _, p := range Policies() {
+		if strings.EqualFold(s, p.String()) {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("slicc: unknown policy %q (have %s)", s, strings.Join(PolicyNames(), ", "))
+}
+
+// PolicyNames lists the canonical policy tokens in Figure 11 order.
+func PolicyNames() []string {
+	names := make([]string, 0, len(policyTokens))
+	for _, p := range Policies() {
+		names = append(names, p.Token())
+	}
+	return names
+}
+
+// MarshalText encodes the policy as its canonical token.
+func (p Policy) MarshalText() ([]byte, error) {
+	if int(p) < 0 || p > STEPS {
+		return nil, fmt.Errorf("slicc: unknown policy %d", int(p))
+	}
+	return []byte(p.Token()), nil
+}
+
+// UnmarshalText decodes a policy token or display name.
+func (p *Policy) UnmarshalText(text []byte) error {
+	v, err := ParsePolicy(string(text))
+	if err != nil {
+		return err
+	}
+	*p = v
+	return nil
 }
 
 // Params are SLICC's tuning thresholds (Section 5.2). The zero value means
@@ -287,12 +428,58 @@ type SchedulingEvent struct {
 	Switch   bool
 }
 
+// MarshalJSON encodes the result with one wire-format accommodation: JSON
+// has no representation for non-finite floats, so InstrPerMigration — +Inf
+// for runs with zero migrations — marshals as 0 there (Migrations itself
+// disambiguates). Every other field is finite by construction.
+func (r Result) MarshalJSON() ([]byte, error) {
+	type wire Result // drops the method set, avoiding recursion
+	w := wire(r)
+	if math.IsInf(w.InstrPerMigration, 0) || math.IsNaN(w.InstrPerMigration) {
+		w.InstrPerMigration = 0
+	}
+	return json.Marshal(w)
+}
+
 // Speedup returns base.Cycles / r.Cycles.
 func (r Result) Speedup(base Result) float64 {
 	if r.Cycles == 0 {
 		return 0
 	}
 	return base.Cycles / r.Cycles
+}
+
+// Key returns the stable content key of the simulation this Config
+// describes: a hex SHA-256 over a versioned canonical encoding of the
+// defaulted configuration. Two configs that spell the same simulation —
+// including defaulted versus explicit fields — share a key; any semantic
+// difference changes it. sliccd uses Key as the job id that coalesces
+// identical submissions. Note that for trace-driven configs the key covers
+// the TracePath string, not the file's contents; the engine's execution
+// layer still dedups by content digest underneath.
+func (c Config) Key() (string, error) {
+	c = c.withDefaults()
+	if err := c.validate(); err != nil {
+		return "", err
+	}
+	if c.TracePath != "" {
+		// The container fixes the workload completely: Benchmark, Threads,
+		// Seed and Scale are documented as ignored for trace runs, so the
+		// canonical spelling zeroes them — differently spelled configs of
+		// the same replay share one key.
+		c.Benchmark, c.Threads, c.Seed, c.Scale = 0, 0, 0, 0
+	}
+	// Events never feed the key: LogEvents changes the result payload, and
+	// is part of the marshalled struct, which is what we want — a config
+	// requesting events is a different simulation product.
+	b, err := json.Marshal(c)
+	if err != nil {
+		return "", fmt.Errorf("slicc: encoding config key: %w", err)
+	}
+	h := sha256.New()
+	h.Write([]byte("slicc-config-v1\n"))
+	h.Write(b)
+	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
 // validate rejects configurations the simulator cannot run.
@@ -438,6 +625,13 @@ func Compare(base Config, policies ...Policy) ([]Result, error) {
 // CompareContext is Compare with cooperative cancellation. The workload is
 // synthesized once and shared; identical policy entries simulate once.
 func CompareContext(ctx context.Context, base Config, policies ...Policy) ([]Result, error) {
+	return compareOn(ctx, runner.New(runner.Options{}), base, policies...)
+}
+
+// compareOn runs the comparison batch on the given pool (a fresh private
+// one for the package-level entry points, the engine's shared memoizing
+// pool for Engine.Compare).
+func compareOn(ctx context.Context, pool *runner.Pool, base Config, policies ...Policy) ([]Result, error) {
 	cfgs := make([]Config, len(policies))
 	jobs := make([]runner.Job, len(policies))
 	for i, p := range policies {
@@ -450,7 +644,7 @@ func CompareContext(ctx context.Context, base Config, policies ...Policy) ([]Res
 		cfgs[i] = cfg
 		jobs[i] = cfg.job()
 	}
-	rs, err := runner.New(runner.Options{}).Run(ctx, jobs)
+	rs, err := pool.Run(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}

@@ -242,7 +242,11 @@ func TestCompareContextMatchesRun(t *testing.T) {
 }
 
 func TestEngine(t *testing.T) {
-	eng := NewEngine(EngineOptions{Workers: 2})
+	eng, err := NewEngine(EngineOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
 	if _, err := eng.Experiment(context.Background(), "fig99", true, 1); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}

@@ -1,0 +1,230 @@
+package slicc
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"testing"
+
+	"slicc/internal/workload"
+)
+
+// storeEngine opens an engine backed by the store at dir.
+func storeEngine(t testing.TB, dir string) *Engine {
+	t.Helper()
+	eng, err := NewEngine(EngineOptions{Workers: 2, StoreDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	return eng
+}
+
+// tiny is a sub-second simulation config.
+func tiny(p Policy) Config {
+	return Config{Benchmark: TPCC1, Policy: p, Threads: 6, Seed: 3, Scale: 0.1}
+}
+
+func TestConfigKeyCanonical(t *testing.T) {
+	defaulted, err := tiny(SLICCSW).Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit := tiny(SLICCSW)
+	explicit.Cores, explicit.L1IKB, explicit.L1DKB = 16, 32, 32
+	ek, err := explicit.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ek != defaulted {
+		t.Fatal("defaulted and explicit spellings keyed differently")
+	}
+	other := tiny(SLICC)
+	ok, err := other.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok == defaulted {
+		t.Fatal("distinct configs share a key")
+	}
+
+	// Trace configs ignore Benchmark/Threads/Seed/Scale, so spellings
+	// differing only there share a key; machine fields still matter.
+	a := Config{TracePath: "wl.trace"}
+	b := Config{TracePath: "wl.trace", Threads: 64, Seed: 9, Scale: 2}
+	ka, _ := a.Key()
+	kb, _ := b.Key()
+	if ka != kb {
+		t.Fatal("trace configs keyed on ignored workload fields")
+	}
+	c := Config{TracePath: "wl.trace", L1IKB: 64}
+	kc, _ := c.Key()
+	if kc == ka {
+		t.Fatal("trace configs ignore machine fields")
+	}
+	if _, err := (Config{Threads: -1}).Key(); err == nil {
+		t.Fatal("invalid config keyed")
+	}
+}
+
+func TestEngineRunWithStore(t *testing.T) {
+	dir := t.TempDir()
+
+	cold := storeEngine(t, dir)
+	r1, err := cold.Run(context.Background(), tiny(SLICCSW))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := cold.Stats(); s.SimsExecuted != 1 || s.StorePuts != 1 || s.StoreHits != 0 {
+		t.Fatalf("cold stats %+v", s)
+	}
+
+	// A fresh engine over the same directory models a new process.
+	warm := storeEngine(t, dir)
+	r2, err := warm.Run(context.Background(), tiny(SLICCSW))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := warm.Stats(); s.SimsExecuted != 0 || s.StoreHits != 1 {
+		t.Fatalf("warm stats %+v, want a pure store hit", s)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("store-served result differs from executed one:\n%+v\nvs\n%+v", r1, r2)
+	}
+
+	// Compare on the warm engine: the SLICC-SW leg is served from the
+	// store, only the baseline leg executes.
+	rs, err := warm.Compare(context.Background(), tiny(SLICCSW), SLICCSW, Baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[0].Cycles != r1.Cycles {
+		t.Fatal("Compare leg diverged from stored result")
+	}
+	if s := warm.Stats(); s.SimsExecuted != 1 {
+		t.Fatalf("stats %+v, want only the baseline executed", s)
+	}
+}
+
+// TestWarmStoreExperimentsByteIdentical is the acceptance criterion in
+// miniature: with a warm store a second engine regenerates experiments
+// without executing a single simulation, and the rendered tables are
+// byte-identical to the cold run's.
+func TestWarmStoreExperimentsByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	ids := []string{"fig9", "fig3", "table2"}
+
+	render := func(eng *Engine) []byte {
+		var buf bytes.Buffer
+		for _, id := range ids {
+			tables, err := eng.Experiment(context.Background(), id, true, 1)
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			for _, tb := range tables {
+				tb.Format(&buf)
+			}
+		}
+		return buf.Bytes()
+	}
+
+	cold := storeEngine(t, dir)
+	out1 := render(cold)
+	if s := cold.Stats(); s.SimsExecuted == 0 {
+		t.Fatalf("cold stats %+v: expected executions", s)
+	}
+
+	warm := storeEngine(t, dir)
+	out2 := render(warm)
+	s := warm.Stats()
+	if s.SimsExecuted != 0 {
+		t.Fatalf("warm stats %+v: a warm store must execute 0 simulations", s)
+	}
+	if s.StoreHits == 0 || s.StoreHits+s.DedupHits != s.SimsRequested {
+		t.Fatalf("warm stats %+v: requested != store hits + dedup hits", s)
+	}
+	if !bytes.Equal(out1, out2) {
+		t.Fatalf("warm tables differ from cold tables:\ncold:\n%s\nwarm:\n%s", out1, out2)
+	}
+}
+
+// TestEngineCloseTraceRun: a trace-replaying engine can be closed (releasing
+// the cached container handle) and an independent engine still replays the
+// same recording from the store by content digest.
+func TestEngineCloseTraceRun(t *testing.T) {
+	dir := t.TempDir()
+	path := captureContainer(t, t.TempDir(), workload.Config{Kind: workload.TPCC1, Threads: 6, Seed: 3, Scale: 0.1})
+
+	eng := storeEngine(t, dir)
+	cfg := Config{TracePath: path, Policy: Baseline}
+	r1, err := eng.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	eng2 := storeEngine(t, dir)
+	r2, err := eng2.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := eng2.Stats(); s.SimsExecuted != 0 || s.StoreHits != 1 {
+		t.Fatalf("stats %+v, want trace replay served from store", s)
+	}
+	if r1.Cycles != r2.Cycles {
+		t.Fatal("trace store hit diverged")
+	}
+}
+
+// BenchmarkStoreColdRun measures a full simulation plus the store write —
+// the price of the first run of a configuration.
+func BenchmarkStoreColdRun(b *testing.B) {
+	cfg := tiny(Baseline)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		eng, err := NewEngine(EngineOptions{Workers: 1, StoreDir: b.TempDir()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := eng.Run(context.Background(), cfg); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		eng.Close()
+		b.StartTimer()
+	}
+}
+
+// BenchmarkStoreWarmRun measures serving the same configuration from a warm
+// store through a cold engine (fresh process model): disk read + gob decode
+// instead of simulation.
+func BenchmarkStoreWarmRun(b *testing.B) {
+	dir := b.TempDir()
+	cfg := tiny(Baseline)
+	warmup, err := NewEngine(EngineOptions{Workers: 1, StoreDir: dir})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := warmup.Run(context.Background(), cfg); err != nil {
+		b.Fatal(err)
+	}
+	warmup.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		eng, err := NewEngine(EngineOptions{Workers: 1, StoreDir: dir})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := eng.Run(context.Background(), cfg); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		eng.Close()
+		b.StartTimer()
+	}
+}

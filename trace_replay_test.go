@@ -86,7 +86,11 @@ func TestExperimentWithTrace(t *testing.T) {
 		t.Skip("experiment grid in -short mode")
 	}
 	path := captureContainer(t, t.TempDir(), workload.Config{Kind: workload.TPCC1, Threads: 6, Seed: 3, Scale: 0.05})
-	eng := NewEngine(EngineOptions{})
+	eng, err := NewEngine(EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
 	tables, err := eng.ExperimentWith(context.Background(), "fig10", ExperimentOptions{Quick: true, TracePath: path})
 	if err != nil {
 		t.Fatal(err)
