@@ -19,6 +19,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"time"
@@ -39,8 +40,27 @@ func main() {
 		progress = flag.Bool("progress", false, "report live simulation progress on stderr")
 		storeDir = flag.String("store", "", "persist results in the content-addressed store at this directory; a warm store re-renders without simulating (see docs/SERVICE.md)")
 		storeMB  = flag.Int64("store-max-mb", 0, "evict least-recently-used store entries past this many MB (0 = unlimited)")
+		verbose  = flag.Bool("v", false, "report wall-clock and simulated instructions/sec on exit")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (perf tuning)")
 	)
 	flag.Parse()
+
+	// stopProfile must also run on the failure path below, which exits via
+	// os.Exit and would skip a deferred stop, truncating the profile.
+	stopProfile := func() {}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		stopProfile = pprof.StopCPUProfile
+		defer stopProfile()
+	}
 
 	if *list {
 		for _, id := range slicc.ExperimentIDs() {
@@ -137,12 +157,21 @@ func main() {
 		}
 	}
 	stats := engine.Stats()
+	elapsed := time.Since(start)
 	fmt.Fprintf(os.Stderr, "total %v: %d simulations executed, %d deduplicated, %d store hits, %d workloads synthesized (%d reused)\n",
-		time.Since(start).Round(time.Millisecond),
+		elapsed.Round(time.Millisecond),
 		stats.SimsExecuted, stats.DedupHits, stats.StoreHits, stats.WorkloadsBuilt, stats.WorkloadHits)
+	if *verbose {
+		// Wall-clock and simulation rate from one command: the numbers the
+		// BENCH_SIM.json trajectory tracks.
+		fmt.Fprintf(os.Stderr, "perf: %.3fs wall-clock, %d instructions simulated, %.2fM instr/s\n",
+			elapsed.Seconds(), stats.InstructionsSimulated,
+			float64(stats.InstructionsSimulated)/elapsed.Seconds()/1e6)
+	}
 	if len(failures) > 0 {
 		fmt.Fprintf(os.Stderr, "%d experiment(s) failed: %s\n", len(failures), strings.Join(failures, ", "))
 		engine.Close() // os.Exit skips the deferred close
+		stopProfile()  // ... and the deferred profile stop
 		os.Exit(1)
 	}
 }

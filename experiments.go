@@ -124,6 +124,9 @@ type EngineStats struct {
 	// WorkloadsBuilt / WorkloadHits count workload-synthesis cache
 	// misses/hits.
 	WorkloadsBuilt, WorkloadHits int
+	// InstructionsSimulated is the total instruction count across executed
+	// simulations (store/dedup hits add nothing).
+	InstructionsSimulated uint64
 }
 
 // Engine runs experiments on a shared worker pool. Simulations are
@@ -234,13 +237,14 @@ func (e *Engine) ExperimentWith(ctx context.Context, id string, o ExperimentOpti
 func (e *Engine) Stats() EngineStats {
 	s := e.pool.Stats()
 	return EngineStats{
-		SimsRequested:  s.JobsRequested,
-		SimsExecuted:   s.JobsExecuted,
-		DedupHits:      s.DedupHits,
-		StoreHits:      s.StoreHits,
-		StorePuts:      s.StorePuts,
-		WorkloadsBuilt: s.WorkloadsBuilt,
-		WorkloadHits:   s.WorkloadHits,
+		SimsRequested:         s.JobsRequested,
+		SimsExecuted:          s.JobsExecuted,
+		DedupHits:             s.DedupHits,
+		StoreHits:             s.StoreHits,
+		StorePuts:             s.StorePuts,
+		WorkloadsBuilt:        s.WorkloadsBuilt,
+		WorkloadHits:          s.WorkloadHits,
+		InstructionsSimulated: s.Instructions,
 	}
 }
 

@@ -12,6 +12,7 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
 )
 
@@ -154,16 +155,29 @@ type Result struct {
 	EvictedValid bool
 }
 
-type line struct {
-	tag   uint64
-	valid bool
-	meta  uint8 // recency position (LRU family) or RRPV (RRIP family)
-}
-
+// set is one associative set in structure-of-arrays layout: the tags of
+// its ways are a contiguous uint64 run (an 8-way set's tag scan touches
+// exactly one host cache line), validity is a bitmask in the set header,
+// and the replacement metadata (recency position for the LRU family, RRPV
+// for the RRIP family) lives in a parallel byte run touched only by
+// replacement updates. The layout matters because the simulated machine's
+// caches are probed a couple of times per simulated instruction and are
+// far bigger than the host's upper cache levels: the probe's memory
+// traffic is the hot path. The valid bitmask caps associativity at 64
+// ways (enforced by New).
 type set struct {
 	idx   int
-	lines []line
+	tags  []uint64
+	meta  []uint8
+	valid uint64 // bit w = way w holds a valid line
+	// mru is a lookup hint: the way of the set's most recent hit or
+	// insert. It short-circuits the way scan for repeat references and is
+	// pure acceleration — replacement state never reads it.
+	mru uint8
 }
+
+func (s *set) isValid(w int) bool { return s.valid>>uint(w)&1 != 0 }
+func (s *set) ways() int          { return len(s.tags) }
 
 // Cache is a set-associative cache model.
 type Cache struct {
@@ -189,7 +203,7 @@ type Cache struct {
 	haveLast  bool
 
 	// Classification shadows (nil unless cfg.Classify).
-	seen   map[uint64]struct{}
+	seen   *u64set
 	shadow *faShadow
 
 	// OnEvict, if set, is invoked with the block address of every victim
@@ -215,6 +229,9 @@ func New(cfg Config) *Cache {
 	if lineCount%cfg.Ways != 0 {
 		panic(fmt.Sprintf("cache: %d blocks not divisible by %d ways", lineCount, cfg.Ways))
 	}
+	if cfg.Ways > 64 {
+		panic(fmt.Sprintf("cache: %d ways exceeds the model's 64-way limit", cfg.Ways))
+	}
 	numSets := lineCount / cfg.Ways
 	if numSets&(numSets-1) != 0 {
 		panic(fmt.Sprintf("cache: set count %d must be a power of two", numSets))
@@ -227,31 +244,32 @@ func New(cfg Config) *Cache {
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 	}
 	c.blockShift = log2(uint64(cfg.BlockBytes))
-	lines := make([]line, numSets*cfg.Ways)
+	tags := make([]uint64, numSets*cfg.Ways)
+	meta := make([]uint8, numSets*cfg.Ways)
 	for i := range c.sets {
 		c.sets[i].idx = i
-		c.sets[i].lines = lines[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
+		c.sets[i].tags = tags[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
+		c.sets[i].meta = meta[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
 		// The LRU-family policies maintain meta as a recency permutation of
 		// 0..Ways-1; seed it so promote() rotations preserve the invariant.
-		for w := range c.sets[i].lines {
-			c.sets[i].lines[w].meta = uint8(w)
+		for w := range c.sets[i].meta {
+			c.sets[i].meta[w] = uint8(w)
 		}
 	}
 	c.policy = newPolicy(c)
 	if cfg.Classify {
-		c.seen = make(map[uint64]struct{})
+		c.seen = newU64Set()
 		c.shadow = newFAShadow(lineCount)
 	}
 	return c
 }
 
+// log2 returns floor(log2(v)); callers pass power-of-two geometry values.
 func log2(v uint64) uint {
-	var n uint
-	for v > 1 {
-		v >>= 1
-		n++
+	if v <= 1 {
+		return 0
 	}
-	return n
+	return uint(bits.Len64(v) - 1)
 }
 
 // Config returns the configuration the cache was built with (with defaults
@@ -280,6 +298,22 @@ func (c *Cache) Access(addr uint64, write bool) Result {
 	block := c.BlockAddr(addr)
 	c.stats.Accesses++
 
+	// Same touch episode: the last access left this block resident (a hit
+	// found it, a miss inserted it), and between two *consecutive* accesses
+	// to one block nothing can have removed it — any other Access would
+	// have retargeted lastBlock, and the two removal paths that bypass
+	// Access (Fill evicting it, InvalidateBlock) clear haveLast. The
+	// episode rule already skips the replacement update here, so the whole
+	// way scan can be skipped too; this is the common case for sequential
+	// fetch through a line and for data runs through a row.
+	if c.haveLast && c.lastBlock == block {
+		c.stats.Hits++
+		if c.shadow != nil {
+			c.shadow.access(block)
+		}
+		return Result{Hit: true}
+	}
+
 	s := &c.sets[c.setIndex(block)]
 	if way := findWay(s, block); way >= 0 {
 		c.stats.Hits++
@@ -307,8 +341,7 @@ func (c *Cache) classify(block uint64) MissClass {
 		return ClassCapacity
 	}
 	var class MissClass
-	if _, ok := c.seen[block]; !ok {
-		c.seen[block] = struct{}{}
+	if c.seen.add(block) {
 		class = ClassCompulsory
 	} else if c.shadow.contains(block) {
 		// The fully-associative cache of equal capacity would have hit:
@@ -334,16 +367,21 @@ func (c *Cache) classify(block uint64) MissClass {
 // lowPri inserts at the policy's lowest priority (prefetch fills).
 func (c *Cache) insert(s *set, block uint64, lowPri bool) (evicted uint64, evictedValid bool) {
 	way := c.policy.victim(s)
-	ln := &s.lines[way]
-	if ln.valid {
-		evicted, evictedValid = ln.tag, true
+	if s.isValid(way) {
+		evicted, evictedValid = s.tags[way], true
 		c.stats.Evictions++
+		if c.haveLast && c.lastBlock == evicted {
+			// A Fill can evict the episode block behind Access's back; the
+			// same-block fast path must not report it resident afterwards.
+			c.haveLast = false
+		}
 		if c.OnEvict != nil {
-			c.OnEvict(ln.tag)
+			c.OnEvict(evicted)
 		}
 	}
-	ln.tag = block
-	ln.valid = true
+	s.tags[way] = block
+	s.valid |= 1 << uint(way)
+	s.mru = uint8(way)
 	if lowPri {
 		c.policy.onFill(s, way)
 	} else {
@@ -369,9 +407,7 @@ func (c *Cache) Fill(addr uint64) (evicted uint64, evictedValid bool) {
 	}
 	c.stats.Fills++
 	if c.shadow != nil {
-		if _, ok := c.seen[block]; !ok {
-			c.seen[block] = struct{}{}
-		}
+		c.seen.add(block)
 		c.shadow.access(block)
 	}
 	return c.insert(s, block, true)
@@ -402,7 +438,7 @@ func (c *Cache) InvalidateBlock(block uint64) bool {
 	if way < 0 {
 		return false
 	}
-	s.lines[way].valid = false
+	s.valid &^= 1 << uint(way)
 	if c.haveLast && c.lastBlock == block {
 		c.haveLast = false
 	}
@@ -417,9 +453,10 @@ func (c *Cache) InvalidateBlock(block uint64) bool {
 // it. The order is set-major and not meaningful.
 func (c *Cache) Blocks(dst []uint64) []uint64 {
 	for i := range c.sets {
-		for _, ln := range c.sets[i].lines {
-			if ln.valid {
-				dst = append(dst, ln.tag)
+		s := &c.sets[i]
+		for w, tag := range s.tags {
+			if s.isValid(w) {
+				dst = append(dst, tag)
 			}
 		}
 	}
@@ -430,11 +467,7 @@ func (c *Cache) Blocks(dst []uint64) []uint64 {
 func (c *Cache) ValidCount() int {
 	n := 0
 	for i := range c.sets {
-		for _, ln := range c.sets[i].lines {
-			if ln.valid {
-				n++
-			}
-		}
+		n += bits.OnesCount64(c.sets[i].valid)
 	}
 	return n
 }
@@ -449,16 +482,23 @@ func (c *Cache) ResetStats() { c.stats = Stats{} }
 // classification shadows are preserved (a flush does not unsee blocks).
 func (c *Cache) Flush() {
 	for i := range c.sets {
-		for w := range c.sets[i].lines {
-			c.sets[i].lines[w] = line{meta: uint8(w)}
+		s := &c.sets[i]
+		s.valid = 0
+		for w := range s.meta {
+			s.tags[w] = 0
+			s.meta[w] = uint8(w)
 		}
 	}
 	c.haveLast = false
 }
 
 func findWay(s *set, block uint64) int {
-	for w := range s.lines {
-		if s.lines[w].valid && s.lines[w].tag == block {
+	if w := int(s.mru); w < len(s.tags) && s.tags[w] == block && s.isValid(w) {
+		return w
+	}
+	for w, tag := range s.tags {
+		if tag == block && s.isValid(w) {
+			s.mru = uint8(w)
 			return w
 		}
 	}

@@ -425,11 +425,11 @@ func TestPropLRUStackIsPermutation(t *testing.T) {
 		}
 		for si := range c.sets {
 			var mask uint
-			for _, ln := range c.sets[si].lines {
-				if ln.meta >= uint8(c.cfg.Ways) {
+			for _, m := range c.sets[si].meta {
+				if m >= uint8(c.cfg.Ways) {
 					return false
 				}
-				mask |= 1 << ln.meta
+				mask |= 1 << m
 			}
 			if mask != (1<<c.cfg.Ways)-1 {
 				return false

@@ -57,24 +57,24 @@ type stackPolicy struct {
 
 // promote moves way to stack position pos, shifting intervening lines down.
 func promote(s *set, way int, pos uint8) {
-	old := s.lines[way].meta
+	old := s.meta[way]
 	if old == pos {
 		return
 	}
 	if old > pos {
-		for w := range s.lines {
-			if s.lines[w].meta >= pos && s.lines[w].meta < old {
-				s.lines[w].meta++
+		for w, m := range s.meta {
+			if m >= pos && m < old {
+				s.meta[w] = m + 1
 			}
 		}
 	} else {
-		for w := range s.lines {
-			if s.lines[w].meta > old && s.lines[w].meta <= pos {
-				s.lines[w].meta--
+		for w, m := range s.meta {
+			if m > old && m <= pos {
+				s.meta[w] = m - 1
 			}
 		}
 	}
-	s.lines[way].meta = pos
+	s.meta[way] = pos
 }
 
 func (p *stackPolicy) onHit(s *set, way int) { promote(s, way, 0) }
@@ -82,14 +82,16 @@ func (p *stackPolicy) onHit(s *set, way int) { promote(s, way, 0) }
 func (p *stackPolicy) victim(s *set) int {
 	// Invalid lines first: keep their stack positions intact so the meta
 	// permutation stays consistent.
-	for w := range s.lines {
-		if !s.lines[w].valid {
-			return w
+	if s.valid != 1<<uint(s.ways())-1 {
+		for w := 0; w < s.ways(); w++ {
+			if !s.isValid(w) {
+				return w
+			}
 		}
 	}
 	lru := 0
-	for w := range s.lines {
-		if s.lines[w].meta > s.lines[lru].meta {
+	for w, m := range s.meta {
+		if m > s.meta[lru] {
 			lru = w
 		}
 	}
@@ -97,7 +99,7 @@ func (p *stackPolicy) victim(s *set) int {
 }
 
 func (p *stackPolicy) onFill(s *set, way int) {
-	promote(s, way, uint8(len(s.lines)-1))
+	promote(s, way, uint8(s.ways()-1))
 }
 
 func (p *stackPolicy) onInsert(s *set, way int) {
@@ -113,7 +115,7 @@ func (p *stackPolicy) onInsert(s *set, way int) {
 	case insertMRU:
 		promote(s, way, 0)
 	case insertLRU:
-		promote(s, way, uint8(len(s.lines)-1))
+		promote(s, way, uint8(s.ways()-1))
 	}
 }
 
@@ -128,38 +130,40 @@ type rripPolicy struct {
 	bimodal bool
 }
 
-func (p *rripPolicy) onHit(s *set, way int) { s.lines[way].meta = 0 }
+func (p *rripPolicy) onHit(s *set, way int) { s.meta[way] = 0 }
 
 func (p *rripPolicy) victim(s *set) int {
-	for w := range s.lines {
-		if !s.lines[w].valid {
-			return w
-		}
-	}
-	for {
-		for w := range s.lines {
-			if s.lines[w].meta >= rrpvMax {
+	if s.valid != 1<<uint(s.ways())-1 {
+		for w := 0; w < s.ways(); w++ {
+			if !s.isValid(w) {
 				return w
 			}
 		}
-		for w := range s.lines {
-			s.lines[w].meta++
+	}
+	for {
+		for w, m := range s.meta {
+			if m >= rrpvMax {
+				return w
+			}
+		}
+		for w := range s.meta {
+			s.meta[w]++
 		}
 	}
 }
 
 func (p *rripPolicy) onFill(s *set, way int) {
-	s.lines[way].meta = rrpvMax
+	s.meta[way] = rrpvMax
 }
 
 func (p *rripPolicy) onInsert(s *set, way int) {
 	if p.bimodal && p.c.rng.Intn(1<<p.c.cfg.BIPEpsilonLog2) != 0 {
 		// BRRIP predicts a distant re-reference interval for most blocks,
 		// protecting the resident fraction of a thrashing footprint.
-		s.lines[way].meta = rrpvMax
+		s.meta[way] = rrpvMax
 		return
 	}
-	s.lines[way].meta = rrpvMax - 1 // SRRIP "long" interval
+	s.meta[way] = rrpvMax - 1 // SRRIP "long" interval
 }
 
 // --- Set dueling (DIP, DRRIP) ----------------------------------------------

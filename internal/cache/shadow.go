@@ -1,80 +1,149 @@
 package cache
 
+import "slicc/internal/oatable"
+
 // faShadow is a fully-associative LRU cache of block addresses with the same
 // capacity as the real cache. It exists solely to classify misses: a block
 // that misses in the set-associative cache but would have hit in the
 // fully-associative one is a conflict miss; otherwise (and not first touch)
 // it is a capacity miss (Hill & Smith, "Evaluating associativity in CPU
 // caches").
+//
+// It is consulted on every access of a classifying cache, so the structure
+// is flat: nodes live in a fixed arena linked by indices, and the
+// block->node lookup is an open-addressing table — no per-access map
+// hashing or node allocation.
 type faShadow struct {
 	capacity int
-	nodes    map[uint64]*faNode
-	head     *faNode // MRU
-	tail     *faNode // LRU
+	tab      oatable.Table[int32]
+	nodes    []faNode
+	head     int32 // MRU, -1 when empty
+	tail     int32 // LRU, -1 when empty
 }
 
 type faNode struct {
 	block      uint64
-	prev, next *faNode
+	prev, next int32 // arena indices, -1 terminates
 }
 
 func newFAShadow(capacity int) *faShadow {
 	if capacity <= 0 {
 		panic("cache: shadow capacity must be positive")
 	}
-	return &faShadow{
+	f := &faShadow{
 		capacity: capacity,
-		nodes:    make(map[uint64]*faNode, capacity+1),
+		nodes:    make([]faNode, 0, capacity),
+		head:     -1,
+		tail:     -1,
 	}
+	f.tab.Init(oatable.CapFor(capacity))
+	return f
 }
 
 func (f *faShadow) contains(block uint64) bool {
-	_, ok := f.nodes[block]
+	_, ok := f.tab.Get(block)
 	return ok
 }
 
 // access touches block, inserting or promoting it to MRU, evicting LRU on
 // overflow.
 func (f *faShadow) access(block uint64) {
-	if n, ok := f.nodes[block]; ok {
-		f.unlink(n)
-		f.pushFront(n)
+	if i, ok := f.tab.Get(block); ok {
+		f.unlink(i)
+		f.pushFront(i)
 		return
 	}
-	n := &faNode{block: block}
-	f.nodes[block] = n
-	f.pushFront(n)
-	if len(f.nodes) > f.capacity {
-		lru := f.tail
-		f.unlink(lru)
-		delete(f.nodes, lru.block)
+	var i int32
+	if len(f.nodes) < f.capacity {
+		i = int32(len(f.nodes))
+		f.nodes = append(f.nodes, faNode{block: block})
+	} else {
+		// Full: reuse the LRU node for the new block.
+		i = f.tail
+		f.unlink(i)
+		f.tab.Del(f.nodes[i].block)
+		f.nodes[i].block = block
 	}
+	f.tab.Put(block, i)
+	f.pushFront(i)
 }
 
 func (f *faShadow) len() int { return len(f.nodes) }
 
-func (f *faShadow) pushFront(n *faNode) {
-	n.prev = nil
+func (f *faShadow) pushFront(i int32) {
+	n := &f.nodes[i]
+	n.prev = -1
 	n.next = f.head
-	if f.head != nil {
-		f.head.prev = n
+	if f.head >= 0 {
+		f.nodes[f.head].prev = i
 	}
-	f.head = n
-	if f.tail == nil {
-		f.tail = n
+	f.head = i
+	if f.tail < 0 {
+		f.tail = i
 	}
 }
 
-func (f *faShadow) unlink(n *faNode) {
-	if n.prev != nil {
-		n.prev.next = n.next
+func (f *faShadow) unlink(i int32) {
+	n := &f.nodes[i]
+	if n.prev >= 0 {
+		f.nodes[n.prev].next = n.next
 	} else {
 		f.head = n.next
 	}
-	if n.next != nil {
-		n.next.prev = n.prev
+	if n.next >= 0 {
+		f.nodes[n.next].prev = n.prev
 	} else {
 		f.tail = n.prev
 	}
-	n.prev, n.next = nil, nil
+	n.prev, n.next = -1, -1
+}
+
+// u64set is an append-only open-addressing set of block addresses (the
+// classifier's "ever seen" filter; first touches are compulsory misses).
+// Deletion-free, so it stays local instead of using oatable.Table.
+type u64set struct {
+	keys    []uint64
+	mask    uint64
+	n       int
+	hasZero bool
+}
+
+func newU64Set() *u64set {
+	s := &u64set{}
+	s.keys = make([]uint64, 1<<10)
+	s.mask = uint64(len(s.keys) - 1)
+	return s
+}
+
+// add inserts k and reports whether it was absent.
+func (s *u64set) add(k uint64) (added bool) {
+	if k == 0 {
+		added = !s.hasZero
+		s.hasZero = true
+		return added
+	}
+	if s.n >= len(s.keys)-len(s.keys)/4 {
+		old := s.keys
+		s.keys = make([]uint64, len(old)*2)
+		s.mask = uint64(len(s.keys) - 1)
+		s.n = 0
+		for _, kk := range old {
+			if kk != 0 {
+				s.add(kk)
+			}
+		}
+	}
+	i := oatable.Mix(k) & s.mask
+	for {
+		kk := s.keys[i]
+		if kk == k {
+			return false
+		}
+		if kk == 0 {
+			s.keys[i] = k
+			s.n++
+			return true
+		}
+		i = (i + 1) & s.mask
+	}
 }

@@ -73,16 +73,14 @@ func (t Timing) Config() Config { return t.cfg }
 
 // InstrCycles returns the cycle cost of one instruction given the added
 // latency of its instruction fetch miss and data miss (either may be zero
-// for hits; hit latencies are considered pipelined into BaseCPI).
+// for hits; hit latencies are considered pipelined into BaseCPI). The
+// computation is branchless on purpose — hit/miss patterns are data-
+// dependent and sit in the simulator's innermost loop; a zero latency
+// contributes an exact +0.0, so the result is bit-identical to the guarded
+// form.
 func (t Timing) InstrCycles(imissLat, dmissLat int) float64 {
-	c := t.cfg.BaseCPI
-	if imissLat > 0 {
-		c += float64(imissLat) * t.cfg.FetchBubble
-	}
-	if dmissLat > 0 {
-		c += float64(dmissLat) * (1 - t.cfg.DataOverlap)
-	}
-	return c
+	c := t.cfg.BaseCPI + float64(imissLat)*t.cfg.FetchBubble
+	return c + float64(dmissLat)*(1-t.cfg.DataOverlap)
 }
 
 // MigrationCycles returns the latency of migrating a thread whose context

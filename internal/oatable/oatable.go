@@ -1,0 +1,174 @@
+// Package oatable provides the open-addressing uint64-keyed hash table the
+// simulator's hot paths share: power-of-two capacity, linear probing, and
+// tombstone-free backward-shift deletion, so probe chains stay short no
+// matter how many keys have come and gone. The L1-D coherence directory
+// (internal/sim) and the miss-classification shadow (internal/cache) are
+// both built on it — the deletion compaction is the easiest open-
+// addressing code to get subtly wrong, so it lives exactly once.
+//
+// A zero key is legal and carried in a dedicated side slot (zero marks
+// empty slots internally). The zero value of Table is not ready to use;
+// call Init.
+package oatable
+
+// Mix scatters a uint64 key (the splitmix64 finalizer). Sequential block
+// or address keys would otherwise pile whole ranges into one probe chain.
+func Mix(k uint64) uint64 {
+	k ^= k >> 30
+	k *= 0xbf58476d1ce4e5b9
+	k ^= k >> 27
+	k *= 0x94d049bb133111eb
+	k ^= k >> 31
+	return k
+}
+
+// Table maps uint64 keys to V values.
+type Table[V any] struct {
+	keys []uint64
+	vals []V
+	mask uint64
+	// n counts live entries excluding the zero-key side slot; the table
+	// grows once n reaches growAt (3/4 load).
+	n      int
+	growAt int
+
+	zeroVal V
+	hasZero bool
+}
+
+// Init sizes the table; capacity must be a power of two. Init discards any
+// previous contents.
+func (t *Table[V]) Init(capacity int) {
+	if capacity <= 0 || capacity&(capacity-1) != 0 {
+		panic("oatable: capacity must be a positive power of two")
+	}
+	t.keys = make([]uint64, capacity)
+	t.vals = make([]V, capacity)
+	t.mask = uint64(capacity - 1)
+	t.n = 0
+	t.growAt = capacity - capacity/4
+	var zero V
+	t.zeroVal = zero
+	t.hasZero = false
+}
+
+// Len returns the live entry count.
+func (t *Table[V]) Len() int {
+	n := t.n
+	if t.hasZero {
+		n++
+	}
+	return n
+}
+
+// Get returns k's value and whether it is present. An absent key returns
+// the zero V, so value types with a meaningful zero (bit masks) can skip
+// the bool.
+func (t *Table[V]) Get(k uint64) (V, bool) {
+	if k == 0 {
+		return t.zeroVal, t.hasZero
+	}
+	i := Mix(k) & t.mask
+	for {
+		kk := t.keys[i]
+		if kk == k {
+			return t.vals[i], true
+		}
+		if kk == 0 {
+			var zero V
+			return zero, false
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// Ref returns a pointer to k's value, inserting a zero value if absent —
+// the one-probe upsert primitive (`*t.Ref(k) |= bit`). The pointer is
+// invalidated by any subsequent insert or delete.
+func (t *Table[V]) Ref(k uint64) *V {
+	if k == 0 {
+		t.hasZero = true
+		return &t.zeroVal
+	}
+	if t.n >= t.growAt {
+		t.grow()
+	}
+	i := Mix(k) & t.mask
+	for {
+		kk := t.keys[i]
+		if kk == k {
+			return &t.vals[i]
+		}
+		if kk == 0 {
+			t.keys[i] = k
+			t.n++
+			return &t.vals[i]
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// Put inserts or overwrites k's value.
+func (t *Table[V]) Put(k uint64, v V) { *t.Ref(k) = v }
+
+// Del removes k (a no-op when absent). The tail of the probe cluster is
+// shifted back over the vacated slot: an entry at j may fill the hole at i
+// only if its home slot is not in the cyclic range (i, j] — otherwise
+// moving it would put it before its home and lookups would miss it.
+func (t *Table[V]) Del(k uint64) {
+	var zero V
+	if k == 0 {
+		t.zeroVal, t.hasZero = zero, false
+		return
+	}
+	i := Mix(k) & t.mask
+	for {
+		kk := t.keys[i]
+		if kk == 0 {
+			return // absent
+		}
+		if kk == k {
+			break
+		}
+		i = (i + 1) & t.mask
+	}
+	j := i
+	for {
+		j = (j + 1) & t.mask
+		kk := t.keys[j]
+		if kk == 0 {
+			break
+		}
+		home := Mix(kk) & t.mask
+		if (j-home)&t.mask >= (j-i)&t.mask {
+			t.keys[i] = kk
+			t.vals[i] = t.vals[j]
+			i = j
+		}
+	}
+	t.keys[i] = 0
+	t.vals[i] = zero
+	t.n--
+}
+
+func (t *Table[V]) grow() {
+	oldK, oldV := t.keys, t.vals
+	zeroVal, hasZero := t.zeroVal, t.hasZero
+	t.Init(len(oldK) * 2)
+	t.zeroVal, t.hasZero = zeroVal, hasZero
+	for i, k := range oldK {
+		if k != 0 {
+			t.Put(k, oldV[i])
+		}
+	}
+}
+
+// CapFor returns a power-of-two capacity holding n entries at a
+// comfortable load factor.
+func CapFor(n int) int {
+	c := 16
+	for c < n*2 {
+		c *= 2
+	}
+	return c
+}

@@ -1,0 +1,123 @@
+package oatable
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestTableBasics exercises the core operations, including the zero-key
+// side slot.
+func TestTableBasics(t *testing.T) {
+	var tab Table[uint64]
+	tab.Init(8)
+	if v, ok := tab.Get(42); v != 0 || ok {
+		t.Fatalf("empty get = %d,%v", v, ok)
+	}
+	tab.Put(42, 7)
+	*tab.Ref(42) |= 8
+	if v, ok := tab.Get(42); v != 15 || !ok {
+		t.Fatalf("get after put+or = %d,%v, want 15", v, ok)
+	}
+	*tab.Ref(0) |= 1
+	if v, ok := tab.Get(0); v != 1 || !ok {
+		t.Fatalf("zero-key get = %d,%v, want 1", v, ok)
+	}
+	tab.Del(0)
+	if _, ok := tab.Get(0); ok {
+		t.Fatal("zero key present after del")
+	}
+	tab.Del(42)
+	if _, ok := tab.Get(42); ok || tab.Len() != 0 {
+		t.Fatalf("del left key, len %d", tab.Len())
+	}
+	tab.Del(42) // deleting an absent key is a no-op
+}
+
+// TestTableGrowth inserts past several growth thresholds and checks the
+// zero slot survives rehashing.
+func TestTableGrowth(t *testing.T) {
+	var tab Table[uint64]
+	tab.Init(8)
+	tab.Put(0, 99)
+	const n = 10_000
+	for i := uint64(1); i <= n; i++ {
+		tab.Put(i, i*3)
+	}
+	if tab.Len() != n+1 {
+		t.Fatalf("len = %d, want %d", tab.Len(), n+1)
+	}
+	for i := uint64(1); i <= n; i++ {
+		if v, ok := tab.Get(i); v != i*3 || !ok {
+			t.Fatalf("get(%d) = %d,%v, want %d", i, v, ok, i*3)
+		}
+	}
+	if v, ok := tab.Get(0); v != 99 || !ok {
+		t.Fatalf("zero entry lost across growth: %d,%v", v, ok)
+	}
+}
+
+// TestTableMatchesMap drives the table and a reference map with the same
+// random operation stream — including heavy deletion, which exercises the
+// backward-shift compaction — and requires identical contents.
+func TestTableMatchesMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var tab Table[uint64]
+	tab.Init(8)
+	ref := map[uint64]uint64{}
+	// A small key universe forces constant collision/delete churn.
+	key := func() uint64 { return uint64(rng.Intn(200)) }
+	for i := 0; i < 50_000; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			k, v := key(), rng.Uint64()
+			tab.Put(k, v)
+			ref[k] = v
+		case 1:
+			k, bit := key(), uint64(1)<<uint(rng.Intn(64))
+			*tab.Ref(k) |= bit
+			ref[k] |= bit
+		case 2:
+			k := key()
+			tab.Del(k)
+			delete(ref, k)
+		default:
+			k := key()
+			got, ok := tab.Get(k)
+			want, wantOK := ref[k]
+			if got != want || ok != wantOK {
+				t.Fatalf("step %d: get(%d) = %d,%v, want %d,%v", i, k, got, ok, want, wantOK)
+			}
+		}
+	}
+	if tab.Len() != len(ref) {
+		t.Fatalf("len = %d, want %d", tab.Len(), len(ref))
+	}
+	for k, want := range ref {
+		if got, ok := tab.Get(k); got != want || !ok {
+			t.Fatalf("final get(%d) = %d,%v, want %d", k, got, ok, want)
+		}
+	}
+}
+
+// TestTableInt32Values instantiates the table at a second value type (the
+// classification shadow's shape).
+func TestTableInt32Values(t *testing.T) {
+	var tab Table[int32]
+	tab.Init(16)
+	for i := int32(0); i < 100; i++ {
+		tab.Put(uint64(i)*7, i)
+	}
+	for i := int32(0); i < 100; i += 3 {
+		tab.Del(uint64(i) * 7)
+	}
+	for i := int32(0); i < 100; i++ {
+		v, ok := tab.Get(uint64(i) * 7)
+		if i%3 == 0 {
+			if ok {
+				t.Fatalf("deleted key %d still present", i)
+			}
+		} else if !ok || v != i {
+			t.Fatalf("get(%d) = %d,%v", i, v, ok)
+		}
+	}
+}

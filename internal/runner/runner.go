@@ -154,6 +154,11 @@ type Stats struct {
 	// misses/hits; the cache is keyed by (kind, threads, seed, scale).
 	WorkloadsBuilt int
 	WorkloadHits   int
+	// Instructions is the total simulated instructions across executed
+	// jobs (dedup and store hits contribute nothing: no instructions were
+	// simulated for them). With wall-clock time it yields the pool's
+	// effective simulation rate.
+	Instructions uint64
 }
 
 // Options configures a pool.
@@ -494,6 +499,7 @@ func (p *Pool) execute(ctx context.Context, j Job, e *entry) {
 	}
 	p.mu.Lock()
 	p.stats.JobsExecuted++
+	p.stats.Instructions += res.Sim.Instructions
 	p.done++
 	p.mu.Unlock()
 	e.res = res

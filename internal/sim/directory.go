@@ -1,50 +1,70 @@
 package sim
 
+import (
+	"math/bits"
+
+	"slicc/internal/oatable"
+)
+
 // directory tracks which cores hold each data block, the minimum coherence
 // state needed to produce the paper's migration-induced data-miss scenarios
 // (Section 5.5): re-fetches after migration, write invalidations of copies
 // left behind, and misses on return to a core whose copy was invalidated.
 // It is a behavioural MESI: sharer sets without transient states.
+//
+// The sharer sets live in an oatable.Table rather than a Go map: the
+// directory is consulted on every data-cache miss, eviction and store, and
+// the open-addressing table keeps those lookups to one hash and a short
+// linear probe with no per-insert allocation. An absent block reads as a
+// zero mask ("no sharers"), and empty masks are deleted, so the table's
+// size tracks the blocks currently resident in some L1-D.
 type directory struct {
-	cores   int
-	sharers map[uint64]uint64 // block -> core bitmask
+	cores int
+	tab   oatable.Table[uint64] // block -> core bitmask
 }
+
+// dirTableMinCap is the initial capacity; big enough that small runs never
+// rehash, small enough to be negligible per machine.
+const dirTableMinCap = 1 << 10
 
 func newDirectory(cores int) *directory {
 	if cores > 64 {
 		panic("sim: directory supports at most 64 cores")
 	}
-	return &directory{cores: cores, sharers: make(map[uint64]uint64)}
+	d := &directory{cores: cores}
+	d.tab.Init(dirTableMinCap)
+	return d
 }
 
 func (d *directory) addSharer(block uint64, core int) {
-	d.sharers[block] |= 1 << uint(core)
+	*d.tab.Ref(block) |= 1 << uint(core)
 }
 
 func (d *directory) removeSharer(block uint64, core int) {
-	s := d.sharers[block] &^ (1 << uint(core))
-	if s == 0 {
-		delete(d.sharers, block)
+	s, ok := d.tab.Get(block)
+	if !ok {
+		return
+	}
+	if s &^= 1 << uint(core); s == 0 {
+		d.tab.Del(block)
 	} else {
-		d.sharers[block] = s
+		d.tab.Put(block, s)
 	}
 }
 
 // othersOf returns the sharer mask excluding core.
 func (d *directory) othersOf(block uint64, core int) uint64 {
-	return d.sharers[block] &^ (1 << uint(core))
+	s, _ := d.tab.Get(block) // zero mask when absent
+	return s &^ (1 << uint(core))
 }
 
 // setExclusive makes core the sole sharer.
 func (d *directory) setExclusive(block uint64, core int) {
-	d.sharers[block] = 1 << uint(core)
+	d.tab.Put(block, 1<<uint(core))
 }
 
 // sharerCount returns the number of cores holding block.
 func (d *directory) sharerCount(block uint64) int {
-	n := 0
-	for s := d.sharers[block]; s != 0; s &= s - 1 {
-		n++
-	}
-	return n
+	s, _ := d.tab.Get(block)
+	return bits.OnesCount64(s)
 }

@@ -15,6 +15,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"math/bits"
 
 	"slicc/internal/cache"
 	"slicc/internal/cpu"
@@ -102,6 +103,15 @@ type ThreadState struct {
 	TypeName string
 
 	src trace.Source
+	// batcher/spanner are src's optional bulk-decode fast paths, resolved
+	// once at machine construction. batch[batchPos:batchLen] are
+	// decoded-but-unexecuted ops: a reusable buffer the batcher fills, or
+	// a borrowed view of the spanner's backing storage (no copy).
+	batcher  trace.BatchSource
+	spanner  trace.SpanSource
+	batch    []trace.Op
+	batchPos int
+	batchLen int
 
 	// ReadyAt is the earliest cycle the thread may (re)start after a
 	// migration context transfer or preprocessing delay.
@@ -160,6 +170,21 @@ type coreState struct {
 	running *ThreadState
 	instr   uint64
 	imiss   uint64
+	// fetchBlock/fetchValid are the core's current fetch line: when the
+	// machine has no per-fetch observers (fastFetch), a fetch from the
+	// same instruction block as the previous one is known resident and
+	// skips the cache model entirely (sequential fetch through a line is
+	// ~15 of every 16 instructions). Only this core's own fetch path and
+	// PrefetchInstr can change the L1-I, and both maintain these fields.
+	fetchBlock uint64
+	fetchValid bool
+	// dataBlock/dataValid mirror fetchBlock for the core's last data
+	// line: a *read* of the same block is a known hit with no model side
+	// effects (a row scan walks a block word by word). Writes always take
+	// the full path (directory upgrade), and a remote write invalidating
+	// this block clears the flag (see dataAccess).
+	dataBlock uint64
+	dataValid bool
 }
 
 // Event is one scheduling event (migration or same-core context switch).
@@ -170,6 +195,12 @@ type Event struct {
 	// Switch marks same-core context switches (STEPS); migrations
 	// otherwise.
 	Switch bool
+}
+
+// enqueuer is the optional policy extension through which the machine
+// delivers migrated (or locally yielded) threads back to a policy queue.
+type enqueuer interface {
+	EnqueueMigrated(core int, t *ThreadState)
 }
 
 // Machine is a configured multicore instance, single-use: build, Run, read
@@ -183,6 +214,51 @@ type Machine struct {
 	timing cpu.Timing
 	policy Policy
 	pref   Prefetcher
+	// enqueue is the policy's EnqueueMigrated, type-asserted once at run
+	// start instead of on every migration (nil for policies that never
+	// migrate, e.g. the baseline scheduler).
+	enqueue enqueuer
+	// referenceLoop forces the pre-batching scheduler (see
+	// UseReferenceLoop).
+	referenceLoop bool
+	// fastFetch enables the per-core fetch-line micro-cache: legal only
+	// when nothing observes individual fetches — no prefetcher, TLB,
+	// reuse tracker or L1-I miss classification — because the skipped
+	// same-line accesses are pure hits with no model side effects.
+	fastFetch bool
+	// fastData is fastFetch's data-side twin (no D-TLB, no L1-D miss
+	// classification).
+	fastData bool
+	// iBlockShift/dBlockShift cache the L1 block shifts for the fast
+	// paths.
+	iBlockShift uint
+	dBlockShift uint
+	// The running cores live in a two-tier event queue ordered by (local
+	// clock, core index); membership mirrors coreState.running exactly
+	// (fillIdleCores pushes, the finish/migrate/switch paths remove, the
+	// batched loop floats the core it is stepping).
+	//
+	//   - cur[curPos:] is the *current round*: a sorted snapshot of core
+	//     clocks. While every stepped core lands beyond the horizon — the
+	//     next entry's clock — picking the global minimum is one compare
+	//     and a cursor bump.
+	//   - fut is a min-heap of everything else: cores already stepped
+	//     this round, refilled cores, migration targets. Its root is the
+	//     horizon the current round is checked against.
+	//
+	// When the round is exhausted, fut (typically already near-sorted,
+	// because lockstep cores re-arrive in clock order) becomes the next
+	// round via one insertion sort. The global minimum is therefore
+	// min(cur[curPos], fut[0]) at every step — exactly the core a full
+	// scan would pick — at an amortized couple of compares per
+	// instruction instead of an O(cores) scan or an O(log cores) sift.
+	cur    []heapEntry
+	curPos int
+	fut    []heapEntry
+	// floating is the core currently being stepped by the batched loop
+	// (absent from both tiers); -1 otherwise. heapRemove uses it to make
+	// mid-step removals O(1).
+	floating int32
 
 	cores   []coreState
 	threads []*ThreadState
@@ -191,10 +267,12 @@ type Machine struct {
 	itlb    []*tlb.TLB
 	dtlb    []*tlb.TLB
 
-	events     []Event
-	latencies  []float64
+	events    []Event
+	latencies []float64
+	// instr doubles as the instruction-fetch access count: every executed
+	// instruction performs exactly one fetch.
 	instr      uint64
-	iAcc, iMis uint64
+	iMis       uint64
 	iPeer      uint64
 	dAcc, dMis uint64
 	migrations uint64
@@ -212,13 +290,17 @@ func New(cfg Config, policy Policy, pref Prefetcher, threads []trace.Thread) *Ma
 		panic("sim: nil policy")
 	}
 	m := &Machine{
-		cfg:    cfg,
-		torus:  noc.New(cfg.TorusWidth, cfg.TorusHeight, cfg.HopLatency),
-		timing: cpu.NewTiming(cfg.CPU),
-		policy: policy,
-		pref:   pref,
-		cores:  make([]coreState, cfg.Cores),
-		dir:    newDirectory(cfg.Cores),
+		cfg:           cfg,
+		torus:         noc.New(cfg.TorusWidth, cfg.TorusHeight, cfg.HopLatency),
+		timing:        cpu.NewTiming(cfg.CPU),
+		policy:        policy,
+		pref:          pref,
+		cores:         make([]coreState, cfg.Cores),
+		dir:           newDirectory(cfg.Cores),
+		referenceLoop: slowSimDefault,
+		cur:           make([]heapEntry, 0, cfg.Cores),
+		fut:           make([]heapEntry, 0, cfg.Cores),
+		floating:      -1,
 	}
 	m.hier = mem.New(cfg.Mem, m.torus)
 	m.l1i = make([]*cache.Cache, cfg.Cores)
@@ -233,12 +315,19 @@ func New(cfg Config, policy Policy, pref Prefetcher, threads []trace.Thread) *Ma
 	}
 	m.threads = make([]*ThreadState, len(threads))
 	for i, th := range threads {
-		m.threads[i] = &ThreadState{
+		t := &ThreadState{
 			ID:       th.ID,
 			Type:     th.Type,
 			TypeName: th.TypeName,
 			src:      th.New(),
 		}
+		if ss, ok := t.src.(trace.SpanSource); ok {
+			t.spanner = ss
+		} else if bs, ok := t.src.(trace.BatchSource); ok {
+			t.batcher = bs
+			t.batch = make([]trace.Op, opBatchLen)
+		}
+		m.threads[i] = t
 	}
 	if cfg.TrackReuse {
 		m.reuse = NewReuseTracker(len(threads))
@@ -251,6 +340,13 @@ func New(cfg Config, policy Policy, pref Prefetcher, threads []trace.Thread) *Ma
 			m.dtlb[c] = tlb.New(cfg.TLB)
 		}
 	}
+	// The per-core line micro-caches are only sound when no component
+	// observes the individual accesses they elide; see Machine.fastFetch
+	// and Machine.fastData.
+	m.fastFetch = pref == nil && m.itlb == nil && m.reuse == nil && !m.l1i[0].Config().Classify
+	m.iBlockShift = uint(bits.TrailingZeros64(uint64(m.l1i[0].Config().BlockBytes)))
+	m.fastData = m.dtlb == nil && !m.l1d[0].Config().Classify
+	m.dBlockShift = uint(bits.TrailingZeros64(uint64(m.l1d[0].Config().BlockBytes)))
 	return m
 }
 
@@ -292,6 +388,9 @@ func (m *Machine) PrefetchInstr(c int, addr uint64) {
 	}
 	m.hier.FetchLatency(c, addr)
 	m.l1i[c].Fill(addr)
+	// The fill may have evicted the core's current fetch line; drop the
+	// fast-fetch assumption until the next modeled fetch re-establishes it.
+	m.cores[c].fetchValid = false
 }
 
 // Run executes all threads to completion and returns the results.
@@ -304,14 +403,131 @@ func (m *Machine) Run() Result {
 // channel select per instruction would dominate the simulation loop.
 const cancelCheckMask = 1024 - 1
 
+// opBatchLen is how many ops the machine decodes per BatchSource call into
+// a thread's reusable buffer.
+const opBatchLen = 256
+
 // RunContext is Run with cooperative cancellation: when ctx is cancelled the
 // run stops within a bounded number of simulated instructions and the
 // partial result is returned alongside ctx.Err(). A completed run returns a
 // nil error.
+//
+// The scheduler is event-horizon batched (see the cur/fut fields): every
+// instruction executes on the core a full per-instruction scan would pick
+// — the global (clock, index) minimum — but the pick costs an amortized
+// couple of compares, because stepping the minimum core never advances any
+// other core's clock. The interleaving, and therefore the result, is
+// bit-identical to the reference scheduler's (see DESIGN.md and
+// TestEventHorizonMatchesReference).
 func (m *Machine) RunContext(ctx context.Context) (Result, error) {
 	done := ctx.Done()
 	m.policy.Attach(m, m.threads)
+	m.enqueue, _ = m.policy.(enqueuer)
 	m.fillIdleCores()
+	if m.referenceLoop {
+		// The reference loop is the oracle: disable the line micro-caches
+		// too, so every access goes through the full cache model and the
+		// differential tests check the fast paths rather than share them.
+		m.fastFetch, m.fastData = false, false
+		return m.runReference(ctx, done)
+	}
+	steps := uint64(0)
+	for {
+		if done != nil && steps&cancelCheckMask == 0 {
+			select {
+			case <-done:
+				m.aborted = true
+				return m.result(), ctx.Err()
+			default:
+			}
+		}
+		if m.curPos >= len(m.cur) {
+			// Round exhausted: the stepped cores become the next round.
+			if len(m.fut) == 0 {
+				if !m.fillIdleCores() {
+					break
+				}
+				continue
+			}
+			m.cur, m.fut = m.fut, m.cur[:0]
+			m.curPos = 0
+			sortEntries(m.cur)
+			continue
+		}
+		e := m.cur[m.curPos]
+		if len(m.fut) > 0 && m.fut[0].less(e) {
+			// A stepped or refilled core is behind the whole round: run it
+			// off the future heap until it crosses back over. Its event
+			// horizon — the nearest clock that could take the minimum over
+			// — is the smaller of the round head and the heap root's
+			// children, computed once; until the streak crosses it, each
+			// instruction costs one compare and no queue updates.
+			root := m.fut[0]
+			c := int(root.c)
+			hz := e
+			if len(m.fut) > 1 {
+				l := 1
+				if len(m.fut) > 2 && m.fut[2].less(m.fut[1]) {
+					l = 2
+				}
+				if m.fut[l].less(hz) {
+					hz = m.fut[l]
+				}
+			}
+			for {
+				if done != nil && steps&cancelCheckMask == 0 {
+					select {
+					case <-done:
+						m.aborted = true
+						return m.result(), ctx.Err()
+					default:
+					}
+				}
+				steps++
+				sched := m.step(c)
+				if m.cfg.MaxInstructions > 0 && m.instr >= m.cfg.MaxInstructions {
+					m.aborted = true
+					return m.result(), nil
+				}
+				if sched {
+					break
+				}
+				ct := m.cores[c].time
+				if ct < hz.t || (ct == hz.t && root.c < hz.c) {
+					continue
+				}
+				m.fut[0].t = ct
+				m.siftDown(0)
+				break
+			}
+			continue
+		}
+		c := int(e.c)
+		m.curPos++
+		m.floating = e.c
+		steps++
+		sched := m.step(c)
+		if m.cfg.MaxInstructions > 0 && m.instr >= m.cfg.MaxInstructions {
+			m.aborted = true
+			break
+		}
+		if !sched {
+			// Still running: rejoin the queue with the advanced clock.
+			// (On sched events heapRemove consumed the float marker, and
+			// any refill re-entered the core through heapPush.)
+			m.futPush(heapEntry{t: m.cores[c].time, c: e.c})
+		}
+		m.floating = -1
+	}
+	return m.result(), nil
+}
+
+// runReference is the pre-batching scheduler: one nextCore scan per
+// instruction and unbatched Source.Next decoding. It is the differential-
+// testing oracle for the event-horizon loop (forced globally by the
+// `slowsim` build tag, per machine by UseReferenceLoop) and is kept
+// byte-for-byte at the original loop structure.
+func (m *Machine) runReference(ctx context.Context, done <-chan struct{}) (Result, error) {
 	for steps := uint64(0); ; steps++ {
 		if done != nil && steps&cancelCheckMask == 0 {
 			select {
@@ -337,7 +553,15 @@ func (m *Machine) RunContext(ctx context.Context) (Result, error) {
 	return m.result(), nil
 }
 
-// nextCore picks the running core with the smallest local time.
+// UseReferenceLoop selects (true) or deselects (false) the one-instruction-
+// per-scan reference scheduler for this machine. Call it before Run; it
+// exists for differential testing against the event-horizon loop. The
+// `slowsim` build tag flips the default for every machine in the binary.
+func (m *Machine) UseReferenceLoop(v bool) { m.referenceLoop = v }
+
+// nextCore picks the running core with the smallest local time (the
+// reference loop's per-instruction scan; the batched loop reads the heap
+// root instead).
 func (m *Machine) nextCore() int {
 	best, bestT := -1, math.Inf(1)
 	for c := range m.cores {
@@ -346,6 +570,108 @@ func (m *Machine) nextCore() int {
 		}
 	}
 	return best
+}
+
+// heapEntry is one running core with its clock copied in as the sort key.
+type heapEntry struct {
+	t float64
+	c int32
+}
+
+// less orders entries by (clock, core index) — the same total order the
+// scan's "strictly smaller time, first index wins" rule induces. Keys are
+// unique, so the heap root is always the scan's unique pick.
+func (a heapEntry) less(b heapEntry) bool {
+	return a.t < b.t || (a.t == b.t && a.c < b.c)
+}
+
+// heapPush enters core c into the event queue (always the future tier;
+// the current round is an immutable sorted snapshot).
+func (m *Machine) heapPush(c int) {
+	m.futPush(heapEntry{t: m.cores[c].time, c: int32(c)})
+}
+
+// heapRemove drops core c from the event queue. In the batched loop c is
+// the stepping core — floated out of both tiers — so this is one compare;
+// the scans below serve the reference loop, where the queue is maintained
+// but never consulted.
+func (m *Machine) heapRemove(c int) {
+	if int32(c) == m.floating {
+		m.floating = -1
+		return
+	}
+	for i := range m.fut {
+		if int(m.fut[i].c) == c {
+			last := len(m.fut) - 1
+			if i != last {
+				m.fut[i] = m.fut[last]
+				m.fut = m.fut[:last]
+				m.siftDown(i)
+				m.siftUp(i)
+			} else {
+				m.fut = m.fut[:last]
+			}
+			return
+		}
+	}
+	for i := m.curPos; i < len(m.cur); i++ {
+		if int(m.cur[i].c) == c {
+			m.cur = append(m.cur[:i], m.cur[i+1:]...)
+			return
+		}
+	}
+}
+
+// sortEntries insertion-sorts a round snapshot. Rounds arrive near-sorted
+// (lockstep cores re-enter the future tier in clock order), so this is
+// typically one compare per entry; core counts are small either way.
+func sortEntries(h []heapEntry) {
+	for i := 1; i < len(h); i++ {
+		e := h[i]
+		j := i - 1
+		for j >= 0 && e.less(h[j]) {
+			h[j+1] = h[j]
+			j--
+		}
+		h[j+1] = e
+	}
+}
+
+func (m *Machine) futPush(e heapEntry) {
+	m.fut = append(m.fut, e)
+	m.siftUp(len(m.fut) - 1)
+}
+
+func (m *Machine) siftUp(i int) {
+	h := m.fut
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h[i].less(h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+func (m *Machine) siftDown(i int) {
+	h := m.fut
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		small := l
+		if r := l + 1; r < n && h[r].less(h[l]) {
+			small = r
+		}
+		if !h[small].less(h[i]) {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
 }
 
 // fillIdleCores polls the policy for work on every idle core; it reports
@@ -372,54 +698,106 @@ func (m *Machine) fillIdleCores() bool {
 		}
 		t.InstrOnCore = 0
 		m.cores[c].running = t
+		m.heapPush(c)
 		any = true
 	}
 	return any
 }
 
-// step executes one instruction on core c.
-func (m *Machine) step(c int) {
+// refillOp is nextOp's slow path: pull the next op window from the
+// thread's bulk decoder, or fall back to Source.Next. The reference loop
+// always takes the Next path, so the differential test exercises the batch
+// decoders against the plain decoder too.
+func (m *Machine) refillOp(t *ThreadState) (trace.Op, bool) {
+	if m.referenceLoop {
+		return t.src.Next()
+	}
+	if t.spanner != nil {
+		sp := t.spanner.NextSpan(opBatchLen)
+		if len(sp) == 0 {
+			return trace.Op{}, false
+		}
+		t.batch = sp
+		t.batchPos, t.batchLen = 1, len(sp)
+		return sp[0], true
+	}
+	if t.batcher != nil {
+		n := t.batcher.NextBatch(t.batch)
+		if n <= 0 {
+			return trace.Op{}, false
+		}
+		t.batchPos, t.batchLen = 1, n
+		return t.batch[0], true
+	}
+	return t.src.Next()
+}
+
+// step executes one instruction on core c. It reports whether the running
+// set changed (thread finish, migration or context switch) — the events
+// that invalidate the caller's scheduling horizon.
+func (m *Machine) step(c int) (sched bool) {
 	t := m.cores[c].running
-	op, ok := t.src.Next()
+	// The batch-consume fast path is written out here: this is the hottest
+	// load in the simulator and the refill branch is cold.
+	var op trace.Op
+	var ok bool
+	if t.batchPos < t.batchLen {
+		op = t.batch[t.batchPos]
+		t.batchPos++
+		ok = true
+	} else {
+		op, ok = m.refillOp(t)
+	}
 	if !ok {
 		t.Done = true
 		m.finished++
 		m.latencies = append(m.latencies, m.cores[c].time-t.StartedAt)
 		m.cores[c].running = nil
+		m.heapRemove(c)
 		m.policy.OnThreadFinish(c, t)
 		m.fillIdleCores()
-		return
+		return true
 	}
 
 	// Instruction fetch. A miss is served by the L2/memory hierarchy;
 	// optionally (Config.InstrPeerTransfer, an extension ablation — the
 	// paper's Table 2 machine keeps MESI for L1-D only) by cache-to-cache
 	// transfer from the nearest peer L1-I holding the block.
-	m.iAcc++
-	ires := m.l1i[c].Access(op.PC, false)
+	//
+	// A fetch from the core's current line (fastFetch) is a known hit with
+	// no model side effects — the cache's own episode rule would skip the
+	// replacement update too — so the cache model is consulted only on
+	// line changes.
+	block := op.PC >> m.iBlockShift
+	iHit := true
 	ilat := 0
-	if !ires.Hit {
-		m.iMis++
-		m.cores[c].imiss++
-		peer := -1
-		if m.cfg.InstrPeerTransfer {
-			peer = m.nearestInstrPeer(c, m.l1i[c].BlockAddr(op.PC))
+	if !m.fastFetch || block != m.cores[c].fetchBlock || !m.cores[c].fetchValid {
+		ires := m.l1i[c].Access(op.PC, false)
+		m.cores[c].fetchBlock, m.cores[c].fetchValid = block, true
+		iHit = ires.Hit
+		if !ires.Hit {
+			m.iMis++
+			m.cores[c].imiss++
+			peer := -1
+			if m.cfg.InstrPeerTransfer {
+				peer = m.nearestInstrPeer(c, block)
+			}
+			if peer >= 0 {
+				m.iPeer++
+				ilat = 2*m.torus.Latency(c, peer) + peerTagCycles
+			} else {
+				ilat = m.hier.FetchLatency(c, op.PC)
+			}
 		}
-		if peer >= 0 {
-			m.iPeer++
-			ilat = 2*m.torus.Latency(c, peer) + peerTagCycles
-		} else {
-			ilat = m.hier.FetchLatency(c, op.PC)
+		if m.itlb != nil {
+			ilat += m.itlb[c].Access(op.PC)
 		}
-	}
-	if m.itlb != nil {
-		ilat += m.itlb[c].Access(op.PC)
-	}
-	if m.pref != nil {
-		m.pref.OnFetch(m, c, op.PC, !ires.Hit)
-	}
-	if m.reuse != nil {
-		m.reuse.Record(m.l1i[c].BlockAddr(op.PC), t.ID, t.Type)
+		if m.pref != nil {
+			m.pref.OnFetch(m, c, op.PC, !ires.Hit)
+		}
+		if m.reuse != nil {
+			m.reuse.Record(block, t.ID, t.Type)
+		}
 	}
 
 	// Data access.
@@ -438,14 +816,16 @@ func (m *Machine) step(c int) {
 	m.cores[c].instr++
 	m.instr++
 
-	f := Fetch{PC: op.PC, Block: m.l1i[c].BlockAddr(op.PC), IMiss: !ires.Hit, DMiss: dmiss}
+	f := Fetch{PC: op.PC, Block: block, IMiss: !iHit, DMiss: dmiss}
 	if dest := m.policy.OnInstr(c, t, f); dest >= 0 && dest < m.cfg.Cores {
 		if dest == c {
 			m.contextSwitch(c, t)
 		} else {
 			m.migrate(c, dest, t)
 		}
+		return true
 	}
+	return false
 }
 
 // contextSwitch yields the running thread back to its own core's queue
@@ -459,13 +839,11 @@ func (m *Machine) contextSwitch(c int, t *ThreadState) {
 		m.events = append(m.events, Event{Cycle: m.cores[c].time, ThreadID: t.ID, From: c, To: c, Switch: true})
 	}
 	m.cores[c].running = nil
-	enq, ok := m.policy.(interface {
-		EnqueueMigrated(core int, t *ThreadState)
-	})
-	if !ok {
+	m.heapRemove(c)
+	if m.enqueue == nil {
 		panic(fmt.Sprintf("sim: policy %q yielded without EnqueueMigrated", m.policy.Name()))
 	}
-	enq.EnqueueMigrated(c, t)
+	m.enqueue.EnqueueMigrated(c, t)
 	m.fillIdleCores()
 }
 
@@ -473,9 +851,18 @@ func (m *Machine) contextSwitch(c int, t *ThreadState) {
 // bookkeeping and returns the added latency and miss flag.
 func (m *Machine) dataAccess(c int, addr uint64, write bool) (lat int, miss bool) {
 	m.dAcc++
+	block := addr >> m.dBlockShift
+	// A read of the core's current data line (fastData) is a known hit
+	// with no model side effects — the cache's episode rule would skip
+	// the replacement update too. Row scans walk a block word by word, so
+	// this is the common data reference. Writes always take the full path
+	// (they may need a directory upgrade).
+	if !write && m.fastData && block == m.cores[c].dataBlock && m.cores[c].dataValid {
+		return 0, false
+	}
 	l1d := m.l1d[c]
-	block := l1d.BlockAddr(addr)
 	res := l1d.Access(addr, write)
+	m.cores[c].dataBlock, m.cores[c].dataValid = block, true
 	if res.EvictedValid {
 		m.dir.removeSharer(res.Evicted, c)
 	}
@@ -488,13 +875,18 @@ func (m *Machine) dataAccess(c int, addr uint64, write bool) (lat int, miss bool
 	if write {
 		// Invalidate other sharers; the invalidation round trip is
 		// charged once if any copies existed elsewhere (write-allocate,
-		// MESI upgrade).
+		// MESI upgrade). The mask is walked bit by set bit (ascending
+		// core order, same as the full scan it replaced).
 		if others := m.dir.othersOf(block, c); others != 0 {
-			for o := 0; o < m.cfg.Cores; o++ {
-				if others&(1<<uint(o)) != 0 {
-					m.l1d[o].InvalidateBlock(block)
-					m.invals++
+			for rem := others; rem != 0; rem &= rem - 1 {
+				o := bits.TrailingZeros64(rem)
+				m.l1d[o].InvalidateBlock(block)
+				if m.cores[o].dataBlock == block {
+					// The victim core's line micro-cache must not keep
+					// reporting the invalidated block resident.
+					m.cores[o].dataValid = false
 				}
+				m.invals++
 			}
 			m.dir.setExclusive(block, c)
 			lat += m.torus.Broadcast(c, false)
@@ -534,12 +926,10 @@ func (m *Machine) migrate(src, dst int, t *ThreadState) {
 		m.events = append(m.events, Event{Cycle: m.cores[src].time, ThreadID: t.ID, From: src, To: dst})
 	}
 	m.cores[src].running = nil
-	if enq, ok := m.policy.(interface {
-		EnqueueMigrated(core int, t *ThreadState)
-	}); ok {
-		enq.EnqueueMigrated(dst, t)
-	} else {
+	m.heapRemove(src)
+	if m.enqueue == nil {
 		panic(fmt.Sprintf("sim: policy %q requested migration without EnqueueMigrated", m.policy.Name()))
 	}
+	m.enqueue.EnqueueMigrated(dst, t)
 	m.fillIdleCores()
 }

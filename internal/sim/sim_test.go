@@ -193,7 +193,7 @@ func TestDirectoryTracksSharers(t *testing.T) {
 	if d.sharerCount(7) != 0 {
 		t.Fatal("removeSharer failed")
 	}
-	if _, ok := d.sharers[7]; ok {
+	if d.tab.Len() != 0 {
 		t.Fatal("empty entry not deleted")
 	}
 }

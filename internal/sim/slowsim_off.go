@@ -1,0 +1,8 @@
+//go:build !slowsim
+
+package sim
+
+// slowSimDefault selects the event-horizon batched scheduler for every
+// machine. Build with `-tags slowsim` to force the one-instruction-per-scan
+// reference loop instead (see Machine.UseReferenceLoop).
+const slowSimDefault = false

@@ -1,0 +1,9 @@
+//go:build slowsim
+
+package sim
+
+// slowSimDefault under the slowsim tag forces the one-instruction-per-scan
+// reference scheduler (and unbatched trace decoding) for every machine in
+// the binary — the whole-program differential check: a `-tags slowsim`
+// build must produce byte-identical experiment output, just slower.
+const slowSimDefault = true

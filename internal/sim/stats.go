@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 
 	"slicc/internal/mem"
@@ -150,7 +151,7 @@ func (m *Machine) result() Result {
 	r := Result{
 		Policy:          m.policy.Name(),
 		Instructions:    m.instr,
-		IAccesses:       m.iAcc,
+		IAccesses:       m.instr, // one fetch per executed instruction
 		IMisses:         m.iMis,
 		IPeerHits:       m.iPeer,
 		DAccesses:       m.dAcc,
@@ -333,9 +334,7 @@ func normalize(single, few, most uint64) ReuseBreakdown {
 func popcount(mask []uint64) int {
 	n := 0
 	for _, w := range mask {
-		for ; w != 0; w &= w - 1 {
-			n++
-		}
+		n += bits.OnesCount64(w)
 	}
 	return n
 }

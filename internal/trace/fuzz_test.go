@@ -93,6 +93,30 @@ func FuzzFileReader(f *testing.F) {
 			if src.Err() != nil {
 				clean = false
 			}
+			// The bulk decoder must agree with the plain one on every
+			// accepted container — ops and error state — whatever the
+			// bytes look like.
+			bsrc := c.Source(i)
+			var batched []Op
+			buf := make([]Op, 13)
+			for {
+				n := bsrc.NextBatch(buf)
+				if n == 0 {
+					break
+				}
+				batched = append(batched, buf[:n]...)
+			}
+			if len(batched) != len(all[i]) {
+				t.Fatalf("thread %d: NextBatch drained %d ops, Next drained %d", i, len(batched), len(all[i]))
+			}
+			for k := range batched {
+				if batched[k] != all[i][k] {
+					t.Fatalf("thread %d op %d: NextBatch %+v != Next %+v", i, k, batched[k], all[i][k])
+				}
+			}
+			if (bsrc.Err() == nil) != (src.Err() == nil) {
+				t.Fatalf("thread %d: error state diverges: next=%v batch=%v", i, src.Err(), bsrc.Err())
+			}
 		}
 		if !clean || c.Version() != containerVersion {
 			return

@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// encTestOps builds a representative op mix: sequential PCs with
+// occasional jumps, ~35% data references across distant regions.
+func encTestOps(n int) []Op {
+	rng := rand.New(rand.NewSource(7))
+	ops := make([]Op, n)
+	pc := uint64(0x1000_0000)
+	for i := range ops {
+		if rng.Intn(16) == 0 {
+			pc = 0x1000_0000 + uint64(rng.Intn(1<<20))*4
+		}
+		op := Op{PC: pc}
+		pc += 4
+		if rng.Intn(100) < 35 {
+			op.HasData = true
+			op.DataAddr = 0x7000_0000_0000 + uint64(rng.Intn(1<<30))
+			if rng.Intn(50) == 0 {
+				// Exercise the wide-address record (>= 2^48).
+				op.DataAddr = 1<<60 + uint64(rng.Intn(1<<20))
+			}
+			op.IsWrite = rng.Intn(100) < 13
+		}
+		ops[i] = op
+	}
+	return ops
+}
+
+func encodeAll(ops []Op) *OpEncoder {
+	var e OpEncoder
+	for _, op := range ops {
+		e.Append(op)
+	}
+	return &e
+}
+
+// TestMemSourceRoundTrip checks Next and NextBatch against the original
+// ops, including mixed consumption.
+func TestMemSourceRoundTrip(t *testing.T) {
+	ops := encTestOps(10_000)
+	e := encodeAll(ops)
+	if e.Ops() != uint64(len(ops)) {
+		t.Fatalf("encoder counted %d ops, want %d", e.Ops(), len(ops))
+	}
+
+	// Pure Next drain.
+	s := e.Source()
+	for i, want := range ops {
+		got, ok := s.Next()
+		if !ok || got != want {
+			t.Fatalf("Next op %d = %+v ok=%v, want %+v", i, got, ok, want)
+		}
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("Next past end returned ok")
+	}
+
+	// Mixed Next/NextBatch drain with odd batch sizes.
+	s = e.Source()
+	var got []Op
+	buf := make([]Op, 37)
+	for turn := 0; ; turn++ {
+		if turn%3 == 2 {
+			op, ok := s.Next()
+			if !ok {
+				break
+			}
+			got = append(got, op)
+			continue
+		}
+		n := s.NextBatch(buf)
+		if n == 0 {
+			if _, ok := s.Next(); ok {
+				t.Fatal("NextBatch returned 0 but Next produced an op")
+			}
+			break
+		}
+		got = append(got, buf[:n]...)
+	}
+	if len(got) != len(ops) {
+		t.Fatalf("mixed drain produced %d ops, want %d", len(got), len(ops))
+	}
+	for i := range got {
+		if got[i] != ops[i] {
+			t.Fatalf("mixed drain op %d = %+v, want %+v", i, got[i], ops[i])
+		}
+	}
+}
+
+// TestMemSourceEncodingDensity pins the encoding's size envelope so a
+// regression back toward fat records is caught (the op cache's value is
+// that whole workloads stay cache-resident).
+func TestMemSourceEncodingDensity(t *testing.T) {
+	ops := encTestOps(100_000)
+	e := encodeAll(ops)
+	perOp := float64(e.Bytes()) / float64(len(ops))
+	if perOp > 6 {
+		t.Fatalf("encoding density %.2f bytes/op, want <= 6", perOp)
+	}
+}
+
+// BenchmarkMemSourceNextBatch measures the in-memory bulk decode rate —
+// the op-supply side of the simulator's hot loop.
+func BenchmarkMemSourceNextBatch(b *testing.B) {
+	ops := encTestOps(1 << 20)
+	e := encodeAll(ops)
+	buf := make([]Op, 256)
+	b.ResetTimer()
+	var total int
+	for i := 0; i < b.N; i++ {
+		s := e.Source()
+		for {
+			n := s.NextBatch(buf)
+			if n == 0 {
+				break
+			}
+			total += n
+		}
+	}
+	b.StopTimer()
+	if b.Elapsed() > 0 {
+		b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "ops/s")
+	}
+}

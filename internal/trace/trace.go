@@ -40,6 +40,19 @@ type Source interface {
 	Next() (op Op, ok bool)
 }
 
+// BatchSource is an optional Source fast path: NextBatch fills dst from the
+// front with the stream's next ops and returns how many it produced (0 when
+// the stream has completed, like Next's ok=false). The batch is drawn from
+// the same stream position Next reads, so the two may be mixed freely; a
+// full drain via NextBatch yields exactly the ops a Next loop would. The
+// simulator's hot loop uses it to amortize the per-op interface call and
+// decoder state round-trip over a few hundred ops at a time; SliceSource
+// and FileSource implement it.
+type BatchSource interface {
+	Source
+	NextBatch(dst []Op) int
+}
+
 // SliceSource replays a pre-recorded op slice.
 type SliceSource struct {
 	ops []Op
@@ -57,6 +70,33 @@ func (s *SliceSource) Next() (Op, bool) {
 	op := s.ops[s.pos]
 	s.pos++
 	return op, true
+}
+
+// NextBatch implements BatchSource: one bulk copy from the backing slice.
+func (s *SliceSource) NextBatch(dst []Op) int {
+	n := copy(dst, s.ops[s.pos:])
+	s.pos += n
+	return n
+}
+
+// SpanSource is the zero-copy refinement of BatchSource for sources whose
+// ops already sit in memory: NextSpan returns up to max next ops as a view
+// of the backing storage (valid until the next call) and advances the
+// stream. An empty span means the stream is done.
+type SpanSource interface {
+	BatchSource
+	NextSpan(max int) []Op
+}
+
+// NextSpan implements SpanSource: a subslice of the backing ops, no copy.
+func (s *SliceSource) NextSpan(max int) []Op {
+	n := len(s.ops) - s.pos
+	if n > max {
+		n = max
+	}
+	sp := s.ops[s.pos : s.pos+n]
+	s.pos += n
+	return sp
 }
 
 // Reset rewinds the source to the beginning.

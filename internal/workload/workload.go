@@ -22,6 +22,7 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"slicc/internal/trace"
 )
@@ -206,10 +207,91 @@ type Workload struct {
 
 	threads []trace.Thread
 
+	// oc memoizes thread op streams that are replayed repeatedly (see
+	// sourceFor).
+	oc opCache
+
 	// container is the open trace file backing a Recorded workload (nil
 	// for synthetic workloads). It is held for the workload's lifetime:
 	// every thread's New streams from it.
 	container *trace.File
+}
+
+// opCache memoizes synthetic threads' op streams once they prove hot. A
+// thread's first New() replay runs the generator directly — so single-pass
+// consumers (trace capture, a lone simulation) keep the generator's
+// constant memory — but the *second* New() of the same thread marks it as
+// repeatedly replayed: its stream is recorded once into a delta-encoded
+// buffer (trace.OpEncoder, ~3.5 bytes/op) and every later replay decodes
+// from memory through the trace.BatchSource bulk path. That is the
+// experiment-harness shape (one pool-cached workload feeding dozens of
+// simulations), where regenerating identical streams — two rand draws per
+// op — dominated the cold simulation loop; the compact encoding keeps a
+// whole quick-size workload within the last-level cache, so replays do not
+// evict the simulator's own model state. Replays are byte-identical by
+// construction: the recording is the generator's own output.
+type opCache struct {
+	mu sync.Mutex
+	// budget is the remaining op count the cache may retain. Quick
+	// experiment workloads fit whole; oversized threads simply stay on
+	// the generator path. Concurrent recorders may transiently overshoot
+	// by one thread's stream each.
+	budget int64
+	// state is the per-thread ladder: 0 = never replayed, 1 = replayed
+	// once (record on next replay), 2 = recording in flight or rejected.
+	state []uint8
+	enc   []*trace.OpEncoder
+}
+
+// opCacheBudget bounds the op streams one workload retains (2^26 ops ≈
+// 230MB encoded worst case). It is a var so tests can shrink it.
+var opCacheBudget = int64(1) << 26
+
+// sourceFor returns thread id's op stream: the memoized recording when one
+// exists, the deterministic generator otherwise (recording it on the way
+// through when this is a repeat replay and the budget allows).
+func (w *Workload) sourceFor(id, ti int, seed int64) trace.Source {
+	oc := &w.oc
+	oc.mu.Lock()
+	if e := oc.enc[id]; e != nil {
+		oc.mu.Unlock()
+		return e.Source()
+	}
+	record := false
+	limit := oc.budget
+	switch oc.state[id] {
+	case 0:
+		oc.state[id] = 1
+	case 1:
+		oc.state[id] = 2
+		record = limit > 0
+	}
+	oc.mu.Unlock()
+
+	gen := newThreadSource(w, id, ti, seed)
+	if !record {
+		return gen
+	}
+	var enc trace.OpEncoder
+	for {
+		op, ok := gen.Next()
+		if !ok {
+			// Complete recording (exact budget fits count as complete).
+			oc.mu.Lock()
+			if oc.budget >= int64(enc.Ops()) {
+				oc.budget -= int64(enc.Ops())
+				oc.enc[id] = &enc
+			}
+			oc.mu.Unlock()
+			return enc.Source()
+		}
+		if int64(enc.Ops()) >= limit {
+			// The stream does not fit in the remaining budget: drop the
+			// prefix and leave the thread on the generator path for good.
+			return newThreadSource(w, id, ti, seed)
+		}
+		enc.Append(op)
+	}
 }
 
 // New synthesizes a workload. Trace-backed configs (TracePath set) have no
@@ -320,10 +402,13 @@ func (w *Workload) assignThreads() {
 			Type:     ti,
 			TypeName: w.Types[ti].Name,
 			New: func() trace.Source {
-				return newThreadSource(wi, tid, typ, seed)
+				return wi.sourceFor(tid, typ, seed)
 			},
 		}
 	}
+	w.oc.budget = opCacheBudget
+	w.oc.state = make([]uint8, len(w.threads))
+	w.oc.enc = make([]*trace.OpEncoder, len(w.threads))
 }
 
 // threadSeed decorrelates per-thread streams (splitmix64-style).
