@@ -1,17 +1,25 @@
-// Command experiments regenerates the paper's tables and figures.
+// Command experiments regenerates the paper's tables and figures, and runs
+// declarative parameter sweeps.
 //
 //	experiments -list
 //	experiments -run fig11
 //	experiments -run all -quick
 //	experiments -run all -quick -j 8 -progress
 //	experiments -run fig7 -out fig7.txt
+//	experiments -sweep spec.json -store ./store
+//	experiments -sweep spec.json -csv -out cells.csv
+//	echo '{"preset":"fig7-thresholds"}' | experiments -sweep -
 //
 // Experiments share one engine: their simulations run on -j workers,
 // identical simulations are deduplicated across experiments, and the table
-// output is byte-identical for any -j.
+// output is byte-identical for any -j. A -sweep run expands the JSON spec
+// (see EXPERIMENTS.md "Sweeps") into its cell cross-product on the same
+// engine, so sweeps share dedup and the persistent store with everything
+// else; a store-warmed rerun executes zero simulations.
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -29,8 +37,10 @@ import (
 
 func main() {
 	var (
-		list     = flag.Bool("list", false, "list experiment ids and exit")
+		list     = flag.Bool("list", false, "list experiment ids and sweep presets, then exit")
 		run      = flag.String("run", "all", "experiment id or 'all'")
+		sweepPth = flag.String("sweep", "", "run the parameter sweep declared in this JSON spec file ('-' reads stdin) instead of -run")
+		asCSV    = flag.Bool("csv", false, "with -sweep: emit the per-cell results as CSV")
 		quick    = flag.Bool("quick", false, "shrink workloads ~20x for a fast smoke run")
 		seed     = flag.Int64("seed", 1, "workload seed")
 		tracePth = flag.String("trace", "", "replay every benchmark from this recorded trace container (see docs/TRACES.md)")
@@ -66,6 +76,9 @@ func main() {
 		for _, id := range slicc.ExperimentIDs() {
 			fmt.Println(id)
 		}
+		for _, name := range slicc.SweepPresets() {
+			fmt.Printf("sweep:%s\n", name)
+		}
 		return
 	}
 
@@ -92,6 +105,40 @@ func main() {
 		os.Exit(1)
 	}
 	defer engine.Close()
+
+	if *sweepPth != "" {
+		// The experiment-shaping flags do not apply to sweeps (a spec
+		// carries its own seeds/scales axes and has no trace form); refuse
+		// them rather than silently running something the user did not ask
+		// for.
+		var conflicts []string
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "quick", "seed", "trace", "run":
+				conflicts = append(conflicts, "-"+f.Name)
+			}
+		})
+		if len(conflicts) > 0 {
+			fmt.Fprintf(os.Stderr, "-sweep does not combine with %s: set the sweep's axes in the spec instead (see EXPERIMENTS.md \"Sweeps\")\n",
+				strings.Join(conflicts, ", "))
+			engine.Close() // os.Exit skips the deferred close
+			stopProfile()
+			os.Exit(2)
+		}
+		start := time.Now()
+		err := runSweep(engine, *sweepPth, w, *asJSON, *asCSV)
+		if *progress {
+			fmt.Fprintln(os.Stderr)
+		}
+		reportStats(engine, start, *verbose)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			engine.Close() // os.Exit skips the deferred close
+			stopProfile()
+			os.Exit(1)
+		}
+		return
+	}
 
 	ids := []string{*run}
 	if *run == "all" {
@@ -156,22 +203,64 @@ func main() {
 			failures = append(failures, "(json encoding)")
 		}
 	}
-	stats := engine.Stats()
-	elapsed := time.Since(start)
-	fmt.Fprintf(os.Stderr, "total %v: %d simulations executed, %d deduplicated, %d store hits, %d workloads synthesized (%d reused)\n",
-		elapsed.Round(time.Millisecond),
-		stats.SimsExecuted, stats.DedupHits, stats.StoreHits, stats.WorkloadsBuilt, stats.WorkloadHits)
-	if *verbose {
-		// Wall-clock and simulation rate from one command: the numbers the
-		// BENCH_SIM.json trajectory tracks.
-		fmt.Fprintf(os.Stderr, "perf: %.3fs wall-clock, %d instructions simulated, %.2fM instr/s\n",
-			elapsed.Seconds(), stats.InstructionsSimulated,
-			float64(stats.InstructionsSimulated)/elapsed.Seconds()/1e6)
-	}
+	reportStats(engine, start, *verbose)
 	if len(failures) > 0 {
 		fmt.Fprintf(os.Stderr, "%d experiment(s) failed: %s\n", len(failures), strings.Join(failures, ", "))
 		engine.Close() // os.Exit skips the deferred close
 		stopProfile()  // ... and the deferred profile stop
 		os.Exit(1)
+	}
+}
+
+// runSweep loads the JSON sweep spec at path ("-" for stdin), runs it on
+// the shared engine, and emits the result as an aligned table (default),
+// JSON, or CSV.
+func runSweep(engine *slicc.Engine, path string, w io.Writer, asJSON, asCSV bool) error {
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return err
+	}
+	var spec slicc.SweepSpec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return fmt.Errorf("decoding sweep spec %s: %w", path, err)
+	}
+	res, err := engine.Sweep(context.Background(), spec)
+	if err != nil {
+		return err
+	}
+	switch {
+	case asJSON:
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	case asCSV:
+		return res.WriteCSV(w)
+	default:
+		t := slicc.SweepTable(res)
+		t.Format(w)
+		return nil
+	}
+}
+
+// reportStats prints the engine's work counters (and with verbose the
+// simulation rate the BENCH_SIM.json trajectory tracks) on stderr.
+func reportStats(engine *slicc.Engine, start time.Time, verbose bool) {
+	stats := engine.Stats()
+	elapsed := time.Since(start)
+	fmt.Fprintf(os.Stderr, "total %v: %d simulations executed, %d deduplicated, %d store hits, %d workloads synthesized (%d reused)\n",
+		elapsed.Round(time.Millisecond),
+		stats.SimsExecuted, stats.DedupHits, stats.StoreHits, stats.WorkloadsBuilt, stats.WorkloadHits)
+	if verbose {
+		fmt.Fprintf(os.Stderr, "perf: %.3fs wall-clock, %d instructions simulated, %.2fM instr/s\n",
+			elapsed.Seconds(), stats.InstructionsSimulated,
+			float64(stats.InstructionsSimulated)/elapsed.Seconds()/1e6)
 	}
 }

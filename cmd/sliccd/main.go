@@ -1,6 +1,7 @@
 // Command sliccd serves the slicc simulation engine over HTTP: submit
-// simulations, poll results, and render the paper's experiments, all on one
-// shared engine whose results persist in a content-addressed store.
+// simulations and parameter sweeps, poll results, and render the paper's
+// experiments, all on one shared engine whose results persist in a
+// content-addressed store.
 //
 //	sliccd -store /var/lib/slicc/store
 //	sliccd -addr 127.0.0.1:8080 -store ./store -j 8 -timeout 5m
@@ -8,6 +9,8 @@
 //	curl -s localhost:8080/healthz
 //	curl -s -X POST localhost:8080/v1/simulations?wait=1 \
 //	     -d '{"Benchmark":"tpcc1","Policy":"slicc-sw","Threads":64}'
+//	curl -s -X POST localhost:8080/v1/sweeps?wait=1 \
+//	     -d '{"preset":"scenario-families","threads":[40],"scales":[0.35]}'
 //	curl -s localhost:8080/v1/experiments/fig11?quick=1
 //
 // The listen address is printed on stdout once the socket is open (use

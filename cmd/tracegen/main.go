@@ -19,22 +19,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"slicc"
 	"slicc/internal/trace"
 	"slicc/internal/workload"
 )
 
-var kinds = map[string]workload.Kind{
-	"tpcc1":     workload.TPCC1,
-	"tpcc10":    workload.TPCC10,
-	"tpce":      workload.TPCE,
-	"mapreduce": workload.MapReduce,
-}
-
 func main() {
 	var (
-		kindName = flag.String("workload", "tpcc1", "benchmark: tpcc1, tpcc10, tpce, mapreduce")
+		kindName = flag.String("workload", "tpcc1", "workload: "+strings.Join(workload.KindTokens(), ", "))
 		threads  = flag.Int("threads", 32, "thread count")
 		seed     = flag.Int64("seed", 1, "workload seed")
 		scale    = flag.Float64("scale", 1, "work multiplier")
@@ -59,9 +53,9 @@ func main() {
 		return
 	}
 
-	kind, ok := kinds[*kindName]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *kindName)
+	kind, err := workload.ParseKind(*kindName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	w := workload.New(workload.Config{Kind: kind, Threads: *threads, Seed: *seed, Scale: *scale})

@@ -12,6 +12,14 @@
 //	                            ?wait=1 blocks (within the request timeout)
 //	                            for the result.
 //	GET  /v1/simulations/{id}   result or status of a submitted simulation.
+//	POST /v1/sweeps             submit a slicc.SweepSpec (JSON body); the
+//	                            sweep's cells run on the shared engine, so
+//	                            they dedup against everything else and
+//	                            persist in the store. Identical specs
+//	                            coalesce onto one run; ?wait=1 blocks.
+//	GET  /v1/sweeps/{id}        result or status of a submitted sweep
+//	                            (?format=csv or ?format=text render the
+//	                            completed cells).
 //	GET  /v1/experiments/{id}   run one of the paper's experiments and
 //	                            return its rendered tables (?quick=1,
 //	                            &seed=N, &format=text).
@@ -71,12 +79,20 @@ type Server struct {
 	// order is the insertion order of sims, for bounded-memory eviction of
 	// completed entries.
 	order []string
+
+	sweeps     map[string]*sweepEntry
+	sweepOrder []string
 }
 
 // maxTrackedSims bounds the service-level result map: past this, the
 // oldest *completed* entries are dropped (their results persist in the
 // store if one is configured; a dropped id simply polls as 404).
 const maxTrackedSims = 4096
+
+// maxTrackedSweeps bounds the sweep result map the same way. Sweep results
+// are cell tables (KBs, not bytes), so the cap is lower; the underlying
+// simulations persist in the store regardless.
+const maxTrackedSweeps = 256
 
 // simEntry is one content-keyed simulation accepted by the service. The
 // entry outlives its submitting request: status is poll-able until the
@@ -101,6 +117,7 @@ func New(eng *slicc.Engine, opts Options) *Server {
 		baseCtx: ctx,
 		cancel:  cancel,
 		sims:    make(map[string]*simEntry),
+		sweeps:  make(map[string]*sweepEntry),
 	}
 }
 
@@ -120,6 +137,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/simulations", s.handleSubmit)
 	mux.HandleFunc("GET /v1/simulations/{id}", s.handleSimulation)
+	mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweep)
 	mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("no route for %s %s", r.Method, r.URL.Path))
@@ -157,13 +176,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 type statsResponse struct {
 	Engine      slicc.EngineStats `json:"engine"`
 	Simulations int               `json:"simulations"`
+	Sweeps      int               `json:"sweeps"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
-	n := len(s.sims)
+	n, ns := len(s.sims), len(s.sweeps)
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, statsResponse{Engine: s.eng.Stats(), Simulations: n})
+	writeJSON(w, http.StatusOK, statsResponse{Engine: s.eng.Stats(), Simulations: n, Sweeps: ns})
 }
 
 // simResponse describes one simulation's state.
@@ -316,6 +336,172 @@ func (s *Server) handleSimulation(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, e.response())
+}
+
+// sweepEntry is one content-keyed sweep accepted by the service.
+type sweepEntry struct {
+	id   string
+	spec slicc.SweepSpec
+	done chan struct{} // closed when result/err are valid
+
+	result *slicc.SweepResult
+	err    error
+}
+
+// sweepResponse describes one sweep's state.
+type sweepResponse struct {
+	ID string `json:"id"`
+	// Status is "running", "done" or "failed".
+	Status string             `json:"status"`
+	Spec   slicc.SweepSpec    `json:"spec"`
+	Result *slicc.SweepResult `json:"result,omitempty"`
+	Error  string             `json:"error,omitempty"`
+}
+
+func (e *sweepEntry) response() sweepResponse {
+	resp := sweepResponse{ID: e.id, Status: "running", Spec: e.spec}
+	select {
+	case <-e.done:
+		if e.err != nil {
+			resp.Status = "failed"
+			resp.Error = e.err.Error()
+		} else {
+			resp.Status = "done"
+			resp.Result = e.result
+		}
+	default:
+	}
+	return resp
+}
+
+// handleSweepSubmit accepts a slicc.SweepSpec and coalesces it onto the
+// existing run of the same content key, starting one if needed. Sweep
+// specs are pure benchmark axes — no TracePath-style server filesystem
+// references exist in the schema — so the whole spec is safe to accept
+// from the network; expansion itself enforces the cell limit.
+func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	var spec slicc.SweepSpec
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding sweep spec: "+err.Error())
+		return
+	}
+	id, err := spec.Key()
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+
+	s.mu.Lock()
+	e, existed := s.sweeps[id]
+	if !existed {
+		e = &sweepEntry{id: id, spec: spec, done: make(chan struct{})}
+		s.sweeps[id] = e
+		s.sweepOrder = append(s.sweepOrder, id)
+		s.evictCompletedSweepsLocked()
+		s.running.Add(1)
+		go func() {
+			defer s.running.Done()
+			// Like simulations, the sweep belongs to the service: it
+			// survives client disconnects and only shutdown aborts it.
+			e.result, e.err = s.eng.Sweep(s.baseCtx, e.spec)
+			close(e.done)
+			if e.err != nil {
+				s.evictSweep(id, e)
+			}
+		}()
+	}
+	s.mu.Unlock()
+
+	if boolParam(r, "wait") {
+		select {
+		case <-e.done:
+		case <-time.After(s.opts.Timeout):
+			// Not an error: the sweep is accepted and still running.
+		case <-r.Context().Done():
+		case <-s.baseCtx.Done():
+		}
+	}
+	resp := e.response()
+	code := http.StatusOK
+	if !existed && resp.Status == "running" {
+		code = http.StatusAccepted
+	}
+	writeJSON(w, code, resp)
+}
+
+// evictSweep removes id's entry if it is still e.
+func (s *Server) evictSweep(id string, e *sweepEntry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sweeps[id] == e {
+		delete(s.sweeps, id)
+	}
+}
+
+// evictCompletedSweepsLocked bounds s.sweeps at maxTrackedSweeps by
+// dropping the oldest completed entries. Caller holds s.mu.
+func (s *Server) evictCompletedSweepsLocked() {
+	if len(s.sweeps) <= maxTrackedSweeps {
+		return
+	}
+	kept := s.sweepOrder[:0]
+	for _, id := range s.sweepOrder {
+		e, ok := s.sweeps[id]
+		if !ok {
+			continue // already evicted (failure path)
+		}
+		completed := false
+		select {
+		case <-e.done:
+			completed = true
+		default:
+		}
+		if completed && len(s.sweeps) > maxTrackedSweeps {
+			delete(s.sweeps, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.sweepOrder = kept
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	e, ok := s.sweeps[id]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown sweep %q", id))
+		return
+	}
+	if boolParam(r, "wait") {
+		select {
+		case <-e.done:
+		case <-time.After(s.opts.Timeout):
+		case <-r.Context().Done():
+		case <-s.baseCtx.Done():
+		}
+	}
+	resp := e.response()
+	if format := r.URL.Query().Get("format"); format != "" && resp.Status == "done" {
+		switch format {
+		case "csv":
+			w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+			if err := resp.Result.WriteCSV(w); err != nil {
+				// Headers are out; nothing meaningful left to send.
+				return
+			}
+			return
+		case "text":
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			t := slicc.SweepTable(resp.Result)
+			t.Format(w)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // experimentResponse carries one experiment's rendered tables.

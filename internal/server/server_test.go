@@ -332,3 +332,136 @@ func TestResultJSONPolicyNames(t *testing.T) {
 		t.Fatalf("numeric benchmark leaked into wire encoding:\n%s", raw)
 	}
 }
+
+// tinySweepBody is a sub-second 2x2 sweep request.
+const tinySweepBody = `{"workloads":["tpcc1","skewed"],"policies":["base","slicc-sw"],"threads":[6],"scales":[0.05]}`
+
+func TestSweepSubmitWaitAndPoll(t *testing.T) {
+	ts, eng := newTestServer(t, "")
+	r, err := http.Post(ts.URL+"/v1/sweeps?wait=1", "application/json", strings.NewReader(tinySweepBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", r.StatusCode)
+	}
+	resp := decode[sweepResponse](t, r)
+	if resp.Status != "done" || resp.Result == nil || len(resp.ID) != 64 {
+		t.Fatalf("response %+v", resp)
+	}
+	if len(resp.Result.Cells) != 4 || resp.Result.Best() == nil {
+		t.Fatalf("sweep result %+v", resp.Result)
+	}
+	executed := eng.Stats().SimsExecuted
+
+	// Poll the id; also exercise the csv and text renderings.
+	r2, err := http.Get(ts.URL + "/v1/sweeps/" + resp.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2 := decode[sweepResponse](t, r2)
+	if resp2.Status != "done" || len(resp2.Result.Cells) != 4 {
+		t.Fatalf("poll %+v", resp2)
+	}
+	rc, err := http.Get(ts.URL + "/v1/sweeps/" + resp.ID + "?format=csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Body.Close()
+	csvBytes, _ := io.ReadAll(rc.Body)
+	if ct := rc.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/csv") {
+		t.Fatalf("csv content type %q", ct)
+	}
+	if lines := strings.Split(strings.TrimSpace(string(csvBytes)), "\n"); len(lines) != 5 {
+		t.Fatalf("csv rendering has %d lines:\n%s", len(lines), csvBytes)
+	}
+	rt, err := http.Get(ts.URL + "/v1/sweeps/" + resp.ID + "?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Body.Close()
+	text, _ := io.ReadAll(rt.Body)
+	if !strings.Contains(string(text), "## Sweep") {
+		t.Fatalf("text rendering:\n%s", text)
+	}
+
+	// An identical spec — here spelled with its defaults explicit —
+	// coalesces onto the same id and executes nothing new.
+	explicit := `{"workloads":["tpcc1","skewed"],"policies":["base","slicc-sw"],"threads":[6],"seeds":[1],"scales":[0.05],"cores":[16],"baseline":"base","objective":"speedup"}`
+	r3, err := http.Post(ts.URL+"/v1/sweeps?wait=1", "application/json", strings.NewReader(explicit))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3 := decode[sweepResponse](t, r3)
+	if resp3.ID != resp.ID {
+		t.Fatalf("defaulted and explicit specs got distinct ids %s / %s", resp.ID, resp3.ID)
+	}
+	if got := eng.Stats().SimsExecuted; got != executed {
+		t.Fatalf("coalesced resubmission executed %d extra simulations", got-executed)
+	}
+}
+
+func TestSweepSubmitErrors(t *testing.T) {
+	ts, _ := newTestServer(t, "")
+	cases := []struct {
+		name, body string
+		code       int
+	}{
+		{"malformed-json", `{"workloads":`, http.StatusBadRequest},
+		{"unknown-field", `{"wrkloads":["tpcc1"]}`, http.StatusBadRequest},
+		{"unknown-workload", `{"workloads":["tpcz"]}`, http.StatusUnprocessableEntity},
+		{"unknown-policy", `{"policies":["fancy"]}`, http.StatusUnprocessableEntity},
+		{"unknown-preset", `{"preset":"nosuch"}`, http.StatusUnprocessableEntity},
+		{"oversized", `{"fillup_t":{"from":1,"to":100,"step":1},"matched_t":{"from":1,"to":100,"step":1}}`, http.StatusUnprocessableEntity},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r, err := http.Post(ts.URL+"/v1/sweeps", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.StatusCode != tc.code {
+				t.Fatalf("status %d, want %d", r.StatusCode, tc.code)
+			}
+			if e := decode[errorBody](t, r); e.Error == "" {
+				t.Fatal("empty JSON error")
+			}
+		})
+	}
+	// Unknown sweep ids are 404s.
+	r, err := http.Get(ts.URL + "/v1/sweeps/no-such-id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown id status %d", r.StatusCode)
+	}
+	r.Body.Close()
+}
+
+// TestSweepStoreReuse: a sweep on a store-backed server reuses simulations
+// an earlier plain submission already persisted, and a second server over
+// the same store re-renders the whole sweep from disk.
+func TestSweepStoreReuse(t *testing.T) {
+	dir := t.TempDir()
+	ts1, eng1 := newTestServer(t, dir)
+	if _, err := http.Post(ts1.URL+"/v1/sweeps?wait=1", "application/json", strings.NewReader(tinySweepBody)); err != nil {
+		t.Fatal(err)
+	}
+	if s := eng1.Stats(); s.SimsExecuted == 0 || s.StorePuts != s.SimsExecuted {
+		t.Fatalf("first server stats %+v", s)
+	}
+
+	ts2, eng2 := newTestServer(t, dir)
+	r, err := http.Post(ts2.URL+"/v1/sweeps?wait=1", "application/json", strings.NewReader(tinySweepBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := decode[sweepResponse](t, r)
+	if resp.Status != "done" {
+		t.Fatalf("second server sweep %+v", resp)
+	}
+	if s := eng2.Stats(); s.SimsExecuted != 0 || s.StoreHits == 0 {
+		t.Fatalf("second server stats %+v, want pure store hits", s)
+	}
+}

@@ -1,0 +1,537 @@
+// Package sweep turns a declarative parameter-sweep specification into
+// runner jobs and aggregates the results: the design-space-exploration
+// layer over the experiment engine.
+//
+// A Spec names lists (or ranges) over the knobs a simulation has — workload
+// kind, thread count, seed, scale, core count, L1 sizes, policy, and the
+// SLICC thresholds — plus presentation choices (baseline policy, best-cell
+// objective). Expansion takes the cross product in a fixed axis order and
+// emits one runner.Job per cell, so everything the runner guarantees holds
+// for sweeps too: identical cells (within a sweep, across sweeps, across
+// processes via the store) simulate once, results come back in declaration
+// order, and output is byte-identical at any worker count.
+//
+// Specs are JSON-first: the same document drives `experiments -sweep`,
+// `POST /v1/sweeps` on sliccd, and the public slicc.Engine.Sweep. Named
+// presets (Presets) cover the paper's threshold explorations and the
+// scenario-family studies; an explicit field always overrides its preset
+// value. See EXPERIMENTS.md ("Sweeps") for runnable examples.
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"slicc/internal/prefetch"
+	"slicc/internal/runner"
+	"slicc/internal/sim"
+	islicc "slicc/internal/slicc"
+	"slicc/internal/workload"
+)
+
+// maxCells bounds one sweep's expansion. Sweeps run on shared engines
+// (sliccd accepts them over the network); an accidental six-axis cross
+// product must fail fast instead of queueing a year of simulation.
+const maxCells = 4096
+
+// Spec declares a parameter sweep. The zero value of every field means
+// "default": a single-cell sweep of tpcc1 under slicc-sw on the Table 2
+// machine. Fields holding several values multiply into the cross product.
+type Spec struct {
+	// Name labels the sweep in output; cosmetic, excluded from Key.
+	Name string `json:"name,omitempty"`
+	// Preset names a predefined spec (see Presets) merged underneath the
+	// explicit fields: any field set here overrides the preset's value.
+	Preset string `json:"preset,omitempty"`
+
+	// Workloads lists workload kind tokens ("tpcc1", "tpce", "phased",
+	// ...; default ["tpcc1"]).
+	Workloads []string `json:"workloads,omitempty"`
+	// Policies lists policy tokens ("base", "nextline", "slicc",
+	// "slicc-pp", "slicc-sw", "pif", "stream", "steps"; default
+	// ["slicc-sw"]).
+	Policies []string `json:"policies,omitempty"`
+	// Baseline is the policy every cell's speedup is measured against,
+	// simulated once per distinct (workload, machine) group (default
+	// "base"; "none" disables speedups).
+	Baseline string `json:"baseline,omitempty"`
+	// Objective selects the best cell: "speedup" (max), "cycles",
+	// "impki" or "dmpki" (min). Default "speedup".
+	Objective string `json:"objective,omitempty"`
+
+	// Threads / Seeds / Scales sweep the workload axes. Threads 0 means
+	// the per-workload default. Defaults: [0], [1], [1].
+	Threads IntAxis   `json:"threads,omitzero"`
+	Seeds   IntAxis   `json:"seeds,omitzero"`
+	Scales  FloatAxis `json:"scales,omitzero"`
+
+	// Cores / L1IKB / L1DKB sweep the machine axes. Defaults: [16], [32],
+	// [32] (the Table 2 machine).
+	Cores IntAxis `json:"cores,omitzero"`
+	L1IKB IntAxis `json:"l1i_kb,omitzero"`
+	L1DKB IntAxis `json:"l1d_kb,omitzero"`
+
+	// FillUpT / MatchedT / DilutionT sweep the SLICC thresholds; they
+	// expand only for SLICC-family policies (other policies get one cell).
+	// 0 means the paper default; DilutionT -1 disables the dilution gate
+	// (the Figure 7 setting). Defaults: [0].
+	FillUpT   IntAxis `json:"fillup_t,omitzero"`
+	MatchedT  IntAxis `json:"matched_t,omitzero"`
+	DilutionT IntAxis `json:"dilution_t,omitzero"`
+
+	// ExactSearch answers SLICC's remote-residency queries from actual
+	// cache tags, uncharged (the Figure 7 idealized-search assumption).
+	// Applies to SLICC-family cells only. A pointer so that an explicit
+	// false can override a preset's true (nil = unset; default false).
+	// In Go, set it with Bool.
+	ExactSearch *bool `json:"exact_search,omitempty"`
+}
+
+// Bool is a convenience for Spec.ExactSearch-style optional booleans.
+func Bool(v bool) *bool { return &v }
+
+// policyDef maps a policy token onto the declarative pieces a job needs.
+type policyDef struct {
+	kind    runner.PolicyKind
+	variant islicc.Variant
+	slicc   bool
+	pif     bool
+}
+
+var policyDefs = map[string]policyDef{
+	"base":     {kind: runner.Baseline},
+	"nextline": {kind: runner.NextLine},
+	"slicc":    {slicc: true, variant: islicc.Oblivious},
+	"slicc-pp": {slicc: true, variant: islicc.Pp},
+	"slicc-sw": {slicc: true, variant: islicc.SW},
+	"pif":      {kind: runner.Baseline, pif: true},
+	"stream":   {kind: runner.Stream},
+	"steps":    {kind: runner.STEPS},
+}
+
+// PolicyTokens lists the accepted policy tokens in stable order.
+func PolicyTokens() []string {
+	names := make([]string, 0, len(policyDefs))
+	for tok := range policyDefs {
+		names = append(names, tok)
+	}
+	sort.Strings(names)
+	return names
+}
+
+var objectives = map[string]bool{"speedup": true, "cycles": true, "impki": true, "dmpki": true}
+
+// Normalized returns the spec with its preset merged in, every unset field
+// defaulted, and all tokens/values validated. It is idempotent; expansion,
+// Key and the servers all normalize first, so a defaulted and an explicit
+// spelling of the same sweep are the same sweep.
+func (s Spec) Normalized() (Spec, error) {
+	if s.Preset != "" {
+		p, ok := presets[s.Preset]
+		if !ok {
+			return Spec{}, fmt.Errorf("sweep: unknown preset %q (have %s)", s.Preset, strings.Join(Presets(), ", "))
+		}
+		s = merge(s, p)
+	}
+	if len(s.Workloads) == 0 {
+		s.Workloads = []string{"tpcc1"}
+	}
+	if len(s.Policies) == 0 {
+		s.Policies = []string{"slicc-sw"}
+	}
+	if s.Baseline == "" {
+		s.Baseline = "base"
+	}
+	if s.Objective == "" {
+		s.Objective = "speedup"
+	}
+	if s.Threads.IsZero() {
+		s.Threads = Ints(0)
+	}
+	if s.Seeds.IsZero() {
+		s.Seeds = Ints(1)
+	}
+	if s.Scales.IsZero() {
+		s.Scales = Floats(1)
+	}
+	if s.Cores.IsZero() {
+		s.Cores = Ints(16)
+	}
+	if s.L1IKB.IsZero() {
+		s.L1IKB = Ints(32)
+	}
+	if s.L1DKB.IsZero() {
+		s.L1DKB = Ints(32)
+	}
+	if s.FillUpT.IsZero() {
+		s.FillUpT = Ints(0)
+	}
+	if s.MatchedT.IsZero() {
+		s.MatchedT = Ints(0)
+	}
+	if s.DilutionT.IsZero() {
+		s.DilutionT = Ints(0)
+	}
+	if s.ExactSearch == nil {
+		s.ExactSearch = Bool(false)
+	}
+
+	for _, w := range s.Workloads {
+		if _, err := workload.ParseKind(w); err != nil {
+			return Spec{}, fmt.Errorf("sweep: %w", err)
+		}
+	}
+	for _, p := range s.Policies {
+		if _, ok := policyDefs[p]; !ok {
+			return Spec{}, fmt.Errorf("sweep: unknown policy %q (have %s)", p, strings.Join(PolicyTokens(), ", "))
+		}
+	}
+	if s.Baseline != "none" {
+		if _, ok := policyDefs[s.Baseline]; !ok {
+			return Spec{}, fmt.Errorf("sweep: unknown baseline policy %q (have %s, or \"none\")", s.Baseline, strings.Join(PolicyTokens(), ", "))
+		}
+	}
+	if !objectives[s.Objective] {
+		return Spec{}, fmt.Errorf("sweep: unknown objective %q (have speedup, cycles, impki, dmpki)", s.Objective)
+	}
+	if err := s.validateValues(); err != nil {
+		return Spec{}, err
+	}
+	if n := s.cellCount(); n > maxCells {
+		return Spec{}, fmt.Errorf("sweep: %d cells exceeds the %d-cell limit; split the study", n, maxCells)
+	}
+	return s, nil
+}
+
+// merge fills s's zero fields from preset p (explicit fields win).
+func merge(s, p Spec) Spec {
+	if len(s.Workloads) == 0 {
+		s.Workloads = p.Workloads
+	}
+	if len(s.Policies) == 0 {
+		s.Policies = p.Policies
+	}
+	if s.Baseline == "" {
+		s.Baseline = p.Baseline
+	}
+	if s.Objective == "" {
+		s.Objective = p.Objective
+	}
+	if s.Threads.IsZero() {
+		s.Threads = p.Threads
+	}
+	if s.Seeds.IsZero() {
+		s.Seeds = p.Seeds
+	}
+	if s.Scales.IsZero() {
+		s.Scales = p.Scales
+	}
+	if s.Cores.IsZero() {
+		s.Cores = p.Cores
+	}
+	if s.L1IKB.IsZero() {
+		s.L1IKB = p.L1IKB
+	}
+	if s.L1DKB.IsZero() {
+		s.L1DKB = p.L1DKB
+	}
+	if s.FillUpT.IsZero() {
+		s.FillUpT = p.FillUpT
+	}
+	if s.MatchedT.IsZero() {
+		s.MatchedT = p.MatchedT
+	}
+	if s.DilutionT.IsZero() {
+		s.DilutionT = p.DilutionT
+	}
+	if s.ExactSearch == nil {
+		s.ExactSearch = p.ExactSearch
+	}
+	return s
+}
+
+// validateValues rejects axis values the simulator cannot run (a sweep may
+// arrive over the network; nothing here is allowed to panic downstream).
+func (s Spec) validateValues() error {
+	for _, v := range s.Threads.values {
+		if v < 0 {
+			return fmt.Errorf("sweep: negative thread count %d", v)
+		}
+	}
+	for _, v := range s.Scales.values {
+		if v < 0 {
+			return fmt.Errorf("sweep: negative scale %g", v)
+		}
+	}
+	for _, v := range s.Cores.values {
+		if v < 1 || v > 1024 {
+			return fmt.Errorf("sweep: core count %d outside [1,1024]", v)
+		}
+	}
+	for _, axis := range []struct {
+		name string
+		vals []int
+	}{{"l1i_kb", s.L1IKB.values}, {"l1d_kb", s.L1DKB.values}} {
+		for _, v := range axis.vals {
+			if v < 1 || v > 1<<20 {
+				return fmt.Errorf("sweep: %s value %d outside [1,1048576]", axis.name, v)
+			}
+		}
+	}
+	for _, v := range s.FillUpT.values {
+		if v < 0 {
+			return fmt.Errorf("sweep: negative fillup_t %d", v)
+		}
+	}
+	for _, v := range s.MatchedT.values {
+		if v < 0 {
+			return fmt.Errorf("sweep: negative matched_t %d", v)
+		}
+	}
+	for _, v := range s.DilutionT.values {
+		if v < -1 {
+			return fmt.Errorf("sweep: dilution_t %d below -1 (-1 disables the gate)", v)
+		}
+	}
+	return nil
+}
+
+// cellCount is the expansion size of a normalized spec. Every multiply
+// saturates at maxCells+1 — specs arrive over the network, and a product
+// that wraps 64 bits must read as "past the limit", never as small.
+func (s Spec) cellCount() int {
+	mul := func(a, b int) int {
+		if a == 0 || b == 0 {
+			return 0
+		}
+		if a > maxCells || b > maxCells || a*b/b != a || a*b > maxCells {
+			return maxCells + 1
+		}
+		return a * b
+	}
+	group := len(s.Workloads)
+	for _, n := range []int{
+		len(s.Threads.values), len(s.Seeds.values), len(s.Scales.values),
+		len(s.Cores.values), len(s.L1IKB.values), len(s.L1DKB.values),
+	} {
+		group = mul(group, n)
+	}
+	thresholds := mul(mul(len(s.FillUpT.values), len(s.MatchedT.values)), len(s.DilutionT.values))
+	perGroup := 0
+	for _, p := range s.Policies {
+		if policyDefs[p].slicc {
+			perGroup += thresholds
+		} else {
+			perGroup++
+		}
+		if perGroup > maxCells {
+			perGroup = maxCells + 1
+			break
+		}
+	}
+	return mul(group, perGroup)
+}
+
+// CellCount returns the number of result cells the spec expands to
+// (baseline reference simulations not included).
+func (s Spec) CellCount() (int, error) {
+	n, err := s.Normalized()
+	if err != nil {
+		return 0, err
+	}
+	return n.cellCount(), nil
+}
+
+// specKeyVersion tags Key's hash input; bump on any change to the Spec
+// schema or expansion semantics.
+const specKeyVersion = "slicc-sweep-v1"
+
+// Key returns the stable content key of the sweep this spec describes: a
+// hex SHA-256 over a versioned canonical encoding of the normalized spec.
+// Defaulted and explicit spellings share a key; Name (cosmetic) and Preset
+// (already merged into the fields) are excluded. sliccd uses Key to
+// coalesce identical sweep submissions.
+func (s Spec) Key() (string, error) {
+	n, err := s.Normalized()
+	if err != nil {
+		return "", err
+	}
+	n.Name, n.Preset = "", ""
+	b, err := json.Marshal(n)
+	if err != nil {
+		return "", fmt.Errorf("sweep: encoding spec key: %w", err)
+	}
+	h := sha256.New()
+	h.Write([]byte(specKeyVersion))
+	h.Write([]byte{'\n'})
+	h.Write(b)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// Cell is one point of the expanded sweep: the exact simulation
+// configuration, with workload defaults resolved so the cell reads as what
+// actually ran.
+type Cell struct {
+	Workload    string  `json:"workload"`
+	Threads     int     `json:"threads"`
+	Seed        int64   `json:"seed"`
+	Scale       float64 `json:"scale"`
+	Cores       int     `json:"cores"`
+	L1IKB       int     `json:"l1i_kb"`
+	L1DKB       int     `json:"l1d_kb"`
+	Policy      string  `json:"policy"`
+	FillUpT     int     `json:"fillup_t,omitempty"`
+	MatchedT    int     `json:"matched_t,omitempty"`
+	DilutionT   int     `json:"dilution_t,omitempty"`
+	ExactSearch bool    `json:"exact_search,omitempty"`
+}
+
+// Job translates the cell into the declarative runner job it stands for.
+// The mapping mirrors the public slicc.Config: thresholds of 0 mean the
+// paper defaults, DilutionT -1 disables the gate, ExactSearch implies
+// uncharged searches (Figure 7's idealization), and "pif" is the baseline
+// scheduler on the transformed upper-bound L1-I.
+func (c Cell) Job() (runner.Job, error) {
+	kind, err := workload.ParseKind(c.Workload)
+	if err != nil {
+		return runner.Job{}, err
+	}
+	def, ok := policyDefs[c.Policy]
+	if !ok {
+		return runner.Job{}, fmt.Errorf("sweep: unknown policy %q", c.Policy)
+	}
+	wcfg := workload.Config{Kind: kind, Threads: c.Threads, Seed: c.Seed, Scale: c.Scale}
+	mcfg := sim.Config{Cores: c.Cores}
+	mcfg.L1I.SizeBytes = c.L1IKB * 1024
+	mcfg.L1D.SizeBytes = c.L1DKB * 1024
+	spec := runner.PolicySpec{Kind: def.kind}
+	if def.slicc {
+		scfg := islicc.DefaultConfig(def.variant)
+		if c.FillUpT != 0 {
+			scfg.FillUpT = c.FillUpT
+		}
+		if c.MatchedT != 0 {
+			scfg.MatchedT = c.MatchedT
+		}
+		switch {
+		case c.DilutionT < 0:
+			scfg.DilutionT = 0
+		case c.DilutionT > 0:
+			scfg.DilutionT = c.DilutionT
+		}
+		if c.ExactSearch {
+			scfg.ExactSearch = true
+			scfg.CountSearchBroadcasts = false
+		}
+		spec = runner.PolicySpec{Kind: runner.SLICC, SLICC: scfg}
+	}
+	if def.pif {
+		mcfg.L1I = prefetch.PIFUpperBoundL1I(mcfg.L1I)
+	}
+	return runner.Job{Workload: wcfg, Machine: mcfg, Policy: spec}, nil
+}
+
+// expansion is a fully expanded sweep: result cells, their jobs, and the
+// per-group baseline reference jobs.
+type expansion struct {
+	cells []Cell
+	jobs  []runner.Job
+
+	baseCells []Cell
+	baseJobs  []runner.Job
+	// baseIndex maps each cell to its group's entry in baseCells (-1 when
+	// Baseline is "none").
+	baseIndex []int
+}
+
+// expand takes the cross product in fixed axis order: workload, threads,
+// seed, scale, cores, l1i, l1d (the machine/workload group), then policy
+// and — for SLICC-family policies — the three threshold axes. The order is
+// part of the format: two expansions of equal specs produce identical cell
+// and job sequences, which is what makes sweep output deterministic and
+// store keys stable.
+func (s Spec) expand() (*expansion, error) {
+	ex := &expansion{}
+	for _, wl := range s.Workloads {
+		kind, err := workload.ParseKind(wl)
+		if err != nil {
+			return nil, err
+		}
+		for _, th := range s.Threads.values {
+			for _, seed := range s.Seeds.values {
+				for _, scale := range s.Scales.values {
+					// Resolve workload defaults so cells read as what ran.
+					wdef := workload.Config{Kind: kind, Threads: th, Seed: int64(seed), Scale: scale}.WithDefaults()
+					for _, cores := range s.Cores.values {
+						for _, l1i := range s.L1IKB.values {
+							for _, l1d := range s.L1DKB.values {
+								group := Cell{
+									Workload: wl, Threads: wdef.Threads, Seed: wdef.Seed, Scale: wdef.Scale,
+									Cores: cores, L1IKB: l1i, L1DKB: l1d,
+								}
+								if err := ex.addGroup(s, group); err != nil {
+									return nil, err
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return ex, nil
+}
+
+// addGroup expands one (workload, machine) group: the baseline reference
+// job plus each policy's cell(s).
+func (ex *expansion) addGroup(s Spec, group Cell) error {
+	bi := -1
+	if s.Baseline != "none" {
+		base := group
+		base.Policy = s.Baseline
+		job, err := base.Job()
+		if err != nil {
+			return err
+		}
+		bi = len(ex.baseCells)
+		ex.baseCells = append(ex.baseCells, base)
+		ex.baseJobs = append(ex.baseJobs, job)
+	}
+	add := func(c Cell) error {
+		job, err := c.Job()
+		if err != nil {
+			return err
+		}
+		ex.cells = append(ex.cells, c)
+		ex.jobs = append(ex.jobs, job)
+		ex.baseIndex = append(ex.baseIndex, bi)
+		return nil
+	}
+	for _, pol := range s.Policies {
+		cell := group
+		cell.Policy = pol
+		if !policyDefs[pol].slicc {
+			if err := add(cell); err != nil {
+				return err
+			}
+			continue
+		}
+		cell.ExactSearch = s.ExactSearch != nil && *s.ExactSearch
+		for _, fu := range s.FillUpT.values {
+			for _, mt := range s.MatchedT.values {
+				for _, dil := range s.DilutionT.values {
+					c := cell
+					c.FillUpT, c.MatchedT, c.DilutionT = fu, mt, dil
+					if err := add(c); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

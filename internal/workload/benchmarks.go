@@ -35,6 +35,25 @@ func (w *Workload) profile() dataProfile {
 			dbBytes: 12 << 30, hotBytes: 8 << 10, privBytes: 4 << 10, rowRun: 16,
 			rowWrite: 0.20, hotWrite: 0.005, privWrite: 0.40, privSkew: 2,
 		}
+	case Phased:
+		// Phase changes touch fresh working sets, so row streaming dominates
+		// and the reusable private set is modest.
+		oltp.dbBytes = 8 << 30
+		return oltp
+	case Skewed:
+		// Multi-tenant hot keys: a larger, more contended shared hot set
+		// (lock words, tenant metadata) with a visible store fraction.
+		return dataProfile{
+			dbBytes: 50 << 30, hotBytes: 32 << 10, privBytes: 8 << 10, rowRun: 16,
+			rowWrite: 0.60, hotWrite: 0.10, privWrite: 0.50, privSkew: 2,
+		}
+	case Microservice:
+		// Small per-request payloads: short row runs (deserialized fields),
+		// a hot set of connection/session state, shallow private frames.
+		return dataProfile{
+			dbBytes: 2 << 30, hotBytes: 8 << 10, privBytes: 4 << 10, rowRun: 8,
+			rowWrite: 0.30, hotWrite: 0.02, privWrite: 0.50, privSkew: 1.5,
+		}
 	}
 	panic("workload: unknown kind")
 }

@@ -1,0 +1,144 @@
+package workload
+
+import (
+	"testing"
+
+	"slicc/internal/trace"
+)
+
+func TestKindTokens(t *testing.T) {
+	for _, k := range AllKinds() {
+		got, err := ParseKind(k.Token())
+		if err != nil {
+			t.Fatalf("ParseKind(%q): %v", k.Token(), err)
+		}
+		if got != k {
+			t.Fatalf("ParseKind(%q) = %v, want %v", k.Token(), got, k)
+		}
+		// Display names parse too, case-insensitively.
+		if got, err := ParseKind(k.String()); err != nil || got != k {
+			t.Fatalf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseKind("nosuch"); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if len(KindTokens()) != len(AllKinds()) {
+		t.Fatalf("KindTokens has %d entries, want %d", len(KindTokens()), len(AllKinds()))
+	}
+}
+
+// TestScenarioStructure pins each scenario family's designed shape: segment
+// disjointness and stream determinism are covered by the general tests in
+// workload_test.go (which iterate AllKinds); here the family-specific
+// properties are asserted.
+func TestScenarioStructure(t *testing.T) {
+	maxFootprint := func(w *Workload) int {
+		max := 0
+		for ti := range w.Types {
+			if b := w.TypeFootprintBytes(ti); b > max {
+				max = b
+			}
+		}
+		return max
+	}
+	minFootprint := func(w *Workload) int {
+		min := 1 << 30
+		for ti := range w.Types {
+			if b := w.TypeFootprintBytes(ti); b < min {
+				min = b
+			}
+		}
+		return min
+	}
+
+	// Phased: every phase is a large multi-cache footprint, and each type's
+	// optional (burst) segments are disjoint from its own loop body.
+	ph := New(Config{Kind: Phased, Threads: 8, Seed: 1})
+	if got := minFootprint(ph); got <= 64*1024 {
+		t.Errorf("Phased min footprint %dKB; want well over one 32KB cache", got/1024)
+	}
+	for ti := range ph.Types {
+		ty := &ph.Types[ti]
+		own := map[int]bool{}
+		for _, s := range ty.LoopBody {
+			own[s] = true
+		}
+		for _, o := range ty.Optional {
+			if own[o.seg] {
+				t.Errorf("Phased type %d bursts into its own phase pool", ti)
+			}
+		}
+	}
+
+	// Skewed: Zipfian mix — the dominant tenant must take far more threads
+	// than a tail tenant; with 12 tenants the top weight is ~30%.
+	sk := New(Config{Kind: Skewed, Threads: 512, Seed: 1})
+	if len(sk.Types) != skewedTenants {
+		t.Fatalf("Skewed has %d types, want %d", len(sk.Types), skewedTenants)
+	}
+	counts := make([]int, len(sk.Types))
+	for _, th := range sk.Threads() {
+		counts[th.Type]++
+	}
+	if counts[0] < 100 {
+		t.Errorf("hot tenant got %d/512 threads; Zipf head missing", counts[0])
+	}
+	tail := 0
+	for _, c := range counts[len(counts)/2:] {
+		tail += c
+	}
+	if tail == 0 || tail > 512/4 {
+		t.Errorf("tail tenants got %d/512 threads; want a thin but present tail", tail)
+	}
+
+	// Microservice: small per-service own footprints (every type fits a few
+	// caches, none anywhere near TPC-C scale), but cross-service overlap:
+	// two services must share stub/runtime segments.
+	ms := New(Config{Kind: Microservice, Threads: 8, Seed: 1})
+	if got := maxFootprint(ms); got > 64*1024 {
+		t.Errorf("Microservice max footprint %dKB; want small services", got/1024)
+	}
+	if got := maxFootprint(ms); got <= 32*1024 {
+		t.Errorf("Microservice max footprint %dKB; fan-out should push past one cache", got/1024)
+	}
+	segsOf := func(ty *TxnType) map[int]bool {
+		set := map[int]bool{}
+		for _, s := range ty.LoopBody {
+			set[s] = true
+		}
+		return set
+	}
+	a, b := segsOf(&ms.Types[0]), segsOf(&ms.Types[1])
+	shared := 0
+	for s := range a {
+		if b[s] {
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Error("Microservice services share no loop-body segments; RPC fan-out missing")
+	}
+}
+
+// TestScenarioRecordReplay captures each scenario family to a v2 container
+// and replays it op-for-op against regeneration: the byte-identity contract
+// every workload family must honor (the simulator-level equivalent lives in
+// the root package's TestScenarioTraceReplayMatchesSynthetic).
+func TestScenarioRecordReplay(t *testing.T) {
+	for _, kind := range ScenarioKinds() {
+		w := New(Config{Kind: kind, Threads: 4, Seed: 5, Scale: 0.1})
+		for _, th := range w.Threads() {
+			a := trace.Record(th.New(), 0)
+			b := trace.Record(th.New(), 0)
+			if len(a) == 0 || len(a) != len(b) {
+				t.Fatalf("%v thread %d: lengths %d vs %d", kind, th.ID, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("%v thread %d op %d differs", kind, th.ID, i)
+				}
+			}
+		}
+	}
+}

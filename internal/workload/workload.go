@@ -22,6 +22,7 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
 
 	"slicc/internal/trace"
@@ -30,19 +31,33 @@ import (
 // Kind selects a benchmark.
 type Kind int
 
-// Benchmarks from Table 1.
+// Benchmarks from Table 1, followed by the synthetic scenario families that
+// extend the paper's workload set (see docs/WORKLOADS.md).
 const (
 	TPCC1     Kind = iota // TPC-C, 1 warehouse
 	TPCC10                // TPC-C, 10 warehouses (larger data footprint)
 	TPCE                  // TPC-E, 1000 customers
 	MapReduce             // Hadoop/Mahout text analytics
 
+	// Phased is a bursty phase-changing scenario: each transaction
+	// alternates between large disjoint code phases, churning the cache
+	// signatures SLICC learns (extension; scenarios.go).
+	Phased
+	// Skewed is a multi-tenant scenario with a Zipfian transaction mix:
+	// one hot tenant dominates, a long tail supplies stray threads
+	// (extension; scenarios.go).
+	Skewed
+	// Microservice is an RPC-fan-out scenario: many services with small
+	// individual footprints that call into each other's stubs and a shared
+	// runtime (extension; scenarios.go).
+	Microservice
+
 	// Recorded marks a workload replayed from a trace container rather
 	// than synthesized; it is the Kind of workloads built by FromTraceFile.
 	Recorded Kind = -1
 )
 
-var kindNames = [...]string{"TPC-C-1", "TPC-C-10", "TPC-E", "MapReduce"}
+var kindNames = [...]string{"TPC-C-1", "TPC-C-10", "TPC-E", "MapReduce", "Phased", "Skewed", "Microservice"}
 
 func (k Kind) String() string {
 	if k == Recorded {
@@ -54,8 +69,66 @@ func (k Kind) String() string {
 	return kindNames[k]
 }
 
-// Kinds returns all benchmark kinds in Table 1 / Figure 10 order.
+// Kinds returns the paper's benchmark kinds in Table 1 / Figure 10 order.
+// The experiment harness iterates these, so the paper's figures keep their
+// exact shape; AllKinds adds the scenario extensions.
 func Kinds() []Kind { return []Kind{TPCC1, TPCC10, TPCE, MapReduce} }
+
+// ScenarioKinds returns the synthetic scenario families beyond the paper's
+// benchmark set, in declaration order.
+func ScenarioKinds() []Kind { return []Kind{Phased, Skewed, Microservice} }
+
+// AllKinds returns every synthesizable workload kind: Table 1 first, then
+// the scenario extensions.
+func AllKinds() []Kind { return append(Kinds(), ScenarioKinds()...) }
+
+// kindTokens are the canonical machine-readable kind names used by the
+// CLIs, the sweep subsystem and the public slicc package (which keeps its
+// Benchmark tokens in lockstep).
+var kindTokens = map[string]Kind{
+	"tpcc1":        TPCC1,
+	"tpcc10":       TPCC10,
+	"tpce":         TPCE,
+	"mapreduce":    MapReduce,
+	"phased":       Phased,
+	"skewed":       Skewed,
+	"microservice": Microservice,
+}
+
+// Token returns the kind's canonical machine-readable name (String returns
+// the display name).
+func (k Kind) Token() string {
+	for tok, v := range kindTokens {
+		if v == k {
+			return tok
+		}
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// ParseKind resolves a workload kind from its canonical token ("tpcc1",
+// "phased", ...) or display name ("TPC-C-1"), case-insensitively.
+func ParseKind(s string) (Kind, error) {
+	ls := strings.ToLower(s)
+	if k, ok := kindTokens[ls]; ok {
+		return k, nil
+	}
+	for _, k := range AllKinds() {
+		if strings.EqualFold(s, k.String()) {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("workload: unknown kind %q (have %s)", s, strings.Join(KindTokens(), ", "))
+}
+
+// KindTokens lists the canonical kind tokens in AllKinds order.
+func KindTokens() []string {
+	names := make([]string, 0, len(kindTokens))
+	for _, k := range AllKinds() {
+		names = append(names, k.Token())
+	}
+	return names
+}
 
 // Config parameterizes workload synthesis.
 type Config struct {
@@ -98,9 +171,12 @@ func (c Config) withDefaults() Config {
 		return Config{TracePath: c.TracePath, TraceDigest: c.TraceDigest}
 	}
 	if c.Threads == 0 {
-		if c.Kind == MapReduce {
+		switch c.Kind {
+		case MapReduce:
 			c.Threads = 300 // the paper's 300 map/reduce tasks
-		} else {
+		case Microservice:
+			c.Threads = 256 // many small RPC handlers in flight
+		default:
 			c.Threads = 128
 		}
 	}
@@ -309,6 +385,12 @@ func New(cfg Config) *Workload {
 		w = buildTPCE(cfg)
 	case MapReduce:
 		w = buildMapReduce(cfg)
+	case Phased:
+		w = buildPhased(cfg)
+	case Skewed:
+		w = buildSkewed(cfg)
+	case Microservice:
+		w = buildMicroservice(cfg)
 	default:
 		panic(fmt.Sprintf("workload: unknown kind %v", cfg.Kind))
 	}

@@ -130,7 +130,7 @@ func TestFootprintOrdering(t *testing.T) {
 }
 
 func TestSegmentsDisjoint(t *testing.T) {
-	for _, kind := range Kinds() {
+	for _, kind := range AllKinds() {
 		w := New(Config{Kind: kind, Threads: 1, Seed: 1})
 		type iv struct{ lo, hi uint64 }
 		var ivs []iv

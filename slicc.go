@@ -18,7 +18,9 @@
 //     policies of Figure 2 and 3C miss classification for Figure 1,
 //   - counting partial-address bloom filters (SLICC's cache signatures),
 //   - synthetic TPC-C, TPC-E and MapReduce workload generators calibrated
-//     to the memory behaviour Section 2 of the paper measures,
+//     to the memory behaviour Section 2 of the paper measures, plus three
+//     scenario families beyond the paper — Phased, Skewed and
+//     Microservice (docs/WORKLOADS.md),
 //   - a documented binary trace format (docs/TRACES.md) with streaming
 //     whole-workload containers: capture any workload with cmd/tracegen
 //     -dump-all and replay it via Config.TracePath in constant memory,
@@ -27,6 +29,10 @@
 //     with a scout core) plus the baseline scheduler, a next-line
 //     prefetcher and the paper's PIF upper bound,
 //   - an experiment harness regenerating every table and figure,
+//   - a declarative parameter-sweep subsystem (Engine.Sweep, SweepSpec):
+//     declare a study as JSON axes over workloads x machines x policies x
+//     thresholds and run the expanded cross-product with dedup, best-cell
+//     selection and CSV export,
 //   - a persistent content-addressed result store (EngineOptions.StoreDir):
 //     simulations memoize across processes, so a warm store re-renders the
 //     whole evaluation without executing anything, and
@@ -65,7 +71,8 @@ import (
 // Benchmark selects one of the paper's workloads (Table 1).
 type Benchmark int
 
-// Benchmarks.
+// Benchmarks. The first four are the paper's Table 1 workloads; the rest
+// are synthetic scenario families beyond the paper (docs/WORKLOADS.md).
 const (
 	// TPCC1 is TPC-C with 1 warehouse (84MB database).
 	TPCC1 Benchmark = iota
@@ -75,6 +82,15 @@ const (
 	TPCE
 	// MapReduce is the CloudSuite text-analytics control workload.
 	MapReduce
+	// Phased alternates between large disjoint code phases with bursty
+	// cross-phase excursions, churning SLICC's learned cache signatures.
+	Phased
+	// Skewed is a multi-tenant scenario with a Zipfian transaction mix:
+	// one hot tenant dominates and a long tail supplies stray threads.
+	Skewed
+	// Microservice models RPC fan-out: many services with small individual
+	// footprints calling into each other's stubs and a shared runtime.
+	Microservice
 )
 
 // String returns the benchmark's display name.
@@ -90,20 +106,32 @@ func (b Benchmark) kind() workload.Kind {
 		return workload.TPCE
 	case MapReduce:
 		return workload.MapReduce
+	case Phased:
+		return workload.Phased
+	case Skewed:
+		return workload.Skewed
+	case Microservice:
+		return workload.Microservice
 	}
 	panic(fmt.Sprintf("slicc: unknown benchmark %d", int(b)))
 }
 
-// Benchmarks lists all workloads in Table 1 order.
-func Benchmarks() []Benchmark { return []Benchmark{TPCC1, TPCC10, TPCE, MapReduce} }
+// Benchmarks lists all workloads: Table 1 order, then the scenario
+// extensions.
+func Benchmarks() []Benchmark {
+	return []Benchmark{TPCC1, TPCC10, TPCE, MapReduce, Phased, Skewed, Microservice}
+}
 
 // benchmarkTokens are the canonical machine-readable benchmark names, used
 // by the CLIs, the JSON encoding and the sliccd API.
 var benchmarkTokens = map[string]Benchmark{
-	"tpcc1":     TPCC1,
-	"tpcc10":    TPCC10,
-	"tpce":      TPCE,
-	"mapreduce": MapReduce,
+	"tpcc1":        TPCC1,
+	"tpcc10":       TPCC10,
+	"tpce":         TPCE,
+	"mapreduce":    MapReduce,
+	"phased":       Phased,
+	"skewed":       Skewed,
+	"microservice": Microservice,
 }
 
 // Token returns the benchmark's canonical machine-readable name (the JSON
@@ -118,8 +146,8 @@ func (b Benchmark) Token() string {
 }
 
 // ParseBenchmark resolves a benchmark name: a canonical token ("tpcc1",
-// "tpcc10", "tpce", "mapreduce") or a display name ("TPC-C-1"), case-
-// insensitively.
+// "tpcc10", "tpce", "mapreduce", "phased", "skewed", "microservice") or a
+// display name ("TPC-C-1"), case-insensitively.
 func ParseBenchmark(s string) (Benchmark, error) {
 	ls := strings.ToLower(s)
 	if b, ok := benchmarkTokens[ls]; ok {
@@ -133,7 +161,7 @@ func ParseBenchmark(s string) (Benchmark, error) {
 	return 0, fmt.Errorf("slicc: unknown benchmark %q (have %s)", s, strings.Join(BenchmarkNames(), ", "))
 }
 
-// BenchmarkNames lists the canonical benchmark tokens in Table 1 order.
+// BenchmarkNames lists the canonical benchmark tokens in Benchmarks order.
 func BenchmarkNames() []string {
 	names := make([]string, 0, len(benchmarkTokens))
 	for _, b := range Benchmarks() {
@@ -145,7 +173,7 @@ func BenchmarkNames() []string {
 // MarshalText encodes the benchmark as its canonical token, so Config and
 // Result marshal to JSON with readable workload names.
 func (b Benchmark) MarshalText() ([]byte, error) {
-	if int(b) < 0 || b > MapReduce {
+	if int(b) < 0 || b > Microservice {
 		return nil, fmt.Errorf("slicc: unknown benchmark %d", int(b))
 	}
 	return []byte(b.Token()), nil
@@ -490,7 +518,7 @@ func (c Config) validate() error {
 	if c.TracePath != "" && c.Benchmark != 0 {
 		return fmt.Errorf("slicc: TracePath and Benchmark are mutually exclusive")
 	}
-	if int(c.Benchmark) < 0 || c.Benchmark > MapReduce {
+	if int(c.Benchmark) < 0 || c.Benchmark > Microservice {
 		return fmt.Errorf("slicc: unknown benchmark %d", int(c.Benchmark))
 	}
 	if int(c.Policy) < 0 || c.Policy > STEPS {

@@ -5,6 +5,8 @@ import (
 	"context"
 	"strings"
 	"testing"
+
+	"slicc/internal/workload"
 )
 
 // skipShort skips multi-simulation tests under -short; single-sim API
@@ -170,8 +172,15 @@ func TestPolicyAndBenchmarkStrings(t *testing.T) {
 	if Policy(99).String() != "Policy(99)" {
 		t.Fatal("out-of-range policy name")
 	}
-	if len(Policies()) != 8 || len(Benchmarks()) != 4 {
+	if len(Policies()) != 8 || len(Benchmarks()) != 7 {
 		t.Fatal("enumerations wrong")
+	}
+	// Public benchmark tokens must stay in lockstep with the workload
+	// package's kind tokens.
+	for _, b := range Benchmarks() {
+		if k, err := workload.ParseKind(b.Token()); err != nil || k != b.kind() {
+			t.Fatalf("benchmark token %q does not round-trip through workload.ParseKind (%v, %v)", b.Token(), k, err)
+		}
 	}
 }
 

@@ -53,6 +53,29 @@ func TestTraceReplayMatchesSynthetic(t *testing.T) {
 	}
 }
 
+// TestScenarioTraceReplayMatchesSynthetic extends the byte-identity
+// contract to the scenario families: each records through the container
+// format and replays to the exact metrics of the direct synthetic run.
+func TestScenarioTraceReplayMatchesSynthetic(t *testing.T) {
+	for _, bench := range []Benchmark{Phased, Skewed, Microservice} {
+		wcfg := workload.Config{Kind: bench.kind(), Threads: 6, Seed: 4, Scale: 0.08}
+		path := captureContainer(t, t.TempDir(), wcfg)
+		direct, err := Run(Config{Benchmark: bench, Policy: SLICCSW, Threads: 6, Seed: 4, Scale: 0.08})
+		if err != nil {
+			t.Fatal(err)
+		}
+		replay, err := Run(Config{TracePath: path, Policy: SLICCSW})
+		if err != nil {
+			t.Fatal(err)
+		}
+		replay.TracePath = ""
+		replay.Benchmark = direct.Benchmark // container fixes the workload; label is meaningless
+		if !reflect.DeepEqual(direct, replay) {
+			t.Fatalf("%v: replayed result differs from direct run:\ndirect: %+v\nreplay: %+v", bench, direct, replay)
+		}
+	}
+}
+
 func TestTracePathValidation(t *testing.T) {
 	if _, err := Run(Config{TracePath: "x.trace", Benchmark: TPCE}); err == nil {
 		t.Fatal("TracePath+Benchmark accepted")
