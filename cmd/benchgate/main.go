@@ -1,0 +1,202 @@
+// Command benchgate is the CI performance-regression gate: it reads `go
+// test -bench` output on stdin, compares every benchmark that reports a
+// rate metric (instr/s, cells/s) against the latest BENCH_SIM.json point
+// that records it, and exits non-zero when a rate falls below the recorded
+// floor by more than the tolerance.
+//
+//	go test -run '^$' -bench 'BenchmarkMachineRun|BenchmarkSweepBatch' \
+//	    -benchtime 3x ./internal/sim/ ./internal/sweep/ |
+//	  benchgate -baseline BENCH_SIM.json -tolerance 0.5 -min-batch-ratio 0.75
+//
+// Absolute rates vary across hosts — CI runners are slower and noisier
+// than the dev box BENCH_SIM.json is recorded on — so the tolerance is
+// deliberately generous: the gate catches falling off a cliff (a fast path
+// silently disabled, an accidental O(n) in the hot loop), not percent-level
+// drift. The -min-batch-ratio check is host-independent: it compares
+// BenchmarkSweepBatch/batched against .../scalar from the same run and
+// fails when the lockstep batch path regresses relative to the scalar path
+// it must at least match.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	var (
+		baseline = flag.String("baseline", "BENCH_SIM.json", "benchmark trajectory file holding the recorded floors")
+		tol      = flag.Float64("tolerance", 0.35, "allowed fractional shortfall vs the recorded rate (0.35 = fail below 65%)")
+		minRatio = flag.Float64("min-batch-ratio", 0, "minimum BenchmarkSweepBatch batched/scalar rate ratio (0 disables)")
+	)
+	flag.Parse()
+
+	data, err := os.ReadFile(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	floors, err := latestFloors(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: parsing %s: %v\n", *baseline, err)
+		os.Exit(2)
+	}
+	results, err := parseBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no benchmark results on stdin")
+		os.Exit(2)
+	}
+	failures := gate(os.Stdout, results, floors, *tol, *minRatio)
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d benchmark(s) below floor\n", failures)
+		os.Exit(1)
+	}
+}
+
+// benchResult is one benchmark line's rate metrics (unit → value), e.g.
+// {"instr/s": 1.5e7}.
+type benchResult map[string]float64
+
+// rateUnits are the higher-is-better metrics the gate checks, mapped to
+// the keys BENCH_SIM.json records them under.
+var rateUnits = map[string]string{
+	"instr/s": "instr_s",
+	"cells/s": "cells_s",
+}
+
+// parseBench extracts benchmark names and their rate metrics from `go test
+// -bench` output. A line looks like:
+//
+//	BenchmarkMachineRun/base-16  3  221508045 ns/op  15421476 instr/s  ...
+//
+// The -N GOMAXPROCS suffix is stripped so names match BENCH_SIM.json keys.
+func parseBench(r io.Reader) (map[string]benchResult, error) {
+	out := map[string]benchResult{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		res := benchResult{}
+		// fields[1] is the iteration count; after it come value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			if _, ok := rateUnits[fields[i+1]]; ok {
+				res[fields[i+1]] = v
+			}
+		}
+		if len(res) > 0 {
+			// -count>1 repeats a benchmark; keep the best run (rates are
+			// higher-is-better and noise only pushes them down).
+			if prev, ok := out[name]; ok {
+				for u, v := range res {
+					if v > prev[u] {
+						prev[u] = v
+					}
+				}
+			} else {
+				out[name] = res
+			}
+		}
+	}
+	return out, sc.Err()
+}
+
+// latestFloors returns, for every benchmark name in the trajectory file,
+// the rate metrics of the LAST point that records it — the floor the next
+// change is gated against.
+func latestFloors(data []byte) (map[string]benchResult, error) {
+	var doc struct {
+		Points []struct {
+			Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, err
+	}
+	floors := map[string]benchResult{}
+	for _, p := range doc.Points {
+		for name, metrics := range p.Benchmarks {
+			res := benchResult{}
+			for unit, key := range rateUnits {
+				if v, ok := metrics[key]; ok {
+					res[unit] = v
+				}
+			}
+			if len(res) > 0 {
+				floors[name] = res // later points overwrite earlier ones
+			}
+		}
+	}
+	return floors, nil
+}
+
+// gate prints a verdict table and returns the failure count. Benchmarks
+// with no recorded floor pass (reported as such); the batched/scalar ratio
+// check runs when minRatio > 0 and both SweepBatch series are present.
+func gate(w io.Writer, results, floors map[string]benchResult, tol, minRatio float64) int {
+	failures := 0
+	names := make([]string, 0, len(results))
+	for name := range results {
+		names = append(names, name)
+	}
+	// Stable output order without importing sort's full machinery: small n.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	for _, name := range names {
+		for unit, got := range results[name] {
+			base, ok := floors[name][unit]
+			if !ok {
+				fmt.Fprintf(w, "PASS  %s  %.0f %s (no recorded floor)\n", name, got, unit)
+				continue
+			}
+			floor := base * (1 - tol)
+			if got < floor {
+				failures++
+				fmt.Fprintf(w, "FAIL  %s  %.0f %s < floor %.0f (recorded %.0f, tolerance %.0f%%)\n",
+					name, got, unit, floor, base, tol*100)
+			} else {
+				fmt.Fprintf(w, "PASS  %s  %.0f %s (floor %.0f)\n", name, got, unit, floor)
+			}
+		}
+	}
+	if minRatio > 0 {
+		b, okB := results["BenchmarkSweepBatch/batched"]["cells/s"]
+		s, okS := results["BenchmarkSweepBatch/scalar"]["cells/s"]
+		switch {
+		case !okB || !okS:
+			failures++
+			fmt.Fprintf(w, "FAIL  batched/scalar ratio: BenchmarkSweepBatch series missing from input\n")
+		case b < s*minRatio:
+			failures++
+			fmt.Fprintf(w, "FAIL  batched/scalar ratio %.2f < %.2f (batched %.3f, scalar %.3f cells/s)\n",
+				b/s, minRatio, b, s)
+		default:
+			fmt.Fprintf(w, "PASS  batched/scalar ratio %.2f (>= %.2f)\n", b/s, minRatio)
+		}
+	}
+	return failures
+}

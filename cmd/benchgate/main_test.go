@@ -1,0 +1,104 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: slicc/internal/sim
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkMachineRun/base-16         	       5	 221508045 ns/op	  15421476 instr/s	 4490329 B/op	     359 allocs/op
+BenchmarkMachineRun/slicc-16        	       4	 260007174 ns/op	  13142892 instr/s	 4632249 B/op	     832 allocs/op
+BenchmarkSweepBatch/batched-16      	       3	 833589463 ns/op	         5.998 cells/s
+BenchmarkSweepBatch/batched-16      	       3	 900785234 ns/op	         5.551 cells/s
+BenchmarkSweepBatch/scalar-16       	       3	 887012126 ns/op	         5.637 cells/s
+PASS
+`
+
+const sampleBaseline = `{
+  "points": [
+    {
+      "benchmarks": {
+        "BenchmarkMachineRun/base": { "ns_op": 350569454, "instr_s": 9743279 }
+      }
+    },
+    {
+      "benchmarks": {
+        "BenchmarkMachineRun/base": { "ns_op": 221508045, "instr_s": 15421476 },
+        "BenchmarkMachineRun/slicc": { "ns_op": 260007174, "instr_s": 13142892 },
+        "BenchmarkSweepBatch/batched": { "cells_s": 5.998 },
+        "BenchmarkSweepBatch/scalar": { "cells_s": 5.637 }
+      }
+    }
+  ]
+}`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := got["BenchmarkMachineRun/base"]["instr/s"]; v != 15421476 {
+		t.Fatalf("base instr/s = %v, want 15421476 (GOMAXPROCS suffix must be stripped)", v)
+	}
+	// -count repeats keep the best rate.
+	if v := got["BenchmarkSweepBatch/batched"]["cells/s"]; v != 5.998 {
+		t.Fatalf("batched cells/s = %v, want best-of-runs 5.998", v)
+	}
+	if _, ok := got["BenchmarkMachineRun/base"]["ns/op"]; ok {
+		t.Fatal("ns/op is not a rate metric and must not be gated")
+	}
+}
+
+func TestLatestFloors(t *testing.T) {
+	floors, err := latestFloors([]byte(sampleBaseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The LATEST point recording a benchmark wins.
+	if v := floors["BenchmarkMachineRun/base"]["instr/s"]; v != 15421476 {
+		t.Fatalf("base floor = %v, want the later point's 15421476", v)
+	}
+	if v := floors["BenchmarkSweepBatch/batched"]["cells/s"]; v != 5.998 {
+		t.Fatalf("batched floor = %v, want 5.998", v)
+	}
+}
+
+func TestGate(t *testing.T) {
+	results, _ := parseBench(strings.NewReader(sampleBench))
+	floors, _ := latestFloors([]byte(sampleBaseline))
+
+	var out strings.Builder
+	if n := gate(&out, results, floors, 0.35, 0.75); n != 0 {
+		t.Fatalf("clean run failed %d gate(s):\n%s", n, out.String())
+	}
+
+	// A collapsed rate must fail: drop base to half its floor-with-tolerance.
+	results["BenchmarkMachineRun/base"]["instr/s"] = 15421476 * 0.3
+	out.Reset()
+	if n := gate(&out, results, floors, 0.35, 0); n != 1 {
+		t.Fatalf("regressed run reported %d failures, want 1:\n%s", n, out.String())
+	}
+
+	// A batched path regressing far below scalar must trip the ratio check
+	// even when its absolute floor (with tolerance) still passes.
+	results["BenchmarkMachineRun/base"]["instr/s"] = 15421476
+	results["BenchmarkSweepBatch/batched"]["cells/s"] = 5.637 * 0.70
+	out.Reset()
+	if n := gate(&out, results, floors, 0.35, 0.75); n != 1 {
+		t.Fatalf("batch-ratio regression reported %d failures, want 1:\n%s", n, out.String())
+	}
+
+	// Unknown benchmarks pass (no recorded floor yet).
+	delete(floors, "BenchmarkSweepBatch/batched")
+	results["BenchmarkSweepBatch/batched"]["cells/s"] = 5.998
+	out.Reset()
+	if n := gate(&out, results, floors, 0.35, 0.75); n != 0 {
+		t.Fatalf("unknown benchmark failed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "no recorded floor") {
+		t.Fatalf("missing no-floor note:\n%s", out.String())
+	}
+}

@@ -41,6 +41,7 @@ func main() {
 		run      = flag.String("run", "all", "experiment id or 'all'")
 		sweepPth = flag.String("sweep", "", "run the parameter sweep declared in this JSON spec file ('-' reads stdin) instead of -run")
 		asCSV    = flag.Bool("csv", false, "with -sweep: emit the per-cell results as CSV")
+		nobatch  = flag.Bool("nobatch", false, "with -sweep: simulate cells one by one instead of in lockstep batches (for measuring the batching win; output is byte-identical)")
 		quick    = flag.Bool("quick", false, "shrink workloads ~20x for a fast smoke run")
 		seed     = flag.Int64("seed", 1, "workload seed")
 		tracePth = flag.String("trace", "", "replay every benchmark from this recorded trace container (see docs/TRACES.md)")
@@ -126,7 +127,7 @@ func main() {
 			os.Exit(2)
 		}
 		start := time.Now()
-		err := runSweep(engine, *sweepPth, w, *asJSON, *asCSV)
+		err := runSweep(engine, *sweepPth, w, *asJSON, *asCSV, *nobatch)
 		if *progress {
 			fmt.Fprintln(os.Stderr)
 		}
@@ -215,7 +216,7 @@ func main() {
 // runSweep loads the JSON sweep spec at path ("-" for stdin), runs it on
 // the shared engine, and emits the result as an aligned table (default),
 // JSON, or CSV.
-func runSweep(engine *slicc.Engine, path string, w io.Writer, asJSON, asCSV bool) error {
+func runSweep(engine *slicc.Engine, path string, w io.Writer, asJSON, asCSV, nobatch bool) error {
 	var data []byte
 	var err error
 	if path == "-" {
@@ -232,7 +233,11 @@ func runSweep(engine *slicc.Engine, path string, w io.Writer, asJSON, asCSV bool
 	if err := dec.Decode(&spec); err != nil {
 		return fmt.Errorf("decoding sweep spec %s: %w", path, err)
 	}
-	res, err := engine.Sweep(context.Background(), spec)
+	runFn := engine.Sweep
+	if nobatch {
+		runFn = engine.SweepUnbatched
+	}
+	res, err := runFn(context.Background(), spec)
 	if err != nil {
 		return err
 	}
@@ -262,5 +267,11 @@ func reportStats(engine *slicc.Engine, start time.Time, verbose bool) {
 		fmt.Fprintf(os.Stderr, "perf: %.3fs wall-clock, %d instructions simulated, %.2fM instr/s\n",
 			elapsed.Seconds(), stats.InstructionsSimulated,
 			float64(stats.InstructionsSimulated)/elapsed.Seconds()/1e6)
+		if stats.BatchesExecuted > 0 {
+			amort := float64(stats.BatchOpsServed) / float64(stats.BatchOpsDecoded+1)
+			fmt.Fprintf(os.Stderr, "batch: %d cells in %d lockstep batches, %d ops decoded once for %d served (%.1fx decode amortization)\n",
+				stats.CellsBatched, stats.BatchesExecuted,
+				stats.BatchOpsDecoded, stats.BatchOpsServed, amort)
+		}
 	}
 }

@@ -1,0 +1,187 @@
+package runner
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"slicc/internal/sim"
+	islicc "slicc/internal/slicc"
+	"slicc/internal/workload"
+)
+
+// batchFamily is a sweep-shaped job set: six distinct configurations of
+// one workload (a lockstep family) plus a second-workload singleton that
+// must fall through to the scalar path.
+func batchFamily() []Job {
+	wl := tinyWorkload()
+	jobs := []Job{
+		{Workload: wl, Machine: sim.Config{Cores: 16}},
+		{Workload: wl, Machine: sim.Config{Cores: 8}},
+		{Workload: wl, Machine: sim.Config{Cores: 16}, Policy: PolicySpec{Kind: STEPS}},
+		{Workload: wl, Machine: sim.Config{Cores: 16}, Policy: PolicySpec{Kind: NextLine}},
+		{Workload: wl, Machine: sim.Config{Cores: 16},
+			Policy: PolicySpec{Kind: SLICC, SLICC: islicc.DefaultConfig(islicc.Oblivious)}},
+		{Workload: wl, Machine: sim.Config{Cores: 16, TrackReuse: true, LogEvents: true},
+			Policy: PolicySpec{Kind: SLICC, SLICC: islicc.DefaultConfig(islicc.SW)}},
+	}
+	other := tinyWorkload()
+	other.Seed = 9
+	jobs = append(jobs, Job{Workload: other, Machine: sim.Config{Cores: 16}})
+	return jobs
+}
+
+func TestRunBatchedMatchesRun(t *testing.T) {
+	jobs := batchFamily()
+	scalar, err := New(Options{Workers: 4}).Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(Options{Workers: 4})
+	batched, err := p.RunBatched(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(scalar, batched) {
+		t.Fatal("batched results diverge from scalar results")
+	}
+	s := p.Stats()
+	// Six batched cells run as two gangs of maxGangMachines(4) and 2.
+	if s.JobsExecuted != 7 || s.JobsBatched != 6 || s.BatchesExecuted != 2 {
+		t.Fatalf("stats = %+v, want 7 executed / 6 batched / 2 gangs", s)
+	}
+	if s.BatchOpsDecoded == 0 || s.BatchOpsServed <= s.BatchOpsDecoded {
+		t.Fatalf("batch amortization counters implausible: decoded %d, served %d",
+			s.BatchOpsDecoded, s.BatchOpsServed)
+	}
+}
+
+// TestRunBatchedStoreInterleaving pins the store contract: per-cell keys
+// are unchanged (scalar-warmed entries serve the batch and vice versa),
+// hits shrink the batch to its misses, and the interleaved results stay
+// byte-identical to a pure scalar run.
+func TestRunBatchedStoreInterleaving(t *testing.T) {
+	jobs := batchFamily()[:6] // one six-cell family
+	dir := t.TempDir()
+
+	want, err := New(Options{Workers: 4}).Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pre-warm half the cells through the scalar path.
+	warmer := New(Options{Workers: 4, Memo: NewStoreMemo(openStore(t, dir))})
+	if _, err := warmer.Run(context.Background(), jobs[:3]); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh pool over the same store batches the full family: the three
+	// warmed cells must come back from disk and only the misses simulate.
+	p := New(Options{Workers: 4, Memo: NewStoreMemo(openStore(t, dir))})
+	got, err := p.RunBatched(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.Stats()
+	if s.StoreHits != 3 || s.JobsExecuted != 3 || s.JobsBatched != 3 || s.BatchesExecuted != 1 {
+		t.Fatalf("half-warmed stats = %+v, want 3 store hits / 3 executed / 3 batched / 1 batch", s)
+	}
+	for i := range want {
+		a, b := want[i], got[i]
+		a.Err, b.Err = nil, nil
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("cell %d: interleaved result differs from scalar:\n%+v\nvs\n%+v", i, a, b)
+		}
+	}
+
+	// Reverse direction: the batch's Puts must serve a scalar run 100%.
+	rev := New(Options{Workers: 4, Memo: NewStoreMemo(openStore(t, dir))})
+	back, err := rev.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := rev.Stats(); s.JobsExecuted != 0 || s.StoreHits != 6 {
+		t.Fatalf("batch-warmed scalar stats = %+v, want 0 executed / 6 store hits", s)
+	}
+	for i := range want {
+		a, b := want[i], back[i]
+		a.Err, b.Err = nil, nil
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("cell %d: batch-warmed result differs from scalar", i)
+		}
+	}
+
+	// And a fully-warmed batched rerun executes nothing.
+	again := New(Options{Workers: 4, Memo: NewStoreMemo(openStore(t, dir))})
+	if _, err := again.RunBatched(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+	if s := again.Stats(); s.JobsExecuted != 0 || s.StoreHits != 6 || s.BatchesExecuted != 0 {
+		t.Fatalf("fully-warmed batched stats = %+v, want 0 executed / 6 store hits / 0 batches", s)
+	}
+}
+
+// TestRunBatchedCancellation mirrors Run's contract: a cancelled context
+// surfaces promptly and claimed cells are released for retry.
+func TestRunBatchedCancellation(t *testing.T) {
+	p := New(Options{Workers: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.RunBatched(ctx, batchFamily()[:4]); err == nil {
+		t.Fatal("RunBatched on cancelled ctx returned nil error")
+	}
+	// The cells must be retryable on a live context.
+	rs, err := p.RunBatched(context.Background(), batchFamily()[:4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rs {
+		if r.Err != nil {
+			t.Fatalf("cell %d failed after retry: %v", i, r.Err)
+		}
+	}
+}
+
+// TestBatchThreadsMatchesThreads checks the workload-level table contract
+// the batch path rests on: BatchThreads yields the same thread metadata
+// and byte-identical op streams as Threads.
+func TestBatchThreadsMatchesThreads(t *testing.T) {
+	w := workload.New(workload.Config{Kind: workload.TPCE, Threads: 4, Seed: 11, Scale: 0.02})
+	bt, fresh := w.BatchThreads()
+	if fresh == 0 {
+		t.Fatal("first BatchThreads reported zero freshly decoded ops")
+	}
+	if _, again := w.BatchThreads(); again != 0 {
+		t.Fatalf("second BatchThreads reported %d fresh ops, want 0 (table reused)", again)
+	}
+	ths := w.Threads()
+	if len(bt) != len(ths) {
+		t.Fatalf("BatchThreads returned %d threads, want %d", len(bt), len(ths))
+	}
+	var total uint64
+	for i := range ths {
+		if bt[i].ID != ths[i].ID || bt[i].Type != ths[i].Type || bt[i].TypeName != ths[i].TypeName {
+			t.Fatalf("thread %d metadata diverges: %+v vs %+v", i, bt[i], ths[i])
+		}
+		a, b := bt[i].New(), ths[i].New()
+		n := uint64(0)
+		for {
+			opA, okA := a.Next()
+			opB, okB := b.Next()
+			if okA != okB {
+				t.Fatalf("thread %d: stream lengths diverge at op %d", i, n)
+			}
+			if !okA {
+				break
+			}
+			if opA != opB {
+				t.Fatalf("thread %d op %d: %+v vs %+v", i, n, opA, opB)
+			}
+			n++
+		}
+		total += n
+	}
+	if total != fresh {
+		t.Fatalf("fresh op count %d != total stream length %d", fresh, total)
+	}
+}

@@ -159,6 +159,17 @@ type Stats struct {
 	// simulated for them). With wall-clock time it yields the pool's
 	// effective simulation rate.
 	Instructions uint64
+	// JobsBatched is how many executed jobs ran inside a lockstep batch
+	// (RunBatched families; a subset of JobsExecuted), and BatchesExecuted
+	// how many batch passes ran them.
+	JobsBatched     int
+	BatchesExecuted int
+	// BatchOpsDecoded counts ops decoded once into shared batch tables;
+	// BatchOpsServed counts instructions batched machines executed from
+	// them. Their ratio is the decode amortization: on the scalar path
+	// every served op would have been decoded (or regenerated) per cell.
+	BatchOpsDecoded uint64
+	BatchOpsServed  uint64
 }
 
 // Options configures a pool.
@@ -286,15 +297,21 @@ func (p *Pool) Close() error {
 // On cancellation Run returns ctx.Err() promptly; jobs already claimed but
 // not finished are released so a later Run can retry them.
 func (p *Pool) Run(ctx context.Context, jobs []Job) ([]Result, error) {
-	norm := make([]Job, len(jobs))
-	entries := make([]*entry, len(jobs))
-	var mine []*entry
-	var mineJobs []Job
+	norm, err := p.normalizeJobs(jobs)
+	if err != nil {
+		return nil, err
+	}
+	entries, dedupped, mineJobs, mine := p.claimAll(norm)
+	p.dispatch(ctx, mineJobs, mine)
+	return p.gather(ctx, norm, entries, dedupped)
+}
 
-	// Normalize (including trace-digest resolution) for the whole batch
-	// before claiming anything: a digest failure must be able to return
-	// early, and an early return after a claim would orphan the claimed
-	// entry's ready channel and deadlock every later Run of that job.
+// normalizeJobs normalizes a batch (including trace-digest resolution)
+// before anything is claimed: a digest failure must be able to return
+// early, and an early return after a claim would orphan the claimed
+// entry's ready channel and deadlock every later Run of that job.
+func (p *Pool) normalizeJobs(jobs []Job) ([]Job, error) {
+	norm := make([]Job, len(jobs))
 	for i, j := range jobs {
 		j = j.normalized()
 		if j.Workload.TracePath != "" {
@@ -316,11 +333,17 @@ func (p *Pool) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 		}
 		norm[i] = j
 	}
+	return norm, nil
+}
 
+// claimAll claims every job in norm, returning the per-input entries, the
+// dedup markers, and the subset this caller now owns and must resolve.
+func (p *Pool) claimAll(norm []Job) (entries []*entry, dedupped []bool, mineJobs []Job, mine []*entry) {
 	p.mu.Lock()
-	p.stats.JobsRequested += len(jobs)
+	p.stats.JobsRequested += len(norm)
 	p.mu.Unlock()
-	dedupped := make([]bool, len(jobs))
+	entries = make([]*entry, len(norm))
+	dedupped = make([]bool, len(norm))
 	for i, j := range norm {
 		e, claimed := p.claim(j)
 		if claimed {
@@ -335,9 +358,12 @@ func (p *Pool) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 		entries[i] = e
 	}
 	p.progress()
-	p.dispatch(ctx, mineJobs, mine)
+	return entries, dedupped, mineJobs, mine
+}
 
-	// Gather, waiting on entries owned by concurrent Run calls. Entries
+// gather resolves a claimed batch to results in input order.
+func (p *Pool) gather(ctx context.Context, norm []Job, entries []*entry, dedupped []bool) ([]Result, error) {
+	// Wait on entries owned by concurrent Run calls too. Entries
 	// that failed because a *different* Run's context was cancelled are
 	// re-claimed (the fail path evicted them from the memo) and
 	// re-dispatched as a parallel batch, so one caller's cancellation
@@ -384,7 +410,7 @@ func (p *Pool) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 		}
 	}
 
-	results := make([]Result, len(jobs))
+	results := make([]Result, len(norm))
 	var firstErr error
 	for i, e := range entries {
 		results[i] = e.res

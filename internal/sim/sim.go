@@ -431,13 +431,30 @@ func (m *Machine) RunContext(ctx context.Context) (Result, error) {
 		m.fastFetch, m.fastData = false, false
 		return m.runReference(ctx, done)
 	}
+	if _, cancelled := m.runLoop(done, math.MaxUint64); cancelled {
+		m.aborted = true
+		return m.result(), ctx.Err()
+	}
+	return m.result(), nil
+}
+
+// runLoop advances the event-horizon scheduler by at most budget
+// instructions. It returns finished=true when the machine has no work left
+// — every thread done, or the MaxInstructions abort tripped (m.aborted
+// distinguishes) — and cancelled=true when the done channel fired at a
+// poll point. Both false means the budget ran out with work remaining; all
+// loop state lives in the Machine and the queue is left consistent, so a
+// later call resumes at exactly the instruction this one stopped before.
+// RunBatch's lockstep quanta rest on that resumability, which is why the
+// budget checks sit on the post-step paths rather than a cheaper outer
+// wrapper.
+func (m *Machine) runLoop(done <-chan struct{}, budget uint64) (finished, cancelled bool) {
 	steps := uint64(0)
 	for {
 		if done != nil && steps&cancelCheckMask == 0 {
 			select {
 			case <-done:
-				m.aborted = true
-				return m.result(), ctx.Err()
+				return false, true
 			default:
 			}
 		}
@@ -445,7 +462,7 @@ func (m *Machine) RunContext(ctx context.Context) (Result, error) {
 			// Round exhausted: the stepped cores become the next round.
 			if len(m.fut) == 0 {
 				if !m.fillIdleCores() {
-					break
+					return true, false
 				}
 				continue
 			}
@@ -478,8 +495,7 @@ func (m *Machine) RunContext(ctx context.Context) (Result, error) {
 				if done != nil && steps&cancelCheckMask == 0 {
 					select {
 					case <-done:
-						m.aborted = true
-						return m.result(), ctx.Err()
+						return false, true
 					default:
 					}
 				}
@@ -487,18 +503,29 @@ func (m *Machine) RunContext(ctx context.Context) (Result, error) {
 				sched := m.step(c)
 				if m.cfg.MaxInstructions > 0 && m.instr >= m.cfg.MaxInstructions {
 					m.aborted = true
-					return m.result(), nil
+					return true, false
 				}
 				if sched {
 					break
 				}
 				ct := m.cores[c].time
 				if ct < hz.t || (ct == hz.t && root.c < hz.c) {
-					continue
+					if steps < budget {
+						continue
+					}
+					// Budget exhausted mid-streak: the heap root's key is
+					// stale (that staleness is the streak optimization), so
+					// re-sync it before pausing to leave a resumable queue.
+					m.fut[0].t = ct
+					m.siftDown(0)
+					return false, false
 				}
 				m.fut[0].t = ct
 				m.siftDown(0)
 				break
+			}
+			if steps >= budget {
+				return false, false
 			}
 			continue
 		}
@@ -509,7 +536,7 @@ func (m *Machine) RunContext(ctx context.Context) (Result, error) {
 		sched := m.step(c)
 		if m.cfg.MaxInstructions > 0 && m.instr >= m.cfg.MaxInstructions {
 			m.aborted = true
-			break
+			return true, false
 		}
 		if !sched {
 			// Still running: rejoin the queue with the advanced clock.
@@ -518,8 +545,10 @@ func (m *Machine) RunContext(ctx context.Context) (Result, error) {
 			m.futPush(heapEntry{t: m.cores[c].time, c: e.c})
 		}
 		m.floating = -1
+		if steps >= budget {
+			return false, false
+		}
 	}
-	return m.result(), nil
 }
 
 // runReference is the pre-batching scheduler: one nextCore scan per

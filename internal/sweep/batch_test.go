@@ -1,0 +1,34 @@
+package sweep
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"slicc/internal/runner"
+)
+
+// TestSweepBatchedMatchesUnbatched is the end-to-end byte-identity check
+// for lockstep batching at the sweep layer: Run (batched) and RunUnbatched
+// must produce deeply equal aggregates, and the batched pool must actually
+// have batched the same-workload families. This test is deliberately not
+// skipped under -short so CI's -race job exercises a batched sweep.
+func TestSweepBatchedMatchesUnbatched(t *testing.T) {
+	scalar, err := RunUnbatched(context.Background(), runner.New(runner.Options{Workers: 4}), tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := runner.New(runner.Options{Workers: 4})
+	batched, err := Run(context.Background(), pool, tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(scalar, batched) {
+		t.Fatal("batched sweep result diverges from unbatched")
+	}
+	// tinySpec: 2 workloads x 2 policies; per workload the base cell dedups
+	// against the baseline job, leaving a 2-cell family — both batched.
+	if st := pool.Stats(); st.JobsBatched != 4 || st.BatchesExecuted != 2 {
+		t.Fatalf("stats = %+v, want 4 batched cells in 2 batches", st)
+	}
+}

@@ -50,9 +50,23 @@ func (r *Result) Best() *CellResult {
 // Run expands the spec and executes it on the pool: one runner job per cell
 // plus one baseline reference per (workload, machine) group, all submitted
 // as a single batch so the pool's dedup and persistent store collapse
-// repeats. Results are aggregated into a Result whose cell order — and
-// therefore whose JSON/CSV/table output — depends only on the spec.
+// repeats. Cells sharing a workload run as lockstep batches
+// (runner.RunBatched): the op stream is decoded once per family instead of
+// once per cell, with results byte-identical to scalar execution. Results
+// are aggregated into a Result whose cell order — and therefore whose
+// JSON/CSV/table output — depends only on the spec.
 func Run(ctx context.Context, pool *runner.Pool, spec Spec) (*Result, error) {
+	return run(ctx, pool, spec, true)
+}
+
+// RunUnbatched is Run on the scalar path: every cell simulates alone. It
+// exists for measuring the batching win (BenchmarkSweepBatch) and for
+// differential tests; results are byte-identical to Run's.
+func RunUnbatched(ctx context.Context, pool *runner.Pool, spec Spec) (*Result, error) {
+	return run(ctx, pool, spec, false)
+}
+
+func run(ctx context.Context, pool *runner.Pool, spec Spec, batched bool) (*Result, error) {
 	norm, err := spec.Normalized()
 	if err != nil {
 		return nil, err
@@ -64,7 +78,12 @@ func Run(ctx context.Context, pool *runner.Pool, spec Spec) (*Result, error) {
 	jobs := make([]runner.Job, 0, len(ex.jobs)+len(ex.baseJobs))
 	jobs = append(jobs, ex.jobs...)
 	jobs = append(jobs, ex.baseJobs...)
-	rs, err := pool.Run(ctx, jobs)
+	var rs []runner.Result
+	if batched {
+		rs, err = pool.RunBatched(ctx, jobs)
+	} else {
+		rs, err = pool.Run(ctx, jobs)
+	}
 	if err != nil {
 		return nil, err
 	}

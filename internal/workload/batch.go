@@ -1,0 +1,105 @@
+package workload
+
+// Shared decoded op tables for lockstep batching. A sweep family runs N
+// machine configurations over the *same* workload; on the scalar path each
+// of the N simulations decodes (or regenerates) every thread's op stream
+// for itself. BatchThreads instead decodes each thread once into a plain
+// []trace.Op and hands every machine a SliceSource view of it — the
+// simulator's span fast path then consumes the table with zero copies, so
+// a family of N cells decodes each op exactly once.
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"slicc/internal/trace"
+)
+
+// decodedOpBytes is the in-memory size of one decoded trace.Op (two
+// 8-byte addresses plus two flag bytes, padded to 8-byte alignment).
+const decodedOpBytes = 24
+
+// batchTableBudget bounds the decoded ops one workload's batch table
+// retains, in bytes. Decoded ops are ~6x larger than the opCache's
+// encoded form, so the table gets its own, larger budget; threads that
+// do not fit stay on their original sources (each batched machine then
+// decodes that thread itself — slower, still byte-identical). It is a
+// var so tests can shrink it.
+var batchTableBudget = int64(1) << 29 // 512MB
+
+// batchTable holds a workload's decoded-op thread list, built at most
+// once per workload (the build drains every thread's stream, which is as
+// expensive as one scalar simulation's decode work).
+type batchTable struct {
+	once    sync.Once
+	threads []trace.Thread
+	// fresh counts ops the build decoded into the table; BatchThreads
+	// consumes it once so callers can report decode work actually done by
+	// their batch (reuse of a built table reports zero).
+	fresh uint64
+}
+
+// BatchThreads returns the workload's threads backed by the shared
+// decoded-op table, for machines that will run in a lockstep batch
+// (sim.RunBatch). The thread list matches Threads() — same IDs, types and
+// order, and each New() yields the byte-identical op stream — but
+// materialized threads replay from one []trace.Op all machines share.
+// The second result is the number of ops this call newly decoded into
+// the table (zero when an earlier call already built it); callers use it
+// for decode-amortization accounting.
+func (w *Workload) BatchThreads() ([]trace.Thread, uint64) {
+	w.bt.once.Do(w.buildBatchTable)
+	return w.bt.threads, atomic.SwapUint64(&w.bt.fresh, 0)
+}
+
+func (w *Workload) buildBatchTable() {
+	limit := batchTableBudget / decodedOpBytes
+	threads := make([]trace.Thread, len(w.threads))
+	copy(threads, w.threads)
+	var fresh uint64
+	for i := range threads {
+		ops, ok := drainOps(threads[i].New(), limit)
+		if !ok {
+			// Out of budget. Threads are near-uniform in size, so later ones
+			// would overflow too — stop materializing rather than paying a
+			// doomed drain per remaining thread. The rest keep their
+			// original sources.
+			break
+		}
+		limit -= int64(len(ops))
+		fresh += uint64(len(ops))
+		view := ops
+		threads[i].New = func() trace.Source { return trace.NewSliceSource(view) }
+	}
+	w.bt.threads = threads
+	w.bt.fresh = fresh
+}
+
+// drainOps materializes src into a slice, refusing (nil, false) once the
+// stream exceeds limit ops.
+func drainOps(src trace.Source, limit int64) ([]trace.Op, bool) {
+	var ops []trace.Op
+	if bs, ok := src.(trace.BatchSource); ok {
+		buf := make([]trace.Op, 4096)
+		for {
+			n := bs.NextBatch(buf)
+			if n == 0 {
+				return ops, true
+			}
+			if int64(len(ops))+int64(n) > limit {
+				return nil, false
+			}
+			ops = append(ops, buf[:n]...)
+		}
+	}
+	for {
+		op, ok := src.Next()
+		if !ok {
+			return ops, true
+		}
+		if int64(len(ops)) >= limit {
+			return nil, false
+		}
+		ops = append(ops, op)
+	}
+}

@@ -55,10 +55,22 @@ func SweepPresets() []string { return sweep.Presets() }
 // with the engine's full memoization stack: cells identical to earlier
 // simulations — from other sweeps, experiments, Run calls, or the
 // persistent store — do not execute again, and a store-warmed rerun of a
-// whole sweep executes nothing. Output is deterministic for a given spec
-// at any worker count. Cancelling ctx aborts in-flight cells.
+// whole sweep executes nothing. Cells that share a workload run as
+// lockstep batches — one pass decodes the op stream once for the whole
+// family — with results byte-identical to scalar execution (store keys
+// included, so batched and unbatched runs warm each other). Output is
+// deterministic for a given spec at any worker count. Cancelling ctx
+// aborts in-flight cells.
 func (e *Engine) Sweep(ctx context.Context, spec SweepSpec) (*SweepResult, error) {
 	return sweep.Run(ctx, e.pool, spec)
+}
+
+// SweepUnbatched is Sweep on the scalar path: every cell simulates alone.
+// It exists to measure the lockstep batching win (and to cross-check it —
+// results, store keys and table output are byte-identical to Sweep's);
+// there is no other reason to prefer it.
+func (e *Engine) SweepUnbatched(ctx context.Context, spec SweepSpec) (*SweepResult, error) {
+	return sweep.RunUnbatched(ctx, e.pool, spec)
 }
 
 // SweepTable renders a sweep result as an aligned per-cell table, with the
