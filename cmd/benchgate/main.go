@@ -1,21 +1,36 @@
 // Command benchgate is the CI performance-regression gate: it reads `go
-// test -bench` output on stdin, compares every benchmark that reports a
-// rate metric (instr/s, cells/s) against the latest BENCH_SIM.json point
-// that records it, and exits non-zero when a rate falls below the recorded
-// floor by more than the tolerance.
+// test -bench` output on stdin, compares every benchmark metric it knows
+// against the latest baseline point that records it, and exits non-zero
+// when a metric regresses past the tolerance.
 //
 //	go test -run '^$' -bench 'BenchmarkMachineRun|BenchmarkSweepBatch' \
 //	    -benchtime 3x ./internal/sim/ ./internal/sweep/ |
 //	  benchgate -baseline BENCH_SIM.json -tolerance 0.5 -min-batch-ratio 0.75
 //
-// Absolute rates vary across hosts — CI runners are slower and noisier
-// than the dev box BENCH_SIM.json is recorded on — so the tolerance is
-// deliberately generous: the gate catches falling off a cliff (a fast path
-// silently disabled, an accidental O(n) in the hot loop), not percent-level
-// drift. The -min-batch-ratio check is host-independent: it compares
-// BenchmarkSweepBatch/batched against .../scalar from the same run and
-// fails when the lockstep batch path regresses relative to the scalar path
-// it must at least match.
+//	go test -run '^$' -bench 'BenchmarkStore(Cold|Warm)Run' -benchtime 3x . ;
+//	go test -run '^$' -bench . ./internal/store/ ;  # concatenated on stdin
+//	  benchgate -baseline BENCH_STORE.json -min-warm-speedup 20
+//
+// Two metric directions are gated. Rates (instr/s, cells/s, MB/s) are
+// higher-is-better and fail below floor = recorded * (1 - tolerance);
+// times (ns/op) are lower-is-better and fail above ceiling = recorded *
+// (1 + time-tolerance). Absolute numbers vary across hosts — CI runners
+// are slower and noisier than the dev box the baselines are recorded on —
+// so both tolerances are deliberately generous: the gate catches falling
+// off a cliff (a fast path silently disabled, an accidental O(n) in the
+// hot loop), not percent-level drift.
+//
+// The ratio checks are host-independent, comparing two series from the
+// same run on the same machine: -min-batch-ratio fails when the lockstep
+// batch path regresses relative to the scalar path it must at least
+// match, and -min-warm-speedup fails when a store-warmed run is no longer
+// at least N times faster than a cold one — the guard on the store's
+// whole reason to exist, and the contract crash/resume is built on.
+//
+// -baseline takes a comma-separated list of trajectory files. Baseline
+// names may carry a "pkg." prefix (e.g. "store.BenchmarkPut" for
+// ./internal/store) to disambiguate benchmarks from different packages;
+// results match them by bare name.
 package main
 
 import (
@@ -31,21 +46,25 @@ import (
 
 func main() {
 	var (
-		baseline = flag.String("baseline", "BENCH_SIM.json", "benchmark trajectory file holding the recorded floors")
-		tol      = flag.Float64("tolerance", 0.35, "allowed fractional shortfall vs the recorded rate (0.35 = fail below 65%)")
+		baseline = flag.String("baseline", "BENCH_SIM.json", "comma-separated benchmark trajectory file(s) holding the recorded baselines")
+		tol      = flag.Float64("tolerance", 0.35, "allowed fractional shortfall vs a recorded rate (0.35 = fail below 65%)")
+		timeTol  = flag.Float64("time-tolerance", 4.0, "allowed fractional slowdown vs a recorded ns/op (4.0 = fail above 5x)")
 		minRatio = flag.Float64("min-batch-ratio", 0, "minimum BenchmarkSweepBatch batched/scalar rate ratio (0 disables)")
+		minWarm  = flag.Float64("min-warm-speedup", 0, "minimum BenchmarkStoreColdRun/BenchmarkStoreWarmRun ns/op ratio (0 disables)")
 	)
 	flag.Parse()
 
-	data, err := os.ReadFile(*baseline)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchgate:", err)
-		os.Exit(2)
-	}
-	floors, err := latestFloors(data)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchgate: parsing %s: %v\n", *baseline, err)
-		os.Exit(2)
+	floors := map[string]benchResult{}
+	for _, path := range strings.Split(*baseline, ",") {
+		data, err := os.ReadFile(strings.TrimSpace(path))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		if err := latestFloors(data, floors); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: parsing %s: %v\n", path, err)
+			os.Exit(2)
+		}
 	}
 	results, err := parseBench(os.Stdin)
 	if err != nil {
@@ -56,30 +75,35 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchgate: no benchmark results on stdin")
 		os.Exit(2)
 	}
-	failures := gate(os.Stdout, results, floors, *tol, *minRatio)
+	failures := gate(os.Stdout, results, floors, *tol, *timeTol, *minRatio, *minWarm)
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "benchgate: %d benchmark(s) below floor\n", failures)
 		os.Exit(1)
 	}
 }
 
-// benchResult is one benchmark line's rate metrics (unit → value), e.g.
-// {"instr/s": 1.5e7}.
+// benchResult is one benchmark line's gated metrics (unit → value), e.g.
+// {"instr/s": 1.5e7, "ns/op": 2.2e8}.
 type benchResult map[string]float64
 
-// rateUnits are the higher-is-better metrics the gate checks, mapped to
-// the keys BENCH_SIM.json records them under.
-var rateUnits = map[string]string{
-	"instr/s": "instr_s",
-	"cells/s": "cells_s",
+// units maps every gated metric to its baseline-file key and direction.
+// Rates are higher-is-better; ns/op is lower-is-better.
+var units = map[string]struct {
+	key          string
+	higherBetter bool
+}{
+	"instr/s": {"instr_s", true},
+	"cells/s": {"cells_s", true},
+	"MB/s":    {"mb_s", true},
+	"ns/op":   {"ns_op", false},
 }
 
-// parseBench extracts benchmark names and their rate metrics from `go test
-// -bench` output. A line looks like:
+// parseBench extracts benchmark names and their gated metrics from `go
+// test -bench` output. A line looks like:
 //
 //	BenchmarkMachineRun/base-16  3  221508045 ns/op  15421476 instr/s  ...
 //
-// The -N GOMAXPROCS suffix is stripped so names match BENCH_SIM.json keys.
+// The -N GOMAXPROCS suffix is stripped so names match baseline keys.
 func parseBench(r io.Reader) (map[string]benchResult, error) {
 	out := map[string]benchResult{}
 	sc := bufio.NewScanner(r)
@@ -101,16 +125,16 @@ func parseBench(r io.Reader) (map[string]benchResult, error) {
 			if err != nil {
 				break
 			}
-			if _, ok := rateUnits[fields[i+1]]; ok {
+			if _, ok := units[fields[i+1]]; ok {
 				res[fields[i+1]] = v
 			}
 		}
 		if len(res) > 0 {
-			// -count>1 repeats a benchmark; keep the best run (rates are
-			// higher-is-better and noise only pushes them down).
+			// -count>1 repeats a benchmark; keep the best run in each
+			// metric's direction (noise only makes results worse).
 			if prev, ok := out[name]; ok {
 				for u, v := range res {
-					if v > prev[u] {
+					if units[u].higherBetter == (v > prev[u]) {
 						prev[u] = v
 					}
 				}
@@ -122,39 +146,53 @@ func parseBench(r io.Reader) (map[string]benchResult, error) {
 	return out, sc.Err()
 }
 
-// latestFloors returns, for every benchmark name in the trajectory file,
-// the rate metrics of the LAST point that records it — the floor the next
-// change is gated against.
-func latestFloors(data []byte) (map[string]benchResult, error) {
+// latestFloors merges, for every benchmark name in the trajectory file,
+// the metrics of the LAST point that records it — the baseline the next
+// change is gated against — into floors. Prefixed names ("store.BenchmarkPut")
+// are also indexed under their bare benchmark name, which is what
+// parseBench produces; an explicit bare entry wins over an alias.
+func latestFloors(data []byte, floors map[string]benchResult) error {
 	var doc struct {
 		Points []struct {
-			Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+			// any, not float64: metric maps also carry "note" strings.
+			Benchmarks map[string]map[string]any `json:"benchmarks"`
 		} `json:"points"`
 	}
 	if err := json.Unmarshal(data, &doc); err != nil {
-		return nil, err
+		return err
 	}
-	floors := map[string]benchResult{}
+	bare := map[string]bool{} // names recorded without a pkg prefix
 	for _, p := range doc.Points {
 		for name, metrics := range p.Benchmarks {
 			res := benchResult{}
-			for unit, key := range rateUnits {
-				if v, ok := metrics[key]; ok {
+			for unit, u := range units {
+				if v, ok := metrics[u.key].(float64); ok {
 					res[unit] = v
 				}
 			}
-			if len(res) > 0 {
-				floors[name] = res // later points overwrite earlier ones
+			if len(res) == 0 {
+				continue
+			}
+			floors[name] = res // later points overwrite earlier ones
+			if strings.HasPrefix(name, "Benchmark") {
+				bare[name] = true
 			}
 		}
 	}
-	return floors, nil
+	for name, res := range floors {
+		if i := strings.Index(name, ".Benchmark"); i > 0 {
+			if alias := name[i+1:]; !bare[alias] {
+				floors[alias] = res
+			}
+		}
+	}
+	return nil
 }
 
 // gate prints a verdict table and returns the failure count. Benchmarks
-// with no recorded floor pass (reported as such); the batched/scalar ratio
-// check runs when minRatio > 0 and both SweepBatch series are present.
-func gate(w io.Writer, results, floors map[string]benchResult, tol, minRatio float64) int {
+// with no recorded baseline pass (reported as such); the host-independent
+// ratio checks run when their flags are > 0.
+func gate(w io.Writer, results, floors map[string]benchResult, tol, timeTol, minRatio, minWarm float64) int {
 	failures := 0
 	names := make([]string, 0, len(results))
 	for name := range results {
@@ -173,13 +211,24 @@ func gate(w io.Writer, results, floors map[string]benchResult, tol, minRatio flo
 				fmt.Fprintf(w, "PASS  %s  %.0f %s (no recorded floor)\n", name, got, unit)
 				continue
 			}
-			floor := base * (1 - tol)
-			if got < floor {
-				failures++
-				fmt.Fprintf(w, "FAIL  %s  %.0f %s < floor %.0f (recorded %.0f, tolerance %.0f%%)\n",
-					name, got, unit, floor, base, tol*100)
+			if units[unit].higherBetter {
+				floor := base * (1 - tol)
+				if got < floor {
+					failures++
+					fmt.Fprintf(w, "FAIL  %s  %.0f %s < floor %.0f (recorded %.0f, tolerance %.0f%%)\n",
+						name, got, unit, floor, base, tol*100)
+				} else {
+					fmt.Fprintf(w, "PASS  %s  %.0f %s (floor %.0f)\n", name, got, unit, floor)
+				}
 			} else {
-				fmt.Fprintf(w, "PASS  %s  %.0f %s (floor %.0f)\n", name, got, unit, floor)
+				ceiling := base * (1 + timeTol)
+				if got > ceiling {
+					failures++
+					fmt.Fprintf(w, "FAIL  %s  %.0f %s > ceiling %.0f (recorded %.0f, tolerance %.0fx)\n",
+						name, got, unit, ceiling, base, 1+timeTol)
+				} else {
+					fmt.Fprintf(w, "PASS  %s  %.0f %s (ceiling %.0f)\n", name, got, unit, ceiling)
+				}
 			}
 		}
 	}
@@ -196,6 +245,21 @@ func gate(w io.Writer, results, floors map[string]benchResult, tol, minRatio flo
 				b/s, minRatio, b, s)
 		default:
 			fmt.Fprintf(w, "PASS  batched/scalar ratio %.2f (>= %.2f)\n", b/s, minRatio)
+		}
+	}
+	if minWarm > 0 {
+		cold, okC := results["BenchmarkStoreColdRun"]["ns/op"]
+		warm, okW := results["BenchmarkStoreWarmRun"]["ns/op"]
+		switch {
+		case !okC || !okW || warm <= 0:
+			failures++
+			fmt.Fprintf(w, "FAIL  warm-store speedup: BenchmarkStore{Cold,Warm}Run missing from input\n")
+		case cold/warm < minWarm:
+			failures++
+			fmt.Fprintf(w, "FAIL  warm-store speedup %.1fx < %.1fx (cold %.0f, warm %.0f ns/op)\n",
+				cold/warm, minWarm, cold, warm)
+		default:
+			fmt.Fprintf(w, "PASS  warm-store speedup %.1fx (>= %.1fx)\n", cold/warm, minWarm)
 		}
 	}
 	return failures

@@ -35,6 +35,42 @@ const sampleBaseline = `{
   ]
 }`
 
+// sampleStoreBench is concatenated output of the root-package store-path
+// benches and the internal/store micro benches — BENCH_STORE.json's shape.
+const sampleStoreBench = `pkg: slicc
+BenchmarkStoreColdRun-16    	       3	  50053181 ns/op	 7394033 B/op	   13398 allocs/op
+BenchmarkStoreWarmRun-16    	      12	     94437 ns/op	   28897 B/op	     485 allocs/op
+PASS
+pkg: slicc/internal/store
+BenchmarkPut-16             	   10000	    110289 ns/op	  37.14 MB/s	    5671 B/op	      15 allocs/op
+BenchmarkGetHit-16          	  130000	      8921 ns/op	 459.12 MB/s	    5720 B/op	      10 allocs/op
+PASS
+`
+
+const sampleStoreBaseline = `{
+  "points": [
+    {
+      "benchmarks": {
+        "BenchmarkStoreColdRun": { "ns_op": 50053181 },
+        "BenchmarkStoreWarmRun": { "ns_op": 94437 },
+        "store.BenchmarkPut": { "ns_op": 110289, "mb_s": 37.14 },
+        "store.BenchmarkGetHit": { "ns_op": 8921, "mb_s": 459.12 }
+      }
+    }
+  ]
+}`
+
+func loadFloors(t *testing.T, docs ...string) map[string]benchResult {
+	t.Helper()
+	floors := map[string]benchResult{}
+	for _, doc := range docs {
+		if err := latestFloors([]byte(doc), floors); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return floors
+}
+
 func TestParseBench(t *testing.T) {
 	got, err := parseBench(strings.NewReader(sampleBench))
 	if err != nil {
@@ -43,20 +79,34 @@ func TestParseBench(t *testing.T) {
 	if v := got["BenchmarkMachineRun/base"]["instr/s"]; v != 15421476 {
 		t.Fatalf("base instr/s = %v, want 15421476 (GOMAXPROCS suffix must be stripped)", v)
 	}
-	// -count repeats keep the best rate.
+	// -count repeats keep the best run per metric direction: the higher
+	// rate and the lower time.
 	if v := got["BenchmarkSweepBatch/batched"]["cells/s"]; v != 5.998 {
 		t.Fatalf("batched cells/s = %v, want best-of-runs 5.998", v)
 	}
-	if _, ok := got["BenchmarkMachineRun/base"]["ns/op"]; ok {
-		t.Fatal("ns/op is not a rate metric and must not be gated")
+	if v := got["BenchmarkSweepBatch/batched"]["ns/op"]; v != 833589463 {
+		t.Fatalf("batched ns/op = %v, want best-of-runs 833589463", v)
+	}
+	if _, ok := got["BenchmarkMachineRun/base"]["B/op"]; ok {
+		t.Fatal("B/op is not a gated metric")
+	}
+}
+
+func TestParseBenchStoreMetrics(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleStoreBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := got["BenchmarkStoreWarmRun"]["ns/op"]; v != 94437 {
+		t.Fatalf("warm ns/op = %v", v)
+	}
+	if v := got["BenchmarkPut"]["MB/s"]; v != 37.14 {
+		t.Fatalf("put MB/s = %v", v)
 	}
 }
 
 func TestLatestFloors(t *testing.T) {
-	floors, err := latestFloors([]byte(sampleBaseline))
-	if err != nil {
-		t.Fatal(err)
-	}
+	floors := loadFloors(t, sampleBaseline)
 	// The LATEST point recording a benchmark wins.
 	if v := floors["BenchmarkMachineRun/base"]["instr/s"]; v != 15421476 {
 		t.Fatalf("base floor = %v, want the later point's 15421476", v)
@@ -66,28 +116,55 @@ func TestLatestFloors(t *testing.T) {
 	}
 }
 
+func TestLatestFloorsMergesBaselinesAndAliasesPrefixes(t *testing.T) {
+	floors := loadFloors(t, sampleBaseline, sampleStoreBaseline)
+	// Both files contribute (comma-separated -baseline merges them)...
+	if _, ok := floors["BenchmarkMachineRun/base"]; !ok {
+		t.Fatal("first baseline lost in merge")
+	}
+	if v := floors["BenchmarkStoreWarmRun"]["ns/op"]; v != 94437 {
+		t.Fatalf("warm floor = %v", v)
+	}
+	// ...and "store."-prefixed names gate the bare names parseBench emits.
+	if v := floors["BenchmarkPut"]["MB/s"]; v != 37.14 {
+		t.Fatalf("store.BenchmarkPut alias floor = %v, want 37.14", v)
+	}
+	if v := floors["store.BenchmarkPut"]["MB/s"]; v != 37.14 {
+		t.Fatal("prefixed name itself must stay resolvable")
+	}
+}
+
 func TestGate(t *testing.T) {
 	results, _ := parseBench(strings.NewReader(sampleBench))
-	floors, _ := latestFloors([]byte(sampleBaseline))
+	floors := loadFloors(t, sampleBaseline)
 
 	var out strings.Builder
-	if n := gate(&out, results, floors, 0.35, 0.75); n != 0 {
+	if n := gate(&out, results, floors, 0.35, 4.0, 0.75, 0); n != 0 {
 		t.Fatalf("clean run failed %d gate(s):\n%s", n, out.String())
 	}
 
 	// A collapsed rate must fail: drop base to half its floor-with-tolerance.
 	results["BenchmarkMachineRun/base"]["instr/s"] = 15421476 * 0.3
 	out.Reset()
-	if n := gate(&out, results, floors, 0.35, 0); n != 1 {
+	if n := gate(&out, results, floors, 0.35, 4.0, 0, 0); n != 1 {
 		t.Fatalf("regressed run reported %d failures, want 1:\n%s", n, out.String())
 	}
 
+	// A blown-up time must fail its ceiling: 6x the recorded ns/op is past
+	// the 5x the default time tolerance allows.
+	results["BenchmarkMachineRun/base"]["instr/s"] = 15421476
+	results["BenchmarkMachineRun/base"]["ns/op"] = 221508045 * 6
+	out.Reset()
+	if n := gate(&out, results, floors, 0.35, 4.0, 0, 0); n != 1 {
+		t.Fatalf("slow run reported %d failures, want 1:\n%s", n, out.String())
+	}
+	results["BenchmarkMachineRun/base"]["ns/op"] = 221508045
+
 	// A batched path regressing far below scalar must trip the ratio check
 	// even when its absolute floor (with tolerance) still passes.
-	results["BenchmarkMachineRun/base"]["instr/s"] = 15421476
 	results["BenchmarkSweepBatch/batched"]["cells/s"] = 5.637 * 0.70
 	out.Reset()
-	if n := gate(&out, results, floors, 0.35, 0.75); n != 1 {
+	if n := gate(&out, results, floors, 0.35, 4.0, 0.75, 0); n != 1 {
 		t.Fatalf("batch-ratio regression reported %d failures, want 1:\n%s", n, out.String())
 	}
 
@@ -95,10 +172,39 @@ func TestGate(t *testing.T) {
 	delete(floors, "BenchmarkSweepBatch/batched")
 	results["BenchmarkSweepBatch/batched"]["cells/s"] = 5.998
 	out.Reset()
-	if n := gate(&out, results, floors, 0.35, 0.75); n != 0 {
+	if n := gate(&out, results, floors, 0.35, 4.0, 0.75, 0); n != 0 {
 		t.Fatalf("unknown benchmark failed the gate:\n%s", out.String())
 	}
 	if !strings.Contains(out.String(), "no recorded floor") {
 		t.Fatalf("missing no-floor note:\n%s", out.String())
+	}
+}
+
+func TestGateWarmSpeedup(t *testing.T) {
+	results, _ := parseBench(strings.NewReader(sampleStoreBench))
+	floors := loadFloors(t, sampleStoreBaseline)
+
+	var out strings.Builder
+	if n := gate(&out, results, floors, 0.35, 4.0, 0, 20); n != 0 {
+		t.Fatalf("clean store run failed %d gate(s):\n%s", n, out.String())
+	}
+	if !strings.Contains(out.String(), "warm-store speedup") {
+		t.Fatalf("warm-speedup check not reported:\n%s", out.String())
+	}
+
+	// The win this gate protects is ~500x; a warm run degraded to 10x cold
+	// (store effectively bypassed) must fail even though absolute times,
+	// with their generous host tolerance, could still pass.
+	results["BenchmarkStoreWarmRun"]["ns/op"] = results["BenchmarkStoreColdRun"]["ns/op"] / 10
+	out.Reset()
+	if n := gate(&out, results, floors, 0.35, 1000, 0, 20); n != 1 {
+		t.Fatalf("degraded warm run reported %d failures, want 1:\n%s", n, out.String())
+	}
+
+	// Missing series is a failure, not a silent pass.
+	delete(results, "BenchmarkStoreWarmRun")
+	out.Reset()
+	if n := gate(&out, results, floors, 0.35, 1000, 0, 20); n != 1 {
+		t.Fatalf("missing warm series reported %d failures, want 1:\n%s", n, out.String())
 	}
 }

@@ -8,6 +8,7 @@
 //	experiments -run fig7 -out fig7.txt
 //	experiments -sweep spec.json -store ./store
 //	experiments -sweep spec.json -csv -out cells.csv
+//	experiments -sweep spec.json -watch
 //	echo '{"preset":"fig7-thresholds"}' | experiments -sweep -
 //
 // Experiments share one engine: their simulations run on -j workers,
@@ -42,6 +43,7 @@ func main() {
 		sweepPth = flag.String("sweep", "", "run the parameter sweep declared in this JSON spec file ('-' reads stdin) instead of -run")
 		asCSV    = flag.Bool("csv", false, "with -sweep: emit the per-cell results as CSV")
 		nobatch  = flag.Bool("nobatch", false, "with -sweep: simulate cells one by one instead of in lockstep batches (for measuring the batching win; output is byte-identical)")
+		watch    = flag.Bool("watch", false, "with -sweep: print a progress line per finished cell on stderr (runs cells on the scalar path; output is byte-identical)")
 		quick    = flag.Bool("quick", false, "shrink workloads ~20x for a fast smoke run")
 		seed     = flag.Int64("seed", 1, "workload seed")
 		tracePth = flag.String("trace", "", "replay every benchmark from this recorded trace container (see docs/TRACES.md)")
@@ -127,7 +129,7 @@ func main() {
 			os.Exit(2)
 		}
 		start := time.Now()
-		err := runSweep(engine, *sweepPth, w, *asJSON, *asCSV, *nobatch)
+		err := runSweep(engine, *sweepPth, w, *asJSON, *asCSV, *nobatch, *watch)
 		if *progress {
 			fmt.Fprintln(os.Stderr)
 		}
@@ -215,8 +217,9 @@ func main() {
 
 // runSweep loads the JSON sweep spec at path ("-" for stdin), runs it on
 // the shared engine, and emits the result as an aligned table (default),
-// JSON, or CSV.
-func runSweep(engine *slicc.Engine, path string, w io.Writer, asJSON, asCSV, nobatch bool) error {
+// JSON, or CSV. With watch, every finished cell prints a progress line on
+// stderr as it lands (sliccd streams the same events over SSE).
+func runSweep(engine *slicc.Engine, path string, w io.Writer, asJSON, asCSV, nobatch, watch bool) error {
 	var data []byte
 	var err error
 	if path == "-" {
@@ -236,6 +239,22 @@ func runSweep(engine *slicc.Engine, path string, w io.Writer, asJSON, asCSV, nob
 	runFn := engine.Sweep
 	if nobatch {
 		runFn = engine.SweepUnbatched
+	}
+	if watch {
+		runFn = func(ctx context.Context, spec slicc.SweepSpec) (*slicc.SweepResult, error) {
+			return engine.SweepStream(ctx, spec, func(ev slicc.SweepEvent) {
+				if ev.Type != slicc.SweepEventCell {
+					return
+				}
+				served := "simulated"
+				if ev.StoreHit {
+					served = "store hit"
+				}
+				fmt.Fprintf(os.Stderr, "cell %d/%d  %s/%s  %.0f cycles  %.3fx  (%s)\n",
+					ev.Completed, ev.Total, ev.Cell.Workload, ev.Cell.Policy,
+					ev.Cell.Cycles, ev.Cell.Speedup, served)
+			})
+		}
 	}
 	res, err := runFn(context.Background(), spec)
 	if err != nil {

@@ -1,0 +1,101 @@
+// sweepwatch is the SDK quickstart: it submits a sweep to a running
+// sliccd, watches per-cell progress live over the service's event stream
+// (Server-Sent Events), and renders the final table — all through the
+// sdk package, no hand-rolled HTTP.
+//
+// Start a server, then watch a study:
+//
+//	go run ./cmd/sliccd -addr 127.0.0.1:8080 -store /tmp/slicc-store &
+//	go run ./examples/sweepwatch -addr http://127.0.0.1:8080
+//	go run ./examples/sweepwatch -addr http://127.0.0.1:8080 -spec study.json
+//
+// The watcher is crash-proof by construction, not by effort: sdk.WatchSweep
+// rides out dropped connections (SSE reconnect with Last-Event-ID replays
+// the gap) and even a killed-and-restarted server (sweep ids are content
+// keys, so re-POSTing the spec resumes it, with already-finished cells
+// served from the store). Kill the server mid-run, start it again on the
+// same store, and this program neither notices nor repeats work — each
+// cell still prints exactly once. docs/SERVICE.md § "Sweep event stream"
+// documents the contract.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"slicc"
+	"slicc/sdk"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://127.0.0.1:8080", "base URL of a running sliccd")
+		specPath = flag.String("spec", "", "JSON sweep spec file (default: a built-in 3x2 policy study)")
+	)
+	flag.Parse()
+
+	// The same spec JSON drives Engine.Sweep, `experiments -sweep` and
+	// POST /v1/sweeps; the SDK takes it as the typed slicc.SweepSpec.
+	spec := slicc.SweepSpec{
+		Name:      "policy vs workload, watched live",
+		Workloads: []string{"tpcc1", "phased", "skewed"},
+		Policies:  []string{"base", "slicc-sw"},
+		Threads:   slicc.SweepInts(16),
+		Scales:    slicc.SweepFloats(0.2),
+	}
+	if *specPath != "" {
+		data, err := os.ReadFile(*specPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := json.Unmarshal(data, &spec); err != nil {
+			log.Fatalf("decoding %s: %v", *specPath, err)
+		}
+	}
+
+	client := sdk.New(*addr)
+
+	// WatchSweep submits the spec and streams completions: one callback
+	// per finished cell, exactly once, however the connection fares.
+	hits := 0
+	res, err := client.WatchSweep(context.Background(), spec, func(ev slicc.SweepEvent) {
+		if ev.Type != slicc.SweepEventCell {
+			return
+		}
+		served := "simulated"
+		if ev.StoreHit {
+			served, hits = "store hit", hits+1
+		}
+		fmt.Printf("cell %d/%d  %-14s %-9s %.3fx  (%s)\n",
+			ev.Completed, ev.Total, ev.Cell.Workload, ev.Cell.Policy, ev.Cell.Speedup, served)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println()
+	t := slicc.SweepTable(res)
+	t.Format(os.Stdout)
+	if hits > 0 {
+		fmt.Printf("%d of %d cells served from the store — rerun this watch and all of them will be\n",
+			hits, len(res.Cells))
+	} else {
+		fmt.Println("rerun this watch: the store now serves every cell without simulating")
+	}
+
+	// The plain request/response API sees the same resource the stream
+	// fed: useful for dashboards that poll instead of subscribing.
+	id, err := spec.Key()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sw, err := client.Sweep(context.Background(), id, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("service state: sweep %s %s (%d/%d cells)\n", sw.ID[:12], sw.Status, sw.Completed, sw.Total)
+}

@@ -102,6 +102,7 @@ func (p *Pool) executeBatch(ctx context.Context, jobs []Job, entries []*entry) {
 				p.done++
 				p.mu.Unlock()
 				entries[i].res = res
+				entries[i].storeHit = true
 				close(entries[i].ready)
 				p.progress()
 				continue

@@ -226,6 +226,11 @@ type digestEntry struct {
 type entry struct {
 	ready chan struct{} // closed once res is valid
 	res   Result
+	// storeHit records that res was served by the persistent Memo rather
+	// than an execution. Written before ready closes, read only after, so
+	// no lock guards it. It is observation metadata (RunEach reports it to
+	// streaming callers), never part of the result itself.
+	storeHit bool
 }
 
 // wlEntry is a memoized (possibly in-flight) workload synthesis or trace
@@ -496,6 +501,7 @@ func (p *Pool) execute(ctx context.Context, j Job, e *entry) {
 			p.done++
 			p.mu.Unlock()
 			e.res = res
+			e.storeHit = true
 			close(e.ready)
 			p.progress()
 			return

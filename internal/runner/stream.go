@@ -1,0 +1,103 @@
+package runner
+
+// Streaming execution: RunEach is Run with a per-job completion callback,
+// the engine layer underneath streamed sweeps. Each job still goes through
+// the same claim → store-Get → execute → store-Put lifecycle (identical
+// keys, identical stats accounting, identical results), but the caller
+// learns about every completion as it lands instead of only at the end —
+// including whether the result came from the persistent store or from an
+// execution, which is what lets a resumed sweep show its replayed cells
+// instantly.
+
+import (
+	"context"
+	"sync"
+)
+
+// RunEach executes jobs like Run and returns their results in input order,
+// additionally invoking onDone once per successfully completed job as it
+// finishes. onDone receives the job's input index, its result, and whether
+// the result was served by the persistent store rather than executed; it
+// may be called concurrently from multiple goroutines and must return
+// promptly. Jobs that fail (including cancellation) produce no callback;
+// as with Run, cancellation returns ctx.Err() and releases unfinished
+// claims for a later retry.
+//
+// Completion order is scheduling-dependent, but everything observable per
+// job — the result bytes, the store key, the stats accounting — is
+// identical to Run's, so callers stream content-deterministic events in a
+// nondeterministic order.
+func (p *Pool) RunEach(ctx context.Context, jobs []Job, onDone func(i int, res Result, storeHit bool)) ([]Result, error) {
+	norm, err := p.normalizeJobs(jobs)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]Result, len(norm))
+	var (
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for i := range norm {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, storeHit := p.runOne(ctx, norm[i])
+			mu.Lock()
+			results[i] = res
+			if firstErr == nil && res.Err != nil {
+				firstErr = res.Err
+			}
+			mu.Unlock()
+			if res.Err == nil && onDone != nil {
+				onDone(i, res, storeHit)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, firstErr
+}
+
+// runOne resolves a single job through the pool's memo, mirroring what
+// claimAll+gather do for a batch: claim (or join) the entry, execute if
+// claimed, and retry entries poisoned by a *different* caller's
+// cancellation. The stats invariant JobsRequested == JobsExecuted +
+// DedupHits + StoreHits is preserved exactly as in the batch path,
+// including the dedup un-count when a joined entry's owner is cancelled
+// and this caller ends up executing after all.
+func (p *Pool) runOne(ctx context.Context, j Job) (Result, bool) {
+	p.mu.Lock()
+	p.stats.JobsRequested++
+	p.mu.Unlock()
+	counted := false // a dedup hit currently counted for this job
+	for {
+		e, claimed := p.claim(j)
+		if claimed {
+			if counted {
+				counted = false
+				p.mu.Lock()
+				p.stats.DedupHits--
+				p.mu.Unlock()
+			}
+			p.progress()
+			p.execute(ctx, j, e)
+		} else if !counted {
+			counted = true
+			p.mu.Lock()
+			p.stats.DedupHits++
+			p.mu.Unlock()
+		}
+		select {
+		case <-e.ready:
+		case <-ctx.Done():
+			return Result{Err: ctx.Err()}, false
+		}
+		if isCancellation(e.res.Err) && ctx.Err() == nil {
+			continue // another caller's cancellation; the entry was evicted
+		}
+		return e.res, e.storeHit
+	}
+}

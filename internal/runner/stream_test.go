@@ -1,0 +1,112 @@
+package runner
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"slicc/internal/sim"
+	islicc "slicc/internal/slicc"
+)
+
+func TestRunEachMatchesRunAndReportsEveryJob(t *testing.T) {
+	dir := t.TempDir()
+	jobs := []Job{
+		tinyJob(),
+		{Workload: tinyWorkload(), Machine: sim.Config{Cores: 16},
+			Policy: PolicySpec{Kind: SLICC, SLICC: islicc.DefaultConfig(islicc.SW)}},
+		tinyJob(), // duplicate: dedups underneath, still gets its own callback
+	}
+
+	ref := New(Options{Workers: 2})
+	want, err := ref.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cold := New(Options{Workers: 2, Memo: NewStoreMemo(openStore(t, dir))})
+	var mu sync.Mutex
+	seen := make(map[int]int)
+	hits := 0
+	got, err := cold.RunEach(context.Background(), jobs, func(i int, res Result, storeHit bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		seen[i]++
+		if storeHit {
+			hits++
+		}
+		if res.Err != nil {
+			t.Errorf("callback %d carried error %v", i, res.Err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("RunEach results diverge from Run:\n%+v\nvs\n%+v", got, want)
+	}
+	if len(seen) != len(jobs) {
+		t.Fatalf("callbacks for %d of %d jobs", len(seen), len(jobs))
+	}
+	for i, n := range seen {
+		if n != 1 {
+			t.Fatalf("job %d completed %d times", i, n)
+		}
+	}
+	if hits != 0 {
+		t.Fatalf("cold run reported %d store hits", hits)
+	}
+	s := cold.Stats()
+	if s.JobsRequested != 3 || s.JobsExecuted != 2 || s.DedupHits != 1 || s.StoreHits != 0 {
+		t.Fatalf("cold stats = %+v, want 3 requested / 2 executed / 1 dedup / 0 store hits", s)
+	}
+
+	// A fresh pool over the same store models a resumed process: every
+	// unique job replays from disk and the callback says so.
+	warm := New(Options{Workers: 2, Memo: NewStoreMemo(openStore(t, dir))})
+	hits = 0
+	warmRes, err := warm.RunEach(context.Background(), jobs, func(i int, res Result, storeHit bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if storeHit {
+			hits++
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(warmRes, want) {
+		t.Fatal("warm RunEach results diverge")
+	}
+	// All three callbacks report store hits: the duplicate joins the
+	// claimant's entry and observes the same store-served result.
+	if hits != 3 {
+		t.Fatalf("warm run reported %d store-hit callbacks, want 3", hits)
+	}
+	if s := warm.Stats(); s.JobsExecuted != 0 || s.StoreHits != 2 || s.DedupHits != 1 {
+		t.Fatalf("warm stats = %+v, want 0 executed / 2 store hits / 1 dedup", s)
+	}
+}
+
+func TestRunEachCancellation(t *testing.T) {
+	p := New(Options{Workers: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	called := false
+	_, err := p.RunEach(ctx, []Job{tinyJob()}, func(int, Result, bool) { called = true })
+	if err == nil {
+		t.Fatal("cancelled RunEach returned nil error")
+	}
+	if called {
+		t.Fatal("cancelled job produced a completion callback")
+	}
+	// The claim was released: a later RunEach must succeed.
+	n := 0
+	if _, err := p.RunEach(context.Background(), []Job{tinyJob()}, func(int, Result, bool) { n++ }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("retry produced %d callbacks, want 1", n)
+	}
+}

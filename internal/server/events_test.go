@@ -1,0 +1,616 @@
+package server
+
+// Contract tests for the sweep SSE stream. Most use a scripted sweep
+// runner (the Server.sweepRun seam) so event timing and failures are
+// deterministic; one end-to-end test runs the real engine.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"slicc"
+	"slicc/internal/sweep"
+)
+
+// scriptedServer boots a handler whose sweep runner is test-controlled.
+func scriptedServer(t *testing.T, opts Options,
+	run func(ctx context.Context, spec slicc.SweepSpec, emit func(slicc.SweepEvent)) (*slicc.SweepResult, error)) *httptest.Server {
+	t.Helper()
+	eng, err := slicc.NewEngine(slicc.EngineOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Timeout == 0 {
+		opts.Timeout = time.Minute
+	}
+	srv := New(eng, opts)
+	if run != nil {
+		srv.sweepRun = run
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+		eng.Close()
+	})
+	return ts
+}
+
+// scriptSpec is a 4-cell spec for scripted runs (the fake runner ignores
+// it, but ids and cell counts come from it).
+func scriptSpec(name string) slicc.SweepSpec {
+	return slicc.SweepSpec{
+		Name:      name,
+		Workloads: []string{"tpcc1"},
+		Policies:  []string{"base", "nextline", "slicc-sw", "stream"},
+	}
+}
+
+func postSweep(t *testing.T, ts *httptest.Server, spec slicc.SweepSpec, query string) sweepResponse {
+	t.Helper()
+	b, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := http.Post(ts.URL+"/v1/sweeps"+query, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return decode[sweepResponse](t, r)
+}
+
+func fakeCell(i int) *slicc.SweepCellResult {
+	return &slicc.SweepCellResult{
+		Cell:         sweep.Cell{Workload: "tpcc1", Policy: "base", Threads: 6},
+		Instructions: uint64(1000 + i),
+		Cycles:       float64(100*i + 100),
+	}
+}
+
+func fakeEvent(i int) slicc.SweepEvent {
+	return slicc.SweepEvent{
+		Type: slicc.SweepEventCell, Index: i, Completed: i + 1, Total: 4, Cell: fakeCell(i),
+	}
+}
+
+// scriptedRun returns a sweep runner that emits cell events 0 and 1,
+// blocks until released (or ctx ends), then emits 2 and 3 and returns a
+// 4-cell result.
+func scriptedRun(release <-chan struct{}) func(context.Context, slicc.SweepSpec, func(slicc.SweepEvent)) (*slicc.SweepResult, error) {
+	return func(ctx context.Context, _ slicc.SweepSpec, emit func(slicc.SweepEvent)) (*slicc.SweepResult, error) {
+		emit(fakeEvent(0))
+		emit(fakeEvent(1))
+		select {
+		case <-release:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		emit(fakeEvent(2))
+		emit(fakeEvent(3))
+		return &slicc.SweepResult{Cells: make([]slicc.SweepCellResult, 4), BestIndex: -1}, nil
+	}
+}
+
+// openStream connects to a sweep's SSE endpoint; lastEventID < 0 omits the
+// header.
+func openStream(t *testing.T, ts *httptest.Server, id string, lastEventID int) (*http.Response, *bufio.Reader) {
+	t.Helper()
+	req, err := http.NewRequest("GET", ts.URL+"/v1/sweeps/"+id+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastEventID >= 0 {
+		req.Header.Set("Last-Event-ID", strconv.Itoa(lastEventID))
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("events stream status %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	return resp, bufio.NewReader(resp.Body)
+}
+
+// readSSE parses the next SSE event (skipping comments) from the stream.
+func readSSE(br *bufio.Reader) (slicc.SweepEvent, error) {
+	var name string
+	var id int
+	var data []byte
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return slicc.SweepEvent{}, err
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case line == "":
+			if name == "" && data == nil {
+				continue // stray blank
+			}
+			var ev slicc.SweepEvent
+			if err := json.Unmarshal(data, &ev); err != nil {
+				return ev, fmt.Errorf("bad event data %q: %w", data, err)
+			}
+			if ev.Type != name {
+				return ev, fmt.Errorf("SSE event name %q != data type %q", name, ev.Type)
+			}
+			if ev.Seq != id {
+				return ev, fmt.Errorf("SSE id %d != data seq %d", id, ev.Seq)
+			}
+			return ev, nil
+		case strings.HasPrefix(line, ":"):
+			// comment / keep-alive
+		case strings.HasPrefix(line, "event: "):
+			name = line[len("event: "):]
+		case strings.HasPrefix(line, "id: "):
+			id, _ = strconv.Atoi(line[len("id: "):])
+		case strings.HasPrefix(line, "data: "):
+			data = []byte(line[len("data: "):])
+		}
+	}
+}
+
+// waitCompleted polls the sweep until its completed count reaches n.
+func waitCompleted(t *testing.T, ts *httptest.Server, id string, n int) sweepResponse {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		r, err := http.Get(ts.URL + "/v1/sweeps/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp := decode[sweepResponse](t, r)
+		if resp.Completed >= n {
+			return resp
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sweep never reached %d completed cells: %+v", n, resp)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestSweepEventsReplayAndLiveTail(t *testing.T) {
+	release := make(chan struct{})
+	ts := scriptedServer(t, Options{}, scriptedRun(release))
+
+	resp := postSweep(t, ts, scriptSpec("tail"), "")
+	if resp.Status != "running" || resp.Total != 4 {
+		t.Fatalf("submit %+v", resp)
+	}
+	mid := waitCompleted(t, ts, resp.ID, 2)
+	if len(mid.Partial) != 2 || mid.Total != 4 || mid.Status != "running" {
+		t.Fatalf("mid-sweep GET %+v", mid)
+	}
+
+	// Connect mid-sweep: the two finished cells replay immediately.
+	stream, br := openStream(t, ts, resp.ID, -1)
+	defer stream.Body.Close()
+	for want := 0; want < 2; want++ {
+		ev, err := readSSE(br)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Type != slicc.SweepEventCell || ev.Index != want || ev.Seq != want+1 {
+			t.Fatalf("replay event %d: %+v", want, ev)
+		}
+		if ev.Cell == nil || ev.Cell.Cycles != fakeCell(want).Cycles {
+			t.Fatalf("replay event %d lost its payload: %+v", want, ev)
+		}
+	}
+
+	// Release the run: the live tail and the terminal arrive on the same
+	// connection.
+	close(release)
+	for want := 2; want < 4; want++ {
+		ev, err := readSSE(br)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Type != slicc.SweepEventCell || ev.Index != want || ev.Seq != want+1 {
+			t.Fatalf("tail event %d: %+v", want, ev)
+		}
+	}
+	term, err := readSSE(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if term.Type != slicc.SweepEventDone || term.Status != "done" || term.Seq != 5 {
+		t.Fatalf("terminal %+v", term)
+	}
+	// The stream ends after the terminal event.
+	if _, err := readSSE(br); err != io.EOF {
+		t.Fatalf("stream after terminal: %v", err)
+	}
+}
+
+func TestSweepEventsLastEventIDReconnect(t *testing.T) {
+	release := make(chan struct{})
+	ts := scriptedServer(t, Options{}, scriptedRun(release))
+	resp := postSweep(t, ts, scriptSpec("reconnect"), "")
+	waitCompleted(t, ts, resp.ID, 2)
+
+	// First connection sees the first two events, then drops.
+	stream1, br1 := openStream(t, ts, resp.ID, -1)
+	var last int
+	for i := 0; i < 2; i++ {
+		ev, err := readSSE(br1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = ev.Seq
+	}
+	stream1.Body.Close()
+
+	close(release)
+	r, err := http.Get(ts.URL + "/v1/sweeps/" + resp.ID + "?wait=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := decode[sweepResponse](t, r); got.Status != "done" {
+		t.Fatalf("sweep did not finish: %+v", got)
+	}
+
+	// Reconnect with Last-Event-ID: exactly the missed events, no
+	// duplicates, no gaps, terminal included.
+	stream2, br2 := openStream(t, ts, resp.ID, last)
+	defer stream2.Body.Close()
+	var got []slicc.SweepEvent
+	for {
+		ev, err := readSSE(br2)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, ev)
+	}
+	if len(got) != 3 {
+		t.Fatalf("reconnect delivered %d events, want 3: %+v", len(got), got)
+	}
+	for i, ev := range got {
+		if want := last + 1 + i; ev.Seq != want {
+			t.Fatalf("reconnect event %d has seq %d, want %d (gap or duplicate)", i, ev.Seq, want)
+		}
+	}
+	if got[2].Type != slicc.SweepEventDone {
+		t.Fatalf("reconnect did not end with the terminal: %+v", got[2])
+	}
+}
+
+func TestSweepEventsClientDisconnectDoesNotLeak(t *testing.T) {
+	release := make(chan struct{})
+	ts := scriptedServer(t, Options{}, scriptedRun(release))
+	resp := postSweep(t, ts, scriptSpec("leak"), "")
+	waitCompleted(t, ts, resp.ID, 2)
+
+	before := runtime.NumGoroutine()
+	for i := 0; i < 4; i++ {
+		stream, br := openStream(t, ts, resp.ID, -1)
+		if _, err := readSSE(br); err != nil {
+			t.Fatal(err)
+		}
+		stream.Body.Close()
+	}
+	// Every streaming handler must unwind once its client is gone.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines %d > %d five seconds after disconnects", runtime.NumGoroutine(), before)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	close(release)
+}
+
+// TestSweepProgressSlowConsumerCutOff exercises the backpressure policy at
+// the progress-tracker level, where timing is deterministic: a subscriber
+// that falls a full buffer behind is disconnected (channel closed, no
+// terminal), publishing never blocks, and a reconnect replays everything.
+func TestSweepProgressSlowConsumerCutOff(t *testing.T) {
+	p := newSweepProgress(4, 1) // buffer one event
+	replay, sub := p.subscribe(0)
+	if len(replay) != 0 || sub == nil {
+		t.Fatalf("fresh subscribe: %d replayed, sub=%v", len(replay), sub)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 3; i++ {
+			p.publish(fakeEvent(i)) // must never block on the stalled sub
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("publish blocked on a slow consumer")
+	}
+
+	// The stalled subscriber got the buffered event, then the close.
+	ev, open := <-sub.ch
+	if !open || ev.Seq != 1 {
+		t.Fatalf("buffered event %+v open=%v", ev, open)
+	}
+	if _, open := <-sub.ch; open {
+		t.Fatal("slow consumer was not cut off")
+	}
+
+	// Lossless recovery: a reconnect from the last seen seq replays the
+	// dropped events.
+	replay, sub2 := p.subscribe(ev.Seq)
+	if len(replay) != 2 || replay[0].Seq != 2 || replay[1].Seq != 3 {
+		t.Fatalf("reconnect replay %+v", replay)
+	}
+	if sub2 == nil {
+		t.Fatal("stream not terminal, want live subscription")
+	}
+	p.unsubscribe(sub2)
+
+	// And the terminal still lands for live subscribers registered later.
+	_, sub3 := p.subscribe(3)
+	p.finish(nil, nil)
+	termEv, open := <-sub3.ch
+	if !open || termEv.Type != slicc.SweepEventDone {
+		t.Fatalf("terminal %+v open=%v", termEv, open)
+	}
+	if _, open := <-sub3.ch; open {
+		t.Fatal("subscription not closed after terminal")
+	}
+}
+
+func TestSweepEvictionEndsStreamWithTerminal(t *testing.T) {
+	release := make(chan struct{})
+	var calls atomic.Int32
+	run := func(ctx context.Context, spec slicc.SweepSpec, emit func(slicc.SweepEvent)) (*slicc.SweepResult, error) {
+		if calls.Add(1) == 1 {
+			// Sweep A: emit, wait, finish.
+			emit(fakeEvent(0))
+			select {
+			case <-release:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			return &slicc.SweepResult{Cells: make([]slicc.SweepCellResult, 4), BestIndex: -1}, nil
+		}
+		// Later sweeps complete instantly (they only exist to force
+		// eviction of A).
+		return &slicc.SweepResult{Cells: make([]slicc.SweepCellResult, 4), BestIndex: -1}, nil
+	}
+	ts := scriptedServer(t, Options{MaxTrackedSweeps: 1}, run)
+
+	a := postSweep(t, ts, scriptSpec("evictee"), "")
+	stream, br := openStream(t, ts, a.ID, -1)
+	defer stream.Body.Close()
+	if ev, err := readSSE(br); err != nil || ev.Index != 0 {
+		t.Fatalf("first event %+v err %v", ev, err)
+	}
+
+	// Let A finish, then push another sweep through the 1-entry cap so A
+	// is evicted while our stream is connected.
+	close(release)
+	r0, err := http.Get(ts.URL + "/v1/sweeps/" + a.ID + "?wait=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := decode[sweepResponse](t, r0); got.Status != "done" {
+		t.Fatalf("evictee never finished: %+v", got)
+	}
+	// Name is cosmetic (excluded from the content key), so the evictor
+	// must differ materially to get its own id.
+	evictor := scriptSpec("evictor")
+	evictor.Workloads = []string{"skewed"}
+	if got := postSweep(t, ts, evictor, "?wait=1"); got.Status != "done" {
+		t.Fatalf("evictor sweep %+v", got)
+	}
+	r, err := http.Get(ts.URL + "/v1/sweeps/" + a.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, r.Body)
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Fatalf("evicted sweep still polls as %d", r.StatusCode)
+	}
+
+	// The already-connected stream ended with the terminal event — not a
+	// hang, not a bare cut.
+	sawDone := false
+	for {
+		ev, err := readSSE(br)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Type == slicc.SweepEventDone {
+			sawDone = true
+		}
+	}
+	if !sawDone {
+		t.Fatal("evicted sweep's stream ended without a terminal event")
+	}
+
+	// A fresh connection to the evicted id fails fast instead of hanging.
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/sweeps/"+a.ID+"/events", nil)
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("evicted sweep's event stream answered %d, want 404", resp2.StatusCode)
+	}
+}
+
+func TestSweepFailureRetainedAndResumable(t *testing.T) {
+	var calls atomic.Int32
+	run := func(ctx context.Context, spec slicc.SweepSpec, emit func(slicc.SweepEvent)) (*slicc.SweepResult, error) {
+		if calls.Add(1) == 1 {
+			emit(fakeEvent(0))
+			return nil, fmt.Errorf("injected cell failure")
+		}
+		for i := 0; i < 4; i++ {
+			emit(fakeEvent(i))
+		}
+		return &slicc.SweepResult{Cells: make([]slicc.SweepCellResult, 4), BestIndex: -1}, nil
+	}
+	ts := scriptedServer(t, Options{}, run)
+
+	resp := postSweep(t, ts, scriptSpec("resume"), "?wait=1")
+	if resp.Status != "failed" || !strings.Contains(resp.Error, "injected") {
+		t.Fatalf("first run %+v", resp)
+	}
+	if len(resp.Partial) != 1 || resp.Completed != 1 {
+		t.Fatalf("failed sweep lost its partial results: %+v", resp)
+	}
+
+	// Failed sweeps are retained: poll-able, and their stream replays the
+	// partial progress then terminates with the error event.
+	r, err := http.Get(ts.URL + "/v1/sweeps/" + resp.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := decode[sweepResponse](t, r); got.Status != "failed" {
+		t.Fatalf("failed sweep not retained: %+v", got)
+	}
+	stream, br := openStream(t, ts, resp.ID, -1)
+	ev1, err := readSSE(br)
+	if err != nil || ev1.Type != slicc.SweepEventCell {
+		t.Fatalf("failed sweep replay %+v err %v", ev1, err)
+	}
+	ev2, err := readSSE(br)
+	if err != nil || ev2.Type != slicc.SweepEventError || !strings.Contains(ev2.Error, "injected") {
+		t.Fatalf("failed sweep terminal %+v err %v", ev2, err)
+	}
+	stream.Body.Close()
+
+	// Resume retries in place and succeeds.
+	rr, err := http.Post(ts.URL+"/v1/sweeps/"+resp.ID+"/resume?wait=1", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed := decode[sweepResponse](t, rr)
+	if resumed.Status != "done" || resumed.Result == nil {
+		t.Fatalf("resume %+v", resumed)
+	}
+
+	// Resuming a done sweep is a no-op that reports current state.
+	rr2, err := http.Post(ts.URL+"/v1/sweeps/"+resp.ID+"/resume", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again := decode[sweepResponse](t, rr2); again.Status != "done" {
+		t.Fatalf("resume of done sweep %+v", again)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("runner called %d times, want 2 (no-op resume must not rerun)", n)
+	}
+
+	// Unknown ids 404 with the re-POST hint.
+	rr3, err := http.Post(ts.URL+"/v1/sweeps/ffff/resume", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(rr3.Body)
+	rr3.Body.Close()
+	if rr3.StatusCode != http.StatusNotFound || !strings.Contains(string(body), "re-POST") {
+		t.Fatalf("resume of unknown id: %d %s", rr3.StatusCode, body)
+	}
+}
+
+func TestSweepFailureRetriedByResubmit(t *testing.T) {
+	var calls atomic.Int32
+	run := func(ctx context.Context, spec slicc.SweepSpec, emit func(slicc.SweepEvent)) (*slicc.SweepResult, error) {
+		if calls.Add(1) == 1 {
+			return nil, fmt.Errorf("transient failure")
+		}
+		return &slicc.SweepResult{Cells: make([]slicc.SweepCellResult, 4), BestIndex: -1}, nil
+	}
+	ts := scriptedServer(t, Options{}, run)
+	spec := scriptSpec("retry")
+	if resp := postSweep(t, ts, spec, "?wait=1"); resp.Status != "failed" {
+		t.Fatalf("first run %+v", resp)
+	}
+	// Re-POSTing the identical spec restarts the failed run in place —
+	// the documented crash/retry contract.
+	if resp := postSweep(t, ts, spec, "?wait=1"); resp.Status != "done" {
+		t.Fatalf("resubmit %+v", resp)
+	}
+}
+
+// TestSweepEventsEndToEnd runs a real sweep on a real engine and checks
+// the stream agrees with the final result: every cell exactly once, with
+// payloads matching GET's cells, terminated by done.
+func TestSweepEventsEndToEnd(t *testing.T) {
+	ts, _ := newTestServer(t, "")
+	r, err := http.Post(ts.URL+"/v1/sweeps", "application/json", strings.NewReader(tinySweepBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := decode[sweepResponse](t, r)
+
+	stream, br := openStream(t, ts, resp.ID, -1)
+	defer stream.Body.Close()
+	cells := map[int]slicc.SweepEvent{}
+	var term slicc.SweepEvent
+	for {
+		ev, err := readSSE(br)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch ev.Type {
+		case slicc.SweepEventCell:
+			if _, dup := cells[ev.Index]; dup {
+				t.Fatalf("cell %d streamed twice", ev.Index)
+			}
+			cells[ev.Index] = ev
+		case slicc.SweepEventDone, slicc.SweepEventError:
+			term = ev
+		}
+	}
+	if term.Type != slicc.SweepEventDone {
+		t.Fatalf("terminal %+v", term)
+	}
+	final, err := http.Get(ts.URL + "/v1/sweeps/" + resp.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := decode[sweepResponse](t, final)
+	if got.Status != "done" || got.Completed != got.Total || got.Total != len(got.Result.Cells) {
+		t.Fatalf("final sweep %+v", got)
+	}
+	if len(cells) != len(got.Result.Cells) {
+		t.Fatalf("streamed %d cells, result has %d", len(cells), len(got.Result.Cells))
+	}
+	for i, want := range got.Result.Cells {
+		ev := cells[i]
+		if ev.Cell == nil || ev.Cell.Cycles != want.Cycles || ev.Cell.Speedup != want.Speedup {
+			t.Fatalf("cell %d stream/result mismatch: %+v vs %+v", i, ev.Cell, want)
+		}
+	}
+}

@@ -17,9 +17,18 @@
 //	                            they dedup against everything else and
 //	                            persist in the store. Identical specs
 //	                            coalesce onto one run; ?wait=1 blocks.
-//	GET  /v1/sweeps/{id}        result or status of a submitted sweep
-//	                            (?format=csv or ?format=text render the
-//	                            completed cells).
+//	GET  /v1/sweeps/{id}        result or status of a submitted sweep,
+//	                            with completed/total progress and partial
+//	                            cells while running (?format=csv or
+//	                            ?format=text render the completed cells).
+//	GET  /v1/sweeps/{id}/events Server-Sent Events stream of the sweep:
+//	                            lossless replay of finished cells, live
+//	                            tail, terminal done/error event;
+//	                            Last-Event-ID resumes after a reconnect.
+//	POST /v1/sweeps/{id}/resume retry a tracked failed sweep in place;
+//	                            finished cells are store hits. After a
+//	                            server restart, re-POST the spec instead
+//	                            (ids are content keys).
 //	GET  /v1/experiments/{id}   run one of the paper's experiments and
 //	                            return its rendered tables (?quick=1,
 //	                            &seed=N, &format=text).
@@ -52,11 +61,33 @@ type Options struct {
 	// 2 minutes). Submitted simulations keep running in the background
 	// after their submitting request times out.
 	Timeout time.Duration
+	// EventBuffer is the per-subscriber buffer of a sweep SSE stream
+	// (default 256 events). A subscriber that falls this far behind is
+	// disconnected rather than blocking the sweep or buffering without
+	// bound; it reconnects with Last-Event-ID and replays losslessly.
+	EventBuffer int
+	// Heartbeat is the interval between SSE comment keep-alives on idle
+	// event streams (default 30s), so proxies don't cut long quiet cells.
+	Heartbeat time.Duration
+	// MaxTrackedSweeps bounds the in-memory sweep map (default 256): past
+	// it the oldest *completed* sweeps are dropped. Their event streams
+	// have already delivered a terminal event (streams end at completion),
+	// their cells persist in the store, and their ids poll as 404.
+	MaxTrackedSweeps int
 }
 
 func (o Options) withDefaults() Options {
 	if o.Timeout == 0 {
 		o.Timeout = 2 * time.Minute
+	}
+	if o.EventBuffer <= 0 {
+		o.EventBuffer = 256
+	}
+	if o.Heartbeat <= 0 {
+		o.Heartbeat = 30 * time.Second
+	}
+	if o.MaxTrackedSweeps <= 0 {
+		o.MaxTrackedSweeps = 256
 	}
 	return o
 }
@@ -65,6 +96,10 @@ func (o Options) withDefaults() Options {
 type Server struct {
 	eng  *slicc.Engine
 	opts Options
+	// sweepRun executes one sweep, publishing its events as they land. It
+	// is Engine.SweepStream in production; tests substitute a scripted
+	// implementation to control event timing and inject failures.
+	sweepRun func(ctx context.Context, spec slicc.SweepSpec, emit func(slicc.SweepEvent)) (*slicc.SweepResult, error)
 
 	// baseCtx parents every simulation execution; Close cancels it so
 	// in-flight simulations abort during shutdown.
@@ -89,10 +124,9 @@ type Server struct {
 // store if one is configured; a dropped id simply polls as 404).
 const maxTrackedSims = 4096
 
-// maxTrackedSweeps bounds the sweep result map the same way. Sweep results
-// are cell tables (KBs, not bytes), so the cap is lower; the underlying
-// simulations persist in the store regardless.
-const maxTrackedSweeps = 256
+// (Sweeps are bounded the same way by Options.MaxTrackedSweeps — default
+// 256, lower than sims because sweep results are cell tables, KBs not
+// bytes; the underlying simulations persist in the store regardless.)
 
 // simEntry is one content-keyed simulation accepted by the service. The
 // entry outlives its submitting request: status is poll-able until the
@@ -111,7 +145,7 @@ type simEntry struct {
 // close the engine.
 func New(eng *slicc.Engine, opts Options) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Server{
+	s := &Server{
 		eng:     eng,
 		opts:    opts.withDefaults(),
 		baseCtx: ctx,
@@ -119,6 +153,10 @@ func New(eng *slicc.Engine, opts Options) *Server {
 		sims:    make(map[string]*simEntry),
 		sweeps:  make(map[string]*sweepEntry),
 	}
+	s.sweepRun = func(ctx context.Context, spec slicc.SweepSpec, emit func(slicc.SweepEvent)) (*slicc.SweepResult, error) {
+		return eng.SweepStream(ctx, spec, emit)
+	}
+	return s
 }
 
 // Close aborts in-flight simulations and waits for their goroutines to
@@ -139,6 +177,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/simulations/{id}", s.handleSimulation)
 	mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
 	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweep)
+	mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleSweepEvents)
+	mux.HandleFunc("POST /v1/sweeps/{id}/resume", s.handleSweepResume)
 	mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("no route for %s %s", r.Method, r.URL.Path))
@@ -343,33 +383,55 @@ type sweepEntry struct {
 	id   string
 	spec slicc.SweepSpec
 	done chan struct{} // closed when result/err are valid
+	// prog accumulates the run's streamed events: the replayable SSE log,
+	// the finished cells for partial GET responses, and live subscribers.
+	prog *sweepProgress
 
 	result *slicc.SweepResult
 	err    error
+}
+
+// failed reports whether the entry's run has completed with an error.
+func (e *sweepEntry) failed() bool {
+	select {
+	case <-e.done:
+		return e.err != nil
+	default:
+		return false
+	}
 }
 
 // sweepResponse describes one sweep's state.
 type sweepResponse struct {
 	ID string `json:"id"`
 	// Status is "running", "done" or "failed".
-	Status string             `json:"status"`
-	Spec   slicc.SweepSpec    `json:"spec"`
-	Result *slicc.SweepResult `json:"result,omitempty"`
-	Error  string             `json:"error,omitempty"`
+	Status string          `json:"status"`
+	Spec   slicc.SweepSpec `json:"spec"`
+	// Completed of Total result cells have finished (baselines excluded).
+	Completed int `json:"completed"`
+	Total     int `json:"total"`
+	// Partial lists the cells finished so far in expansion order. Present
+	// while running or failed; a done sweep's Result carries every cell.
+	Partial []slicc.SweepCellResult `json:"partial,omitempty"`
+	Result  *slicc.SweepResult      `json:"result,omitempty"`
+	Error   string                  `json:"error,omitempty"`
 }
 
 func (e *sweepEntry) response() sweepResponse {
 	resp := sweepResponse{ID: e.id, Status: "running", Spec: e.spec}
+	resp.Completed, resp.Total = e.prog.counts()
 	select {
 	case <-e.done:
 		if e.err != nil {
 			resp.Status = "failed"
 			resp.Error = e.err.Error()
+			resp.Partial = e.prog.partialCells()
 		} else {
 			resp.Status = "done"
 			resp.Result = e.result
 		}
 	default:
+		resp.Partial = e.prog.partialCells()
 	}
 	return resp
 }
@@ -395,22 +457,16 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 
 	s.mu.Lock()
 	e, existed := s.sweeps[id]
-	if !existed {
-		e = &sweepEntry{id: id, spec: spec, done: make(chan struct{})}
-		s.sweeps[id] = e
-		s.sweepOrder = append(s.sweepOrder, id)
-		s.evictCompletedSweepsLocked()
-		s.running.Add(1)
-		go func() {
-			defer s.running.Done()
-			// Like simulations, the sweep belongs to the service: it
-			// survives client disconnects and only shutdown aborts it.
-			e.result, e.err = s.eng.Sweep(s.baseCtx, e.spec)
-			close(e.done)
-			if e.err != nil {
-				s.evictSweep(id, e)
-			}
-		}()
+	fresh := !existed
+	if existed && e.failed() {
+		// Failed sweeps are retained (inspectable via GET, with the error
+		// and partial cells); resubmitting the spec retries in place
+		// rather than replaying the failure — same contract as the resume
+		// endpoint, and the reason identical re-POSTs never poison.
+		e = s.startSweepLocked(id, e.spec)
+		fresh = true
+	} else if !existed {
+		e = s.startSweepLocked(id, spec)
 	}
 	s.mu.Unlock()
 
@@ -425,32 +481,60 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := e.response()
 	code := http.StatusOK
-	if !existed && resp.Status == "running" {
+	if fresh && resp.Status == "running" {
 		code = http.StatusAccepted
 	}
 	writeJSON(w, code, resp)
 }
 
-// evictSweep removes id's entry if it is still e.
-func (s *Server) evictSweep(id string, e *sweepEntry) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.sweeps[id] == e {
-		delete(s.sweeps, id)
+// startSweepLocked registers a (possibly replacement) sweep entry under id
+// and launches its run. Caller holds s.mu.
+func (s *Server) startSweepLocked(id string, spec slicc.SweepSpec) *sweepEntry {
+	total, err := spec.CellCount()
+	if err != nil {
+		total = 0 // unreachable: the spec's Key() already validated it
 	}
+	e := &sweepEntry{
+		id:   id,
+		spec: spec,
+		done: make(chan struct{}),
+		prog: newSweepProgress(total, s.opts.EventBuffer),
+	}
+	if _, ok := s.sweeps[id]; !ok {
+		s.sweepOrder = append(s.sweepOrder, id)
+	}
+	s.sweeps[id] = e
+	s.evictCompletedSweepsLocked()
+	s.running.Add(1)
+	go func() {
+		defer s.running.Done()
+		// Like simulations, the sweep belongs to the service: it survives
+		// client disconnects and only shutdown aborts it. finish publishes
+		// the stream's terminal event before done closes, so every
+		// connected subscriber sees "done"/"error", never a silent stall.
+		res, err := s.sweepRun(s.baseCtx, e.spec, e.prog.publish)
+		e.result, e.err = res, err
+		e.prog.finish(res, err)
+		close(e.done)
+	}()
+	return e
 }
 
-// evictCompletedSweepsLocked bounds s.sweeps at maxTrackedSweeps by
-// dropping the oldest completed entries. Caller holds s.mu.
+// evictCompletedSweepsLocked bounds s.sweeps at Options.MaxTrackedSweeps
+// by dropping the oldest completed entries. An evicted sweep's event
+// stream has already ended — finish publishes the terminal event at
+// completion, and only completed entries are evicted — so eviction can
+// never strand a connected client; new connections to the id get 404.
+// Caller holds s.mu.
 func (s *Server) evictCompletedSweepsLocked() {
-	if len(s.sweeps) <= maxTrackedSweeps {
+	if len(s.sweeps) <= s.opts.MaxTrackedSweeps {
 		return
 	}
 	kept := s.sweepOrder[:0]
 	for _, id := range s.sweepOrder {
 		e, ok := s.sweeps[id]
 		if !ok {
-			continue // already evicted (failure path)
+			continue // no longer tracked
 		}
 		completed := false
 		select {
@@ -458,7 +542,7 @@ func (s *Server) evictCompletedSweepsLocked() {
 			completed = true
 		default:
 		}
-		if completed && len(s.sweeps) > maxTrackedSweeps {
+		if completed && len(s.sweeps) > s.opts.MaxTrackedSweeps {
 			delete(s.sweeps, id)
 			continue
 		}

@@ -87,7 +87,28 @@ func run(ctx context.Context, pool *runner.Pool, spec Spec, batched bool) (*Resu
 	if err != nil {
 		return nil, err
 	}
+	return aggregate(norm, ex, rs), nil
+}
 
+// cellResult converts one runner result into a cell's metrics row (Speedup
+// left for the caller, which knows the group baseline).
+func cellResult(c Cell, rr runner.Result) CellResult {
+	r := rr.Sim
+	return CellResult{
+		Cell:         c,
+		Instructions: r.Instructions,
+		Cycles:       r.Cycles,
+		IMPKI:        r.IMPKI(),
+		DMPKI:        r.DMPKI(),
+		Migrations:   r.Migrations,
+	}
+}
+
+// aggregate assembles the final Result from the full job results (cells
+// first, then baseline references — the job order run and RunStream both
+// submit). It is pure, so the batched, scalar, and streamed paths produce
+// identical Results from identical runner results.
+func aggregate(norm Spec, ex *expansion, rs []runner.Result) *Result {
 	res := &Result{
 		Name:      norm.Name,
 		Objective: norm.Objective,
@@ -95,24 +116,13 @@ func run(ctx context.Context, pool *runner.Pool, spec Spec, batched bool) (*Resu
 		Cells:     make([]CellResult, len(ex.cells)),
 		BestIndex: -1,
 	}
-	toCell := func(c Cell, rr runner.Result) CellResult {
-		r := rr.Sim
-		return CellResult{
-			Cell:         c,
-			Instructions: r.Instructions,
-			Cycles:       r.Cycles,
-			IMPKI:        r.IMPKI(),
-			DMPKI:        r.DMPKI(),
-			Migrations:   r.Migrations,
-		}
-	}
 	for i, c := range ex.baseCells {
-		cr := toCell(c, rs[len(ex.cells)+i])
+		cr := cellResult(c, rs[len(ex.cells)+i])
 		cr.Speedup = 1
 		res.Baselines = append(res.Baselines, cr)
 	}
 	for i, c := range ex.cells {
-		cr := toCell(c, rs[i])
+		cr := cellResult(c, rs[i])
 		if bi := ex.baseIndex[i]; bi >= 0 && cr.Cycles > 0 {
 			cr.Speedup = res.Baselines[bi].Cycles / cr.Cycles
 		}
@@ -121,7 +131,7 @@ func run(ctx context.Context, pool *runner.Pool, spec Spec, batched bool) (*Resu
 			res.BestIndex = i
 		}
 	}
-	return res, nil
+	return res
 }
 
 // better reports whether candidate beats the incumbent under the objective

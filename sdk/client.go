@@ -1,0 +1,253 @@
+// Package sdk is the Go client for sliccd, the slicc HTTP service. It
+// wraps the JSON API (submit/poll simulations and sweeps, stats) and the
+// sweep event stream (Server-Sent Events) behind typed methods, reusing
+// the root package's types so client and engine code read the same.
+//
+// The streaming client leans on the service's resume contract instead of
+// inventing its own state: SSE reconnects carry Last-Event-ID so the
+// server's lossless replay fills any gap, and when a sweep vanishes
+// entirely (service restart — ErrSweepGone) WatchSweep re-POSTs the spec,
+// whose id is its content key, and previously finished cells come back
+// instantly as store hits. Callers observe every cell exactly once either
+// way.
+package sdk
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"slicc"
+)
+
+// ErrSweepGone reports that the service no longer tracks the requested
+// sweep: it was evicted, or the service restarted. The recovery is to
+// re-POST the spec — ids are content keys, so the resubmitted sweep has
+// the same id and every previously finished cell is a store hit.
+// WatchSweep does this automatically.
+var ErrSweepGone = errors.New("sweep no longer tracked by the service")
+
+// APIError is a non-2xx response from the service, carrying its JSON
+// error message.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("sliccd: %d: %s", e.StatusCode, e.Message)
+}
+
+// Simulation mirrors the service's simulation resource.
+type Simulation struct {
+	ID     string        `json:"id"`
+	Status string        `json:"status"`
+	Config slicc.Config  `json:"config"`
+	Result *slicc.Result `json:"result,omitempty"`
+	Error  string        `json:"error,omitempty"`
+}
+
+// Sweep mirrors the service's sweep resource, including the partial
+// results a running or failed sweep exposes.
+type Sweep struct {
+	ID        string                  `json:"id"`
+	Status    string                  `json:"status"`
+	Spec      slicc.SweepSpec         `json:"spec"`
+	Completed int                     `json:"completed"`
+	Total     int                     `json:"total"`
+	Partial   []slicc.SweepCellResult `json:"partial,omitempty"`
+	Result    *slicc.SweepResult      `json:"result,omitempty"`
+	Error     string                  `json:"error,omitempty"`
+}
+
+// Stats mirrors GET /v1/stats.
+type Stats struct {
+	Engine      slicc.EngineStats `json:"engine"`
+	Simulations int               `json:"simulations"`
+	Sweeps      int               `json:"sweeps"`
+}
+
+// Client talks to one sliccd instance. The zero value is not usable; call
+// New.
+type Client struct {
+	baseURL string
+	http    *http.Client
+	// reconnect policy for streams (see Option docs for defaults).
+	backoffMin   time.Duration
+	backoffMax   time.Duration
+	retryBudget  time.Duration
+	watchRetries int
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, test doubles). Streams hold connections open indefinitely,
+// so the client must not set a global Timeout; use per-request contexts.
+func WithHTTPClient(h *http.Client) Option { return func(c *Client) { c.http = h } }
+
+// WithBackoff sets the stream reconnect backoff range (first retry after
+// min, doubling to at most max). Defaults: 50ms..2s.
+func WithBackoff(min, max time.Duration) Option {
+	return func(c *Client) { c.backoffMin, c.backoffMax = min, max }
+}
+
+// WithRetryBudget bounds how long a stream keeps retrying consecutive
+// connection failures before giving up (the budget resets on every
+// successful connect). Default 30s — enough to ride out a service
+// restart. The context can always end retries sooner.
+func WithRetryBudget(d time.Duration) Option {
+	return func(c *Client) { c.retryBudget = d }
+}
+
+// New returns a client for the service at baseURL (e.g.
+// "http://127.0.0.1:8080").
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		baseURL:      strings.TrimRight(baseURL, "/"),
+		http:         &http.Client{},
+		backoffMin:   50 * time.Millisecond,
+		backoffMax:   2 * time.Second,
+		retryBudget:  30 * time.Second,
+		watchRetries: 3,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// do performs one JSON round trip. body == nil means no request body; out
+// == nil discards the response body.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("sdk: encoding request: %w", err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.baseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return decodeAPIError(resp)
+	}
+	if out == nil {
+		_, err = io.Copy(io.Discard, resp.Body)
+		return err
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// decodeAPIError turns a non-2xx response into an *APIError, preserving
+// the service's message when the body is its JSON error envelope.
+func decodeAPIError(resp *http.Response) error {
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var env struct {
+		Error string `json:"error"`
+	}
+	msg := strings.TrimSpace(string(b))
+	if json.Unmarshal(b, &env) == nil && env.Error != "" {
+		msg = env.Error
+	}
+	return &APIError{StatusCode: resp.StatusCode, Message: msg}
+}
+
+// waitQuery appends ?wait=1 when wait is set.
+func waitQuery(wait bool) string {
+	if wait {
+		return "?wait=1"
+	}
+	return ""
+}
+
+// SubmitSimulation submits a configuration. With wait, the call blocks
+// (up to the service's timeout) for the result; without, it returns the
+// accepted, possibly still-running resource.
+func (c *Client) SubmitSimulation(ctx context.Context, cfg slicc.Config, wait bool) (*Simulation, error) {
+	var out Simulation
+	if err := c.do(ctx, http.MethodPost, "/v1/simulations"+waitQuery(wait), cfg, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Simulation fetches a simulation by id, optionally waiting for it to
+// finish.
+func (c *Client) Simulation(ctx context.Context, id string, wait bool) (*Simulation, error) {
+	var out Simulation
+	if err := c.do(ctx, http.MethodGet, "/v1/simulations/"+id+waitQuery(wait), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// SubmitSweep submits a sweep spec. Identical specs coalesce onto one
+// run (ids are content keys), and after a service restart the same POST
+// is the resume: finished cells replay from the store.
+func (c *Client) SubmitSweep(ctx context.Context, spec slicc.SweepSpec, wait bool) (*Sweep, error) {
+	var out Sweep
+	if err := c.do(ctx, http.MethodPost, "/v1/sweeps"+waitQuery(wait), spec, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Sweep fetches a sweep by id — status, completed/total progress and
+// partial cells while running — optionally waiting for completion. A 404
+// wraps ErrSweepGone.
+func (c *Client) Sweep(ctx context.Context, id string, wait bool) (*Sweep, error) {
+	var out Sweep
+	if err := c.do(ctx, http.MethodGet, "/v1/sweeps/"+id+waitQuery(wait), nil, &out); err != nil {
+		return nil, sweepGone(err)
+	}
+	return &out, nil
+}
+
+// ResumeSweep retries a failed sweep in place; for running or done sweeps
+// it is a no-op returning current state. A 404 wraps ErrSweepGone —
+// re-POST the spec instead.
+func (c *Client) ResumeSweep(ctx context.Context, id string, wait bool) (*Sweep, error) {
+	var out Sweep
+	if err := c.do(ctx, http.MethodPost, "/v1/sweeps/"+id+"/resume"+waitQuery(wait), nil, &out); err != nil {
+		return nil, sweepGone(err)
+	}
+	return &out, nil
+}
+
+// Stats fetches engine counters and service bookkeeping.
+func (c *Client) Stats(ctx context.Context) (*Stats, error) {
+	var out Stats
+	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// sweepGone maps a 404 APIError onto ErrSweepGone (wrapped, so both
+// errors.Is(err, ErrSweepGone) and errors.As(&APIError) work).
+func sweepGone(err error) error {
+	var ae *APIError
+	if errors.As(err, &ae) && ae.StatusCode == http.StatusNotFound {
+		return fmt.Errorf("%w: %w", ErrSweepGone, ae)
+	}
+	return err
+}

@@ -1,0 +1,284 @@
+package sdk
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"slicc"
+	"slicc/internal/server"
+)
+
+// tinySpec is a 4-cell sweep (2 workloads x 2 policies) small enough for
+// integration tests.
+func tinySpec() slicc.SweepSpec {
+	return slicc.SweepSpec{
+		Name:      "sdk-test",
+		Workloads: []string{"tpcc1", "skewed"},
+		Policies:  []string{"base", "slicc-sw"},
+		Threads:   slicc.SweepInts(6),
+		Scales:    slicc.SweepFloats(0.05),
+	}
+}
+
+// realService boots an actual sliccd handler on an httptest server.
+func realService(t *testing.T) *Client {
+	t.Helper()
+	eng, err := slicc.NewEngine(slicc.EngineOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(eng, server.Options{Timeout: time.Minute})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+		eng.Close()
+	})
+	return New(ts.URL)
+}
+
+// TestWatchSweepEndToEnd drives a real engine: submit, stream to done,
+// every cell exactly once, final result matching a plain GET.
+func TestWatchSweepEndToEnd(t *testing.T) {
+	c := realService(t)
+	ctx := context.Background()
+
+	var mu sync.Mutex
+	cells := map[int]int{}
+	res, err := c.WatchSweep(ctx, tinySpec(), func(ev slicc.SweepEvent) {
+		mu.Lock()
+		defer mu.Unlock()
+		if ev.Type == slicc.SweepEventCell {
+			cells[ev.Index]++
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 4 {
+		t.Fatalf("result has %d cells, want 4", len(res.Cells))
+	}
+	for i := range res.Cells {
+		if cells[i] != 1 {
+			t.Fatalf("cell %d observed %d times, want exactly once (%v)", i, cells[i], cells)
+		}
+	}
+
+	// The streamed run is the same resource the plain API sees.
+	id, err := tinySpec().Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := c.Sweep(ctx, id, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Status != "done" || !reflect.DeepEqual(sw.Result, res) {
+		t.Fatalf("GET sweep diverges from WatchSweep: %+v", sw)
+	}
+
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Sweeps != 1 || st.Engine.SimsRequested == 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestSimulationRoundTrip(t *testing.T) {
+	c := realService(t)
+	cfg := slicc.Config{Benchmark: slicc.TPCC1, Threads: 4, Scale: 0.05}
+	sim, err := c.SubmitSimulation(context.Background(), cfg, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Status != "done" || sim.Result == nil || sim.Result.Instructions == 0 {
+		t.Fatalf("simulation %+v", sim)
+	}
+	again, err := c.Simulation(context.Background(), sim.ID, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again.Result, sim.Result) {
+		t.Fatal("GET result diverges from submit result")
+	}
+}
+
+// fakeCell fabricates a cell payload for scripted-stream tests.
+func fakeCell(i int) *slicc.SweepCellResult {
+	c := &slicc.SweepCellResult{}
+	c.Workload, c.Policy = "tpcc1", "base"
+	c.Cycles = float64(100 * (i + 1))
+	return c
+}
+
+func writeEvent(w http.ResponseWriter, seq int, ev slicc.SweepEvent) {
+	ev.Seq = seq
+	b, _ := json.Marshal(ev)
+	fmt.Fprintf(w, "event: %s\nid: %d\ndata: %s\n\n", ev.Type, seq, b)
+	w.(http.Flusher).Flush()
+}
+
+func cellEvent(i int) slicc.SweepEvent {
+	return slicc.SweepEvent{Type: slicc.SweepEventCell, Index: i, Completed: i + 1, Total: 4, Cell: fakeCell(i)}
+}
+
+// TestStreamReconnectsWithLastEventID scripts a service whose first
+// stream connection dies after two events: the client must redial with
+// Last-Event-ID and deliver the tail exactly once.
+func TestStreamReconnectsWithLastEventID(t *testing.T) {
+	var conns atomic.Int32
+	var gotResume atomic.Value
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/sweeps/s1/events", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		switch conns.Add(1) {
+		case 1:
+			writeEvent(w, 1, cellEvent(0))
+			writeEvent(w, 2, cellEvent(1))
+			// Die without a terminal event, mid-stream.
+			panic(http.ErrAbortHandler)
+		default:
+			gotResume.Store(r.Header.Get("Last-Event-ID"))
+			writeEvent(w, 3, cellEvent(2))
+			writeEvent(w, 4, cellEvent(3))
+			writeEvent(w, 5, slicc.SweepEvent{Type: slicc.SweepEventDone, Status: "done", Completed: 4, Total: 4})
+		}
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	c := New(ts.URL, WithBackoff(time.Millisecond, 10*time.Millisecond))
+	st, err := c.StreamSweep(context.Background(), "s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seqs []int
+	for {
+		ev, err := st.Next()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			t.Fatal(err)
+		}
+		seqs = append(seqs, ev.Seq)
+	}
+	if !reflect.DeepEqual(seqs, []int{1, 2, 3, 4, 5}) {
+		t.Fatalf("delivered seqs %v, want 1..5 with no gaps or duplicates", seqs)
+	}
+	if got := gotResume.Load(); got != "2" {
+		t.Fatalf("reconnect sent Last-Event-ID %v, want \"2\"", got)
+	}
+	if conns.Load() != 2 {
+		t.Fatalf("%d connections, want 2", conns.Load())
+	}
+}
+
+// TestWatchSweepSurvivesServiceRestart scripts the crash contract: the
+// service forgets the sweep (404 on reconnect), WatchSweep re-POSTs the
+// spec, and the observer still sees every cell exactly once.
+func TestWatchSweepSurvivesServiceRestart(t *testing.T) {
+	spec := tinySpec()
+	var posts, conns atomic.Int32
+	result := &slicc.SweepResult{Cells: make([]slicc.SweepCellResult, 4), BestIndex: -1}
+	for i := range result.Cells {
+		result.Cells[i] = *fakeCell(i)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sweeps", func(w http.ResponseWriter, r *http.Request) {
+		posts.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{"id": "s1", "status": "running", "total": 4})
+	})
+	mux.HandleFunc("GET /v1/sweeps/s1/events", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		switch conns.Add(1) {
+		case 1:
+			// Pre-restart run: two cells, then the process dies.
+			writeEvent(w, 1, cellEvent(0))
+			writeEvent(w, 2, cellEvent(1))
+			panic(http.ErrAbortHandler)
+		case 2:
+			// Post-restart service: the sweep is unknown.
+			w.WriteHeader(http.StatusNotFound)
+			json.NewEncoder(w).Encode(map[string]string{"error": "unknown sweep"})
+		default:
+			// Resubmitted run replays from scratch: the first two cells are
+			// store hits the client has already seen and must deduplicate.
+			for i := 0; i < 4; i++ {
+				ev := cellEvent(i)
+				ev.StoreHit = i < 2
+				writeEvent(w, i+1, ev)
+			}
+			writeEvent(w, 5, slicc.SweepEvent{Type: slicc.SweepEventDone, Status: "done", Completed: 4, Total: 4})
+		}
+	})
+	mux.HandleFunc("GET /v1/sweeps/s1", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{"id": "s1", "status": "done", "total": 4, "completed": 4, "result": result})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	c := New(ts.URL, WithBackoff(time.Millisecond, 10*time.Millisecond))
+	var mu sync.Mutex
+	cells := map[int]int{}
+	res, err := c.WatchSweep(context.Background(), spec, func(ev slicc.SweepEvent) {
+		mu.Lock()
+		defer mu.Unlock()
+		if ev.Type == slicc.SweepEventCell {
+			cells[ev.Index]++
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, result) {
+		t.Fatalf("result %+v", res)
+	}
+	for i := 0; i < 4; i++ {
+		if cells[i] != 1 {
+			t.Fatalf("cell %d delivered %d times across the restart, want exactly once (%v)", i, cells[i], cells)
+		}
+	}
+	if posts.Load() != 2 {
+		t.Fatalf("%d spec POSTs, want 2 (initial + post-restart resubmit)", posts.Load())
+	}
+}
+
+func TestSweepGoneMapsTo404(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(map[string]string{"error": "unknown sweep"})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	c := New(ts.URL)
+	if _, err := c.Sweep(context.Background(), "nope", false); !errors.Is(err, ErrSweepGone) {
+		t.Fatalf("GET unknown sweep: %v, want ErrSweepGone", err)
+	}
+	if _, err := c.ResumeSweep(context.Background(), "nope", false); !errors.Is(err, ErrSweepGone) {
+		t.Fatalf("resume unknown sweep: %v, want ErrSweepGone", err)
+	}
+	if _, err := c.StreamSweep(context.Background(), "nope"); !errors.Is(err, ErrSweepGone) {
+		t.Fatalf("stream unknown sweep: %v, want ErrSweepGone", err)
+	}
+	var ae *APIError
+	_, err := c.Sweep(context.Background(), "nope", false)
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusNotFound {
+		t.Fatalf("ErrSweepGone lost its APIError: %v", err)
+	}
+}

@@ -1,4 +1,4 @@
-package slicc
+package slicc_test
 
 import (
 	"bufio"
@@ -10,9 +10,12 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 	"syscall"
 	"testing"
 	"time"
+
+	"slicc"
 )
 
 // TestServiceSmoke is the end-to-end service check CI runs: build the real
@@ -26,16 +29,12 @@ func TestServiceSmoke(t *testing.T) {
 		t.Skip("builds and boots the sliccd binary")
 	}
 	dir := t.TempDir()
-	bin := filepath.Join(dir, "sliccd")
-	build := exec.Command("go", "build", "-o", bin, "./cmd/sliccd")
-	if out, err := build.CombinedOutput(); err != nil {
-		t.Fatalf("go build ./cmd/sliccd: %v\n%s", err, out)
-	}
+	bin := buildSliccd(t, dir)
 	storeDir := filepath.Join(dir, "store")
 	body := `{"Benchmark":"tpcc1","Policy":"base","Threads":8,"Seed":3,"Scale":0.1}`
 
 	type stats struct {
-		Engine EngineStats `json:"engine"`
+		Engine slicc.EngineStats `json:"engine"`
 	}
 	submit := func(t *testing.T, base string) (simStatus string, st stats) {
 		t.Helper()
@@ -62,20 +61,20 @@ func TestServiceSmoke(t *testing.T) {
 	}
 
 	// First server: executes and persists.
-	base1, stop1 := bootSliccd(t, bin, storeDir)
-	status, st := submit(t, base1)
+	p1 := bootSliccd(t, bin, "-addr", "127.0.0.1:0", "-store", storeDir)
+	status, st := submit(t, p1.base)
 	if status != "done" {
 		t.Fatalf("first submission status %q", status)
 	}
 	if st.Engine.SimsExecuted != 1 || st.Engine.StoreHits != 0 || st.Engine.StorePuts != 1 {
 		t.Fatalf("first server stats %+v", st.Engine)
 	}
-	stop1()
+	p1.stop()
 
 	// Second server, same store: must serve from disk without executing.
-	base2, stop2 := bootSliccd(t, bin, storeDir)
-	defer stop2()
-	status, st = submit(t, base2)
+	p2 := bootSliccd(t, bin, "-addr", "127.0.0.1:0", "-store", storeDir)
+	defer p2.stop()
+	status, st = submit(t, p2.base)
 	if status != "done" {
 		t.Fatalf("second submission status %q", status)
 	}
@@ -84,11 +83,68 @@ func TestServiceSmoke(t *testing.T) {
 	}
 }
 
-// bootSliccd starts the built binary on a random port and returns its base
-// URL and a graceful-stop function.
-func bootSliccd(t *testing.T, bin, storeDir string) (baseURL string, stop func()) {
+// buildSliccd compiles the real sliccd binary into dir.
+func buildSliccd(t *testing.T, dir string) string {
 	t.Helper()
-	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-store", storeDir)
+	bin := filepath.Join(dir, "sliccd")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/sliccd")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/sliccd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// sliccdProc is one running sliccd process under test control: stop it
+// gracefully (asserting a clean drain), or kill it dead to simulate a
+// crash.
+type sliccdProc struct {
+	t    *testing.T
+	cmd  *exec.Cmd
+	base string // http://host:port
+
+	waitOnce sync.Once
+	waitErr  error
+}
+
+// wait reaps the process exactly once, however it ended.
+func (p *sliccdProc) wait() error {
+	p.waitOnce.Do(func() {
+		done := make(chan error, 1)
+		go func() { done <- p.cmd.Wait() }()
+		select {
+		case p.waitErr = <-done:
+		case <-time.After(20 * time.Second):
+			_ = p.cmd.Process.Kill()
+			p.waitErr = <-done
+			p.t.Error("sliccd did not exit within 20s")
+		}
+	})
+	return p.waitErr
+}
+
+// stop shuts the server down gracefully (SIGTERM) and asserts it drained
+// cleanly.
+func (p *sliccdProc) stop() {
+	_ = p.cmd.Process.Signal(syscall.SIGTERM)
+	if err := p.wait(); err != nil {
+		p.t.Errorf("sliccd exit: %v", err)
+	}
+}
+
+// kill crashes the server (SIGKILL): no drain, no flush, no goodbye. The
+// kernel releases its listening port, so a successor can bind the same
+// address.
+func (p *sliccdProc) kill() {
+	_ = p.cmd.Process.Kill()
+	_ = p.wait() // "signal: killed" is the expected outcome
+}
+
+// bootSliccd starts the built binary with the given flags (callers pass
+// -addr and -store explicitly) and waits for it to announce its address.
+// Cleanup reaps the process however the test left it.
+func bootSliccd(t *testing.T, bin string, args ...string) *sliccdProc {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -97,26 +153,11 @@ func bootSliccd(t *testing.T, bin, storeDir string) (baseURL string, stop func()
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
 	}
-	stopped := false
-	stop = func() {
-		if stopped {
-			return
-		}
-		stopped = true
-		_ = cmd.Process.Signal(syscall.SIGTERM)
-		done := make(chan error, 1)
-		go func() { done <- cmd.Wait() }()
-		select {
-		case err := <-done:
-			if err != nil {
-				t.Errorf("sliccd exit: %v", err)
-			}
-		case <-time.After(20 * time.Second):
-			_ = cmd.Process.Kill()
-			t.Error("sliccd did not drain within 20s")
-		}
-	}
-	t.Cleanup(stop)
+	p := &sliccdProc{t: t, cmd: cmd}
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		_ = p.wait()
+	})
 
 	// The first stdout line announces the bound address.
 	sc := bufio.NewScanner(stdout)
@@ -138,8 +179,8 @@ func bootSliccd(t *testing.T, bin, storeDir string) (baseURL string, stop func()
 		if !strings.HasPrefix(line, prefix) {
 			t.Fatalf("unexpected startup line %q", line)
 		}
-		addr := strings.TrimPrefix(line, prefix)
-		return fmt.Sprintf("http://%s", addr), stop
+		p.base = fmt.Sprintf("http://%s", strings.TrimPrefix(line, prefix))
+		return p
 	case <-time.After(20 * time.Second):
 		t.Fatal("sliccd did not start within 20s")
 	}

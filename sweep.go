@@ -24,6 +24,23 @@ type SweepResult = sweep.Result
 // SweepCellResult is one sweep cell with its measured metrics.
 type SweepCellResult = sweep.CellResult
 
+// SweepEvent is one streamed sweep happening: a completed cell or baseline
+// (types "cell"/"baseline", carrying the finished SweepCellResult and
+// whether it was served from the persistent store), or a terminal
+// "done"/"error" marker on transports that need one (sliccd's SSE stream;
+// SweepStream itself signals completion by returning). It is also the SSE
+// wire format: sliccd serializes SweepEvents as event data and uses Seq as
+// the event id.
+type SweepEvent = sweep.Event
+
+// SweepEvent types.
+const (
+	SweepEventCell     = sweep.EventCell
+	SweepEventBaseline = sweep.EventBaseline
+	SweepEventDone     = sweep.EventDone
+	SweepEventError    = sweep.EventError
+)
+
 // SweepIntAxis / SweepFloatAxis are sweep dimensions; construct them with
 // SweepInts/SweepIntRange/SweepFloats, or in JSON as a list, a bare
 // number, or {"from": lo, "to": hi, "step": s}.
@@ -71,6 +88,20 @@ func (e *Engine) Sweep(ctx context.Context, spec SweepSpec) (*SweepResult, error
 // there is no other reason to prefer it.
 func (e *Engine) SweepUnbatched(ctx context.Context, spec SweepSpec) (*SweepResult, error) {
 	return sweep.RunUnbatched(ctx, e.pool, spec)
+}
+
+// SweepStream is Sweep with a per-cell completion callback: emit receives
+// one event per finished cell and baseline as it lands. Emission order is
+// scheduling-dependent but event content is deterministic — a cell's event
+// waits for its group baseline, so the Speedup it carries is final — and
+// the returned result is identical to Sweep's. Cells run on the scalar
+// path (per-cell completion is the point; lockstep batching buys parity,
+// not speedup, since the op stream is already memoized) with unchanged
+// store keys, so streamed and batched sweeps warm each other. A
+// store-warmed rerun — the resume case — replays every cell instantly with
+// StoreHit set. emit is called serially and must return promptly.
+func (e *Engine) SweepStream(ctx context.Context, spec SweepSpec, emit func(SweepEvent)) (*SweepResult, error) {
+	return sweep.RunStream(ctx, e.pool, spec, emit)
 }
 
 // SweepTable renders a sweep result as an aligned per-cell table, with the

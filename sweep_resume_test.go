@@ -1,0 +1,198 @@
+package slicc_test
+
+// The crash/kill resume harness: the proof that "resume" needs no
+// checkpoint files. A sweep is SIGKILLed mid-run, the service restarts on
+// the same store, and the re-submitted spec — same bytes, same content-key
+// id — completes with every previously finished cell served from the
+// store. The final table is byte-identical to an uninterrupted run, the
+// resumed process executes strictly fewer simulations, and the SDK watcher
+// riding across the crash still observes every cell exactly once.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"slicc"
+	"slicc/sdk"
+)
+
+// resumeSpec is the sweep under test: 8 cells at ~100ms each, so that a
+// single-worker server is reliably mid-sweep when the kill lands.
+func resumeSpec() slicc.SweepSpec {
+	return slicc.SweepSpec{
+		Name:      "kill-resume",
+		Workloads: []string{"tpcc1", "skewed"},
+		Policies:  []string{"base", "nextline", "slicc-sw", "stream"},
+		Threads:   slicc.SweepInts(8),
+		Scales:    slicc.SweepFloats(0.8),
+	}
+}
+
+func engineStats(t *testing.T, c *sdk.Client) slicc.EngineStats {
+	t.Helper()
+	st, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st.Engine
+}
+
+// sweepCSV renders the result the way `experiments -csv` would — the
+// byte-level artifact the resume contract promises to reproduce.
+func sweepCSV(t *testing.T, res *slicc.SweepResult) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestSweepKillAndResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and boots the sliccd binary, runs multi-second sweeps")
+	}
+	dir := t.TempDir()
+	bin := buildSliccd(t, dir)
+	spec := resumeSpec()
+	ctx := context.Background()
+
+	// Reference: the same sweep, uninterrupted, on its own store.
+	ref := bootSliccd(t, bin, "-addr", "127.0.0.1:0", "-store", filepath.Join(dir, "store-ref"))
+	refClient := sdk.New(ref.base)
+	refRes, err := refClient.WatchSweep(ctx, spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refExecuted := engineStats(t, refClient).SimsExecuted
+	if refExecuted == 0 {
+		t.Fatal("reference run executed nothing")
+	}
+	ref.stop()
+
+	// Victim: single worker (so cells finish one at a time and the kill
+	// lands mid-sweep), fresh store, watched over the SDK.
+	storeDir := filepath.Join(dir, "store-victim")
+	victim := bootSliccd(t, bin, "-addr", "127.0.0.1:0", "-store", storeDir, "-j", "1")
+	client := sdk.New(victim.base)
+
+	var mu sync.Mutex
+	cellSeen := map[int]int{}
+	cellEvents := make(chan int, 64)
+	type watchOut struct {
+		res *slicc.SweepResult
+		err error
+	}
+	watchDone := make(chan watchOut, 1)
+	go func() {
+		res, err := client.WatchSweep(ctx, spec, func(ev slicc.SweepEvent) {
+			if ev.Type != slicc.SweepEventCell {
+				return
+			}
+			mu.Lock()
+			cellSeen[ev.Index]++
+			mu.Unlock()
+			cellEvents <- ev.Index
+		})
+		watchDone <- watchOut{res, err}
+	}()
+
+	// Let at least two cells complete (two store puts), then kill -9.
+	beforeKill := 0
+	for beforeKill < 2 {
+		select {
+		case <-cellEvents:
+			beforeKill++
+		case out := <-watchDone:
+			t.Fatalf("sweep finished before it could be killed (res=%v err=%v); enlarge resumeSpec", out.res != nil, out.err)
+		case <-time.After(60 * time.Second):
+			t.Fatal("no cell events within 60s")
+		}
+	}
+	victim.kill()
+
+	// Successor: same address (so the watcher's reconnects land) and the
+	// same store (so finished cells are hits). The watcher re-POSTs the
+	// spec — ids are content keys — and rides to completion.
+	addr := strings.TrimPrefix(victim.base, "http://")
+	successor := bootSliccd(t, bin, "-addr", addr, "-store", storeDir, "-j", "1")
+	defer successor.stop()
+
+	var out watchOut
+	select {
+	case out = <-watchDone:
+	case <-time.After(120 * time.Second):
+		t.Fatal("watcher did not complete after the restart")
+	}
+	if out.err != nil {
+		t.Fatalf("WatchSweep across the kill: %v", out.err)
+	}
+
+	// Byte-identical output: the resumed sweep's table is the reference's.
+	if !reflect.DeepEqual(out.res, refRes) {
+		t.Fatalf("resumed result diverges from uninterrupted run:\n%+v\nvs\n%+v", out.res, refRes)
+	}
+	if got, want := sweepCSV(t, out.res), sweepCSV(t, refRes); !bytes.Equal(got, want) {
+		t.Fatalf("resumed CSV not byte-identical:\n%s\nvs\n%s", got, want)
+	}
+
+	// The successor really resumed: it executed strictly fewer simulations
+	// than the uninterrupted run, with the difference served from the
+	// store — and the cells finished before the kill never re-executed.
+	st := engineStats(t, sdk.New(successor.base))
+	if st.SimsExecuted >= refExecuted {
+		t.Fatalf("successor executed %d sims, reference %d — nothing was resumed", st.SimsExecuted, refExecuted)
+	}
+	if st.StoreHits < beforeKill {
+		t.Fatalf("successor store hits %d < %d cells completed before the kill", st.StoreHits, beforeKill)
+	}
+
+	// The watcher saw every cell exactly once across the crash.
+	mu.Lock()
+	defer mu.Unlock()
+	if len(cellSeen) != len(out.res.Cells) {
+		t.Fatalf("observed %d distinct cells, want %d", len(cellSeen), len(out.res.Cells))
+	}
+	for i, n := range cellSeen {
+		if n != 1 {
+			t.Fatalf("cell %d observed %d times across the kill, want exactly once", i, n)
+		}
+	}
+
+	// And the service-level view agrees: GET reports done with the full
+	// result.
+	resp, err := http.Get(successor.base + "/v1/sweeps/" + mustKey(t, spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sw struct {
+		Status    string             `json:"status"`
+		Completed int                `json:"completed"`
+		Total     int                `json:"total"`
+		Result    *slicc.SweepResult `json:"result"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sw); err != nil {
+		t.Fatal(err)
+	}
+	if sw.Status != "done" || sw.Completed != sw.Total || !reflect.DeepEqual(sw.Result, refRes) {
+		t.Fatalf("successor GET: status=%s %d/%d", sw.Status, sw.Completed, sw.Total)
+	}
+}
+
+func mustKey(t *testing.T, spec slicc.SweepSpec) string {
+	t.Helper()
+	key, err := spec.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return key
+}
