@@ -37,7 +37,21 @@ import (
 
 	"slicc"
 	"slicc/internal/server"
+	"slicc/internal/telemetry"
 )
+
+// options carries the parsed flag set into run.
+type options struct {
+	addr      string
+	storeDir  string
+	storeMB   int64
+	workers   int
+	timeout   time.Duration
+	grace     time.Duration
+	logFormat string
+	logLevel  string
+	pprof     bool
+}
 
 func main() {
 	var (
@@ -47,30 +61,45 @@ func main() {
 		workers  = flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulation workers")
 		timeout  = flag.Duration("timeout", 2*time.Minute, "request timeout for experiment runs and ?wait=1 polls")
 		grace    = flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight requests")
+		logFmt   = flag.String("log-format", "text", "structured log format on stderr: text or json")
+		logLvl   = flag.String("log-level", "info", "log level: debug, info, warn or error (debug includes spans and per-cell sweep progress)")
+		pprofOn  = flag.Bool("pprof", false, "serve net/http/pprof profiles under /debug/pprof/")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *storeDir, *storeMB, *workers, *timeout, *grace); err != nil {
+	opts := options{
+		addr: *addr, storeDir: *storeDir, storeMB: *storeMB, workers: *workers,
+		timeout: *timeout, grace: *grace,
+		logFormat: *logFmt, logLevel: *logLvl, pprof: *pprofOn,
+	}
+	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, storeDir string, storeMB int64, workers int, timeout, grace time.Duration) error {
+func run(o options) error {
+	// Logs go to stderr: stdout stays reserved for the one-line listen
+	// address that scripts parse.
+	logger, err := telemetry.NewLogger(os.Stderr, o.logFormat, o.logLevel)
+	if err != nil {
+		return fmt.Errorf("sliccd: %w", err)
+	}
 	eng, err := slicc.NewEngine(slicc.EngineOptions{
-		Workers:       workers,
-		StoreDir:      storeDir,
-		StoreMaxBytes: storeMB << 20,
+		Workers:       o.workers,
+		StoreDir:      o.storeDir,
+		StoreMaxBytes: o.storeMB << 20,
+		Logger:        logger,
 	})
 	if err != nil {
 		return err
 	}
 	defer eng.Close()
 
-	srv := server.New(eng, server.Options{Timeout: timeout})
+	srv := server.New(eng, server.Options{Timeout: o.timeout, Logger: logger, Pprof: o.pprof})
 	defer srv.Close()
 
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
 		return err
 	}
@@ -78,9 +107,8 @@ func run(addr, storeDir string, storeMB int64, workers int, timeout, grace time.
 	// machine-readable startup output, which scripts (and the smoke test)
 	// parse to find a dynamically assigned port.
 	fmt.Printf("sliccd listening on %s\n", ln.Addr())
-	if storeDir != "" {
-		fmt.Fprintf(os.Stderr, "result store at %s\n", storeDir)
-	}
+	logger.Info("sliccd started", "addr", ln.Addr().String(), "store", o.storeDir,
+		"workers", o.workers, "pprof", o.pprof)
 
 	hs := &http.Server{
 		Handler:           srv.Handler(),
@@ -96,12 +124,12 @@ func run(addr, storeDir string, storeMB int64, workers int, timeout, grace time.
 
 	select {
 	case sig := <-sigc:
-		fmt.Fprintf(os.Stderr, "sliccd: %v, draining (grace %v)\n", sig, grace)
+		logger.Info("sliccd draining", "signal", sig.String(), "grace", o.grace.String())
 	case err := <-errc:
 		return fmt.Errorf("sliccd: serve: %w", err)
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), grace)
+	ctx, cancel := context.WithTimeout(context.Background(), o.grace)
 	defer cancel()
 	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return fmt.Errorf("sliccd: shutdown: %w", err)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"sort"
 
 	"slicc/internal/experiments"
@@ -106,6 +107,11 @@ type EngineOptions struct {
 	// StoreMaxBytes bounds the store directory's size (0 = unlimited);
 	// least-recently-used entries are evicted past the budget.
 	StoreMaxBytes int64
+	// Logger receives engine lifecycle events (store evictions today).
+	// Nil is silent. Request-scoped logging and tracing travel through
+	// the ctx passed to Run/Sweep/Experiment instead, so library use
+	// stays zero-configuration.
+	Logger *slog.Logger
 }
 
 // EngineStats snapshots an engine's work counters.
@@ -159,7 +165,7 @@ func NewEngine(o EngineOptions) (*Engine, error) {
 	var st *store.Store
 	if o.StoreDir != "" {
 		var err error
-		st, err = store.Open(o.StoreDir, store.Options{MaxBytes: o.StoreMaxBytes})
+		st, err = store.Open(o.StoreDir, store.Options{MaxBytes: o.StoreMaxBytes, Logger: o.Logger})
 		if err != nil {
 			return nil, fmt.Errorf("slicc: opening result store: %w", err)
 		}
@@ -240,6 +246,44 @@ func (e *Engine) ExperimentWith(ctx context.Context, id string, o ExperimentOpti
 		return nil, err
 	}
 	return run(experiments.Options{Quick: o.Quick, Seed: o.Seed, TracePath: o.TracePath, Ctx: ctx, Pool: e.pool})
+}
+
+// StoreStats snapshots the engine's persistent result store.
+type StoreStats struct {
+	// Entries / Bytes describe the shared store directory: entry-file
+	// count and their total size.
+	Entries int
+	Bytes   int64
+	// Evictions counts entries this engine's store evicted under its
+	// StoreMaxBytes budget (process-local).
+	Evictions int64
+}
+
+// StoreDir returns the engine's store directory, "" when the engine runs
+// without a persistent store.
+func (e *Engine) StoreDir() string {
+	if e.store == nil {
+		return ""
+	}
+	return e.store.Dir()
+}
+
+// StoreStats scans the engine's store directory and reports entry count,
+// total bytes, and this engine's eviction count. ok is false when the
+// engine has no store (EngineOptions.StoreDir unset). The scan reads the
+// directory listing; it is cheap enough for a stats endpoint or metrics
+// scrape, not for a per-job path.
+func (e *Engine) StoreStats() (stats StoreStats, ok bool) {
+	if e.store == nil {
+		return StoreStats{}, false
+	}
+	st, err := e.store.Stats()
+	if err != nil {
+		// A concurrently deleted or unreadable directory reports as
+		// empty; the health endpoint is where degradation is surfaced.
+		return StoreStats{Evictions: st.Evictions}, true
+	}
+	return StoreStats{Entries: st.Entries, Bytes: st.Bytes, Evictions: st.Evictions}, true
 }
 
 // Stats returns the engine's dedup/cache counters.

@@ -20,6 +20,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"runtime"
 	"sync"
@@ -31,6 +32,7 @@ import (
 	"slicc/internal/sched"
 	"slicc/internal/sim"
 	islicc "slicc/internal/slicc"
+	"slicc/internal/telemetry"
 	"slicc/internal/trace"
 	"slicc/internal/workload"
 )
@@ -640,8 +642,15 @@ func (p *Pool) traceDigest(path string) (string, error) {
 	return d, nil
 }
 
-// exec performs the actual work for one job.
+// exec performs the actual work for one job. The span here is the job
+// granularity of the tracing contract: one span per executed simulation
+// (store and dedup hits never reach exec), covering workload resolution
+// plus the run — never anything inside the per-instruction loop.
 func (p *Pool) exec(ctx context.Context, j Job) Result {
+	ctx, sp := telemetry.StartSpan(ctx, "runner.job",
+		slog.String("workload", j.Workload.Kind.Token()),
+		slog.Int("threads", j.Workload.Threads))
+	defer sp.End()
 	w, err := p.Workload(j.Workload)
 	if err != nil {
 		return Result{Err: err}
@@ -658,7 +667,10 @@ func (p *Pool) exec(ctx context.Context, j Job) Result {
 func execSim(ctx context.Context, j Job, w *workload.Workload) Result {
 	policy, pref := buildPolicy(j.Policy, w)
 	m := sim.New(j.Machine, policy, pref, w.Threads())
+	_, sp := telemetry.StartSpan(ctx, "sim.run")
 	r, err := m.RunContext(ctx)
+	sp.SetAttrs(slog.Uint64("instructions", r.Instructions))
+	sp.End()
 	res := Result{Sim: r, Err: err}
 	if j.Machine.TrackReuse && m.Reuse() != nil {
 		res.ReuseGlobal = m.Reuse().Global()

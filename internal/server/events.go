@@ -25,13 +25,15 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strconv"
+	"sync"
 	"time"
 
 	"slicc"
-	"sync"
+	"slicc/internal/telemetry"
 )
 
 // sweepProgress accumulates one sweep run's streamed events.
@@ -51,6 +53,9 @@ type sweepProgress struct {
 	// terminal is the final done/error event, nil while running.
 	terminal *slicc.SweepEvent
 	subs     map[*eventSub]struct{}
+	// onDrop, if set, is called (under mu) for each subscriber cut off by
+	// the slow-consumer policy — the slicc_sse_dropped_total feed.
+	onDrop func()
 }
 
 // eventRef is one logged event without its payload.
@@ -131,6 +136,9 @@ func (p *sweepProgress) broadcastLocked(ev slicc.SweepEvent) {
 		default:
 			close(sub.ch)
 			delete(p.subs, sub)
+			if p.onDrop != nil {
+				p.onDrop()
+			}
 		}
 	}
 }
@@ -220,13 +228,13 @@ func (s *Server) handleSweepEvents(w http.ResponseWriter, r *http.Request) {
 	e, ok := s.sweeps[id]
 	s.mu.Unlock()
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Sprintf(
+		writeError(w, r, http.StatusNotFound, fmt.Sprintf(
 			"unknown sweep %q (evicted or never submitted; re-POST the spec — ids are content keys and finished cells resume from the store)", id))
 		return
 	}
 	fl, canFlush := w.(http.Flusher)
 	if !canFlush {
-		writeError(w, http.StatusInternalServerError, "response writer does not support streaming")
+		writeError(w, r, http.StatusInternalServerError, "response writer does not support streaming")
 		return
 	}
 	h := w.Header()
@@ -237,6 +245,8 @@ func (s *Server) handleSweepEvents(w http.ResponseWriter, r *http.Request) {
 
 	replay, sub := e.prog.subscribe(lastEventID(r))
 	if sub != nil {
+		s.metrics.sseSubscribers.Inc()
+		defer s.metrics.sseSubscribers.Dec()
 		defer e.prog.unsubscribe(sub)
 	}
 	for _, ev := range replay {
@@ -292,12 +302,15 @@ func (s *Server) handleSweepResume(w http.ResponseWriter, r *http.Request) {
 	e, ok := s.sweeps[id]
 	restarted := false
 	if ok && e.failed() {
-		e = s.startSweepLocked(id, e.spec)
+		e = s.startSweepLocked(id, e.spec, telemetry.RequestID(r.Context()))
 		restarted = true
 	}
 	s.mu.Unlock()
+	if restarted {
+		telemetry.Logger(r.Context()).Info("sweep resume", slog.String("sweep_id", id))
+	}
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Sprintf(
+		writeError(w, r, http.StatusNotFound, fmt.Sprintf(
 			"unknown sweep %q — nothing to resume; re-POST the spec (ids are content keys, finished cells are store hits)", id))
 		return
 	}

@@ -33,11 +33,15 @@
 //	                            return its rendered tables (?quick=1,
 //	                            &seed=N, &format=text).
 //	GET  /v1/stats              engine work counters (executions, dedup and
-//	                            store hits).
-//	GET  /healthz               liveness.
+//	                            store hits), store stats, and uptime.
+//	GET  /metrics               Prometheus text-format metrics.
+//	GET  /healthz               readiness: probes the result store for
+//	                            writability; degraded stores answer 503.
 //
-// Every error is a JSON object {"error": "..."} with a meaningful status
-// code. See docs/SERVICE.md for the full reference.
+// Every error is a JSON object {"error": "...", "request_id": "..."} with
+// a meaningful status code. Every response carries an X-Request-ID header
+// (echoing the client's, if well-formed) matching the request's access
+// log line. See docs/SERVICE.md for the full reference.
 package server
 
 import (
@@ -45,13 +49,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"slicc"
+	"slicc/internal/telemetry"
 )
 
 // Options configures a Server.
@@ -74,6 +81,18 @@ type Options struct {
 	// have already delivered a terminal event (streams end at completion),
 	// their cells persist in the store, and their ids poll as 404.
 	MaxTrackedSweeps int
+	// Logger receives the server's structured logs: one access line per
+	// request, sweep lifecycle events, and (at debug level) spans and
+	// per-cell completions. Nil discards everything.
+	Logger *slog.Logger
+	// Metrics is the registry /metrics exposes. Nil gets a fresh registry,
+	// which is almost always right — sharing one registry between servers
+	// panics on the second server's callback registrations.
+	Metrics *telemetry.Registry
+	// Pprof mounts net/http/pprof under /debug/pprof/ when true. Off by
+	// default: profiles expose internals, so enabling is a deployment
+	// decision (sliccd -pprof).
+	Pprof bool
 }
 
 func (o Options) withDefaults() Options {
@@ -108,6 +127,14 @@ type Server struct {
 	// running tracks in-flight simulation goroutines; Close waits for them
 	// so the engine (and its store) can be closed safely afterwards.
 	running sync.WaitGroup
+
+	// logger is never nil (a discard logger stands in); metrics holds the
+	// registry plus the handles the request path updates; tracer turns
+	// ctx spans into debug logs and the span-duration histogram.
+	logger  *slog.Logger
+	metrics *serverMetrics
+	tracer  *telemetry.Tracer
+	start   time.Time
 
 	mu   sync.Mutex
 	sims map[string]*simEntry
@@ -144,18 +171,43 @@ type simEntry struct {
 // engine; closing the Server stops in-flight simulations but does not
 // close the engine.
 func New(eng *slicc.Engine, opts Options) *Server {
-	ctx, cancel := context.WithCancel(context.Background())
+	opts = opts.withDefaults()
+	logger := opts.Logger
+	if logger == nil {
+		logger = telemetry.NopLogger()
+	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
 	s := &Server{
 		eng:     eng,
-		opts:    opts.withDefaults(),
-		baseCtx: ctx,
-		cancel:  cancel,
-		sims:    make(map[string]*simEntry),
-		sweeps:  make(map[string]*sweepEntry),
+		opts:    opts,
+		logger:  logger,
+		metrics: newServerMetrics(reg),
+		start:   time.Now(),
 	}
+	s.tracer = &telemetry.Tracer{
+		Logger: logger,
+		OnSpan: func(name string, d time.Duration) {
+			reg.Histogram("slicc_span_duration_seconds",
+				"Traced span durations by span name.", nil,
+				telemetry.L("span", name)).Observe(d.Seconds())
+		},
+	}
+	// Background work (sims, sweeps) runs under baseCtx, which outlives the
+	// submitting request; the tracer and logger ride along so engine-side
+	// spans are recorded, and each launch attaches its requester's ID.
+	ctx, cancel := context.WithCancel(context.Background())
+	ctx = telemetry.WithLogger(ctx, logger)
+	ctx = telemetry.WithTracer(ctx, s.tracer)
+	s.baseCtx, s.cancel = ctx, cancel
+	s.sims = make(map[string]*simEntry)
+	s.sweeps = make(map[string]*sweepEntry)
 	s.sweepRun = func(ctx context.Context, spec slicc.SweepSpec, emit func(slicc.SweepEvent)) (*slicc.SweepResult, error) {
 		return eng.SweepStream(ctx, spec, emit)
 	}
+	s.registerMetrics()
 	return s
 }
 
@@ -168,31 +220,48 @@ func (s *Server) Close() error {
 	return nil
 }
 
-// Handler returns the server's routing handler.
+// Handler returns the server's routing handler. Every route runs under
+// the telemetry middleware, labelled by its registered pattern (bounded
+// cardinality — patterns, not paths, become metric labels).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.HandleFunc("POST /v1/simulations", s.handleSubmit)
-	mux.HandleFunc("GET /v1/simulations/{id}", s.handleSimulation)
-	mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
-	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweep)
-	mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleSweepEvents)
-	mux.HandleFunc("POST /v1/sweeps/{id}/resume", s.handleSweepResume)
-	mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
-	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		writeError(w, http.StatusNotFound, fmt.Sprintf("no route for %s %s", r.Method, r.URL.Path))
+	add := func(pattern, route string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.instrument(route, h))
+	}
+	add("GET /healthz", "/healthz", s.handleHealthz)
+	add("GET /metrics", "/metrics", s.metrics.reg.Handler().ServeHTTP)
+	add("GET /v1/stats", "/v1/stats", s.handleStats)
+	add("POST /v1/simulations", "/v1/simulations", s.handleSubmit)
+	add("GET /v1/simulations/{id}", "/v1/simulations/{id}", s.handleSimulation)
+	add("POST /v1/sweeps", "/v1/sweeps", s.handleSweepSubmit)
+	add("GET /v1/sweeps/{id}", "/v1/sweeps/{id}", s.handleSweep)
+	add("GET /v1/sweeps/{id}/events", "/v1/sweeps/{id}/events", s.handleSweepEvents)
+	add("POST /v1/sweeps/{id}/resume", "/v1/sweeps/{id}/resume", s.handleSweepResume)
+	add("GET /v1/experiments/{id}", "/v1/experiments/{id}", s.handleExperiment)
+	if s.opts.Pprof {
+		// Deliberately uninstrumented: profile endpoints stream for their
+		// whole -seconds window and would skew the latency histograms.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	add("/", "other", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, r, http.StatusNotFound, fmt.Sprintf("no route for %s %s", r.Method, r.URL.Path))
 	})
 	return mux
 }
 
-// errorBody is the uniform JSON error envelope.
+// errorBody is the uniform JSON error envelope. RequestID lets a client
+// quote the exact server log line its failure produced.
 type errorBody struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
-func writeError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, errorBody{Error: msg})
+func writeError(w http.ResponseWriter, r *http.Request, code int, msg string) {
+	writeJSON(w, code, errorBody{Error: msg, RequestID: telemetry.RequestID(r.Context())})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -208,22 +277,55 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Write(append(b, '\n'))
 }
 
+// handleHealthz is a readiness check, not just liveness: when the engine
+// has a persistent store, it probes the store directory with a temp-file
+// create/remove — the first thing every result Put does — so a full disk
+// or vanished directory flips the endpoint to 503 before sweeps start
+// failing mysteriously.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	state, err := s.checkStore()
+	body := map[string]string{"status": "ok", "store": state}
+	if err != nil {
+		body["status"] = "degraded"
+		body["reason"] = "store probe: " + err.Error()
+		writeJSON(w, http.StatusServiceUnavailable, body)
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// storeStatsBody mirrors slicc.StoreStats for the stats endpoint; the
+// numbers are the same ones /metrics samples, so the surfaces agree.
+type storeStatsBody struct {
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+	Evictions int64 `json:"evictions"`
 }
 
 // statsResponse reports engine counters plus service-level bookkeeping.
 type statsResponse struct {
-	Engine      slicc.EngineStats `json:"engine"`
-	Simulations int               `json:"simulations"`
-	Sweeps      int               `json:"sweeps"`
+	Engine slicc.EngineStats `json:"engine"`
+	// Store is present only when the engine has a persistent store.
+	Store         *storeStatsBody `json:"store,omitempty"`
+	Simulations   int             `json:"simulations"`
+	Sweeps        int             `json:"sweeps"`
+	UptimeSeconds float64         `json:"uptime_seconds"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	n, ns := len(s.sims), len(s.sweeps)
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, statsResponse{Engine: s.eng.Stats(), Simulations: n, Sweeps: ns})
+	resp := statsResponse{
+		Engine:        s.eng.Stats(),
+		Simulations:   n,
+		Sweeps:        ns,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	}
+	if st, ok := s.eng.StoreStats(); ok {
+		resp.Store = &storeStatsBody{Entries: st.Entries, Bytes: st.Bytes, Evictions: st.Evictions}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // simResponse describes one simulation's state.
@@ -260,7 +362,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec.DisallowUnknownFields()
 	var cfg slicc.Config
 	if err := dec.Decode(&cfg); err != nil {
-		writeError(w, http.StatusBadRequest, "decoding config: "+err.Error())
+		writeError(w, r, http.StatusBadRequest, "decoding config: "+err.Error())
 		return
 	}
 	// TracePath names a file on the *server's* filesystem; accepting it
@@ -268,13 +370,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// unbounded special files. Trace replay stays a CLI/library feature
 	// (warm the store with tracegen/experiments -store instead).
 	if cfg.TracePath != "" {
-		writeError(w, http.StatusUnprocessableEntity,
+		writeError(w, r, http.StatusUnprocessableEntity,
 			"TracePath is not accepted over the API; replay traces via the CLIs and share results through the store")
 		return
 	}
 	id, err := cfg.Key()
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		writeError(w, r, http.StatusUnprocessableEntity, err.Error())
 		return
 	}
 
@@ -286,12 +388,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.order = append(s.order, id)
 		s.evictCompletedLocked()
 		s.running.Add(1)
+		// The run belongs to the service (baseCtx), not the submitting
+		// request, but it keeps the submitter's request ID so its spans
+		// trace back to the access log line that started it.
+		runCtx := telemetry.WithRequestID(s.baseCtx, telemetry.RequestID(r.Context()))
 		go func() {
 			defer s.running.Done()
 			// The simulation belongs to the service, not the submitting
 			// request: it survives client disconnects and is aborted only
 			// by server shutdown.
-			e.result, e.err = s.eng.Run(s.baseCtx, e.cfg)
+			e.result, e.err = s.eng.Run(runCtx, e.cfg)
 			close(e.done)
 			if e.err != nil {
 				// Drop failed entries so a later identical submission
@@ -364,7 +470,7 @@ func (s *Server) handleSimulation(w http.ResponseWriter, r *http.Request) {
 	e, ok := s.sims[id]
 	s.mu.Unlock()
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown simulation %q", id))
+		writeError(w, r, http.StatusNotFound, fmt.Sprintf("unknown simulation %q", id))
 		return
 	}
 	if boolParam(r, "wait") {
@@ -446,15 +552,16 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 	dec.DisallowUnknownFields()
 	var spec slicc.SweepSpec
 	if err := dec.Decode(&spec); err != nil {
-		writeError(w, http.StatusBadRequest, "decoding sweep spec: "+err.Error())
+		writeError(w, r, http.StatusBadRequest, "decoding sweep spec: "+err.Error())
 		return
 	}
 	id, err := spec.Key()
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		writeError(w, r, http.StatusUnprocessableEntity, err.Error())
 		return
 	}
 
+	reqID := telemetry.RequestID(r.Context())
 	s.mu.Lock()
 	e, existed := s.sweeps[id]
 	fresh := !existed
@@ -463,10 +570,10 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 		// and partial cells); resubmitting the spec retries in place
 		// rather than replaying the failure — same contract as the resume
 		// endpoint, and the reason identical re-POSTs never poison.
-		e = s.startSweepLocked(id, e.spec)
+		e = s.startSweepLocked(id, e.spec, reqID)
 		fresh = true
 	} else if !existed {
-		e = s.startSweepLocked(id, spec)
+		e = s.startSweepLocked(id, spec, reqID)
 	}
 	s.mu.Unlock()
 
@@ -488,17 +595,20 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 // startSweepLocked registers a (possibly replacement) sweep entry under id
-// and launches its run. Caller holds s.mu.
-func (s *Server) startSweepLocked(id string, spec slicc.SweepSpec) *sweepEntry {
+// and launches its run, tagged with the starting request's ID. Caller
+// holds s.mu.
+func (s *Server) startSweepLocked(id string, spec slicc.SweepSpec, reqID string) *sweepEntry {
 	total, err := spec.CellCount()
 	if err != nil {
 		total = 0 // unreachable: the spec's Key() already validated it
 	}
+	prog := newSweepProgress(total, s.opts.EventBuffer)
+	prog.onDrop = s.metrics.sseDropped.Inc
 	e := &sweepEntry{
 		id:   id,
 		spec: spec,
 		done: make(chan struct{}),
-		prog: newSweepProgress(total, s.opts.EventBuffer),
+		prog: prog,
 	}
 	if _, ok := s.sweeps[id]; !ok {
 		s.sweepOrder = append(s.sweepOrder, id)
@@ -506,16 +616,40 @@ func (s *Server) startSweepLocked(id string, spec slicc.SweepSpec) *sweepEntry {
 	s.sweeps[id] = e
 	s.evictCompletedSweepsLocked()
 	s.running.Add(1)
+	logger := s.logger.With(slog.String("sweep_id", id), slog.String("request_id", reqID))
+	logger.Info("sweep start", slog.Int("cells", total))
+	// emit wraps the progress publisher with the cell counter and a debug
+	// completion log; Engine.SweepStream calls it serially, preserving
+	// publish's contract.
+	emit := func(ev slicc.SweepEvent) {
+		if ev.Type == slicc.SweepEventCell {
+			s.metrics.sweepCells.Inc()
+			logger.Debug("sweep cell",
+				slog.Int("index", ev.Index),
+				slog.Int("completed", ev.Completed),
+				slog.Int("total", ev.Total),
+				slog.Bool("store_hit", ev.StoreHit))
+		}
+		e.prog.publish(ev)
+	}
+	runCtx := telemetry.WithRequestID(s.baseCtx, reqID)
+	start := time.Now()
 	go func() {
 		defer s.running.Done()
 		// Like simulations, the sweep belongs to the service: it survives
 		// client disconnects and only shutdown aborts it. finish publishes
 		// the stream's terminal event before done closes, so every
 		// connected subscriber sees "done"/"error", never a silent stall.
-		res, err := s.sweepRun(s.baseCtx, e.spec, e.prog.publish)
+		res, err := s.sweepRun(runCtx, e.spec, emit)
 		e.result, e.err = res, err
 		e.prog.finish(res, err)
 		close(e.done)
+		d := time.Since(start)
+		if err != nil {
+			logger.Warn("sweep failed", slog.Duration("duration", d), slog.String("error", err.Error()))
+		} else {
+			logger.Info("sweep done", slog.Duration("duration", d), slog.Int("cells", total))
+		}
 	}()
 	return e
 }
@@ -557,7 +691,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	e, ok := s.sweeps[id]
 	s.mu.Unlock()
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown sweep %q", id))
+		writeError(w, r, http.StatusNotFound, fmt.Sprintf("unknown sweep %q", id))
 		return
 	}
 	if boolParam(r, "wait") {
@@ -606,7 +740,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if !known {
-		writeError(w, http.StatusNotFound,
+		writeError(w, r, http.StatusNotFound,
 			fmt.Sprintf("unknown experiment %q (have %s)", id, strings.Join(slicc.ExperimentIDs(), ", ")))
 		return
 	}
@@ -614,7 +748,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	if v := r.URL.Query().Get("seed"); v != "" {
 		n, err := strconv.ParseInt(v, 10, 64)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "bad seed: "+err.Error())
+			writeError(w, r, http.StatusBadRequest, "bad seed: "+err.Error())
 			return
 		}
 		seed = n
@@ -633,7 +767,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		if errors.Is(err, context.DeadlineExceeded) {
 			code = http.StatusGatewayTimeout
 		}
-		writeError(w, code, err.Error())
+		writeError(w, r, code, err.Error())
 		return
 	}
 	if r.URL.Query().Get("format") == "text" {

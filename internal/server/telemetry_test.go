@@ -1,0 +1,363 @@
+package server
+
+// Telemetry behavior at the HTTP surface: /metrics exposition over a real
+// sweep, counter monotonicity across scrapes, access logs (exactly one
+// line per request, carrying the request ID), request-ID echo in headers
+// and error bodies, readiness degradation, and scrape/update races.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"slicc"
+	"slicc/internal/telemetry"
+	"slicc/internal/telemetry/telemetrytest"
+)
+
+// syncBuffer is a goroutine-safe log sink: handlers and background sweep
+// goroutines log concurrently.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// newTelemetryServer is newTestServer with the telemetry surface exposed:
+// JSON logs into the returned buffer, and the Server itself for registry
+// access.
+func newTelemetryServer(t *testing.T, dir string) (*httptest.Server, *Server, *syncBuffer) {
+	t.Helper()
+	eng, err := slicc.NewEngine(slicc.EngineOptions{Workers: 2, StoreDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := &syncBuffer{}
+	logger, err := telemetry.NewLogger(buf, "json", "info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(eng, Options{Timeout: time.Minute, Logger: logger})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+		eng.Close()
+	})
+	return ts, srv, buf
+}
+
+func scrape(t *testing.T, ts *httptest.Server) map[string]float64 {
+	t.Helper()
+	r, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", r.StatusCode)
+	}
+	if ct := r.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	var b bytes.Buffer
+	if _, err := b.ReadFrom(r.Body); err != nil {
+		t.Fatal(err)
+	}
+	return telemetrytest.ParsePrometheus(t, b.String())
+}
+
+// TestMetricsAfterSweep runs a real sweep through the API and checks the
+// exposition: families spanning server, engine and store layers, engine
+// counters consistent with the work done, and monotonic counters across
+// scrapes.
+func TestMetricsAfterSweep(t *testing.T) {
+	ts, _, _ := newTelemetryServer(t, t.TempDir())
+	r, err := http.Post(ts.URL+"/v1/sweeps?wait=1", "application/json", strings.NewReader(tinySweepBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := decode[sweepResponse](t, r)
+	if resp.Status != "done" {
+		t.Fatalf("sweep status %q (%s)", resp.Status, resp.Error)
+	}
+
+	first := scrape(t, ts)
+	for _, want := range []string{
+		// server layer
+		`slicc_http_requests_total{route="/v1/sweeps",method="POST",code="200"}`,
+		"slicc_http_requests_in_flight",
+		"slicc_sweep_cells_completed_total",
+		// engine layer
+		"slicc_sims_requested_total",
+		"slicc_sims_executed_total",
+		"slicc_instructions_simulated_total",
+		// store layer
+		"slicc_store_entries",
+		"slicc_store_puts_total",
+		// tracing + process
+		"slicc_uptime_seconds",
+	} {
+		if _, ok := first[want]; !ok {
+			t.Errorf("missing sample %q", want)
+		}
+	}
+	if first["slicc_sims_executed_total"] == 0 {
+		t.Error("slicc_sims_executed_total is zero after a sweep")
+	}
+	if got := first["slicc_sweep_cells_completed_total"]; got != 4 {
+		t.Errorf("sweep cells completed = %v, want 4 (2x2 sweep)", got)
+	}
+	if first["slicc_store_entries"] == 0 || first["slicc_store_puts_total"] == 0 {
+		t.Errorf("store metrics empty: entries=%v puts=%v",
+			first["slicc_store_entries"], first["slicc_store_puts_total"])
+	}
+	// Spans from the sweep's own execution (sweep.run, runner.job, sim.run)
+	// land in the span histogram.
+	if first[`slicc_span_duration_seconds_count{span="sweep.run"}`] == 0 {
+		t.Errorf("no sweep.run spans recorded; samples: %v", keysWithPrefix(first, "slicc_span"))
+	}
+	if first[`slicc_span_duration_seconds_count{span="sim.run"}`] == 0 {
+		t.Errorf("no sim.run spans recorded")
+	}
+
+	// More traffic, then re-scrape: every *_total counter is monotonic.
+	if _, err := http.Get(ts.URL + "/healthz"); err != nil {
+		t.Fatal(err)
+	}
+	second := scrape(t, ts)
+	for k, v := range first {
+		if !strings.Contains(k, "_total") {
+			continue
+		}
+		if second[k] < v {
+			t.Errorf("counter %s went backwards: %v -> %v", k, v, second[k])
+		}
+	}
+	if second[`slicc_http_requests_total{route="/metrics",method="GET",code="200"}`] < 1 {
+		t.Error("the first scrape did not count itself")
+	}
+}
+
+func keysWithPrefix(m map[string]float64, prefix string) []string {
+	var out []string
+	for k := range m {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// TestAccessLogs checks the logging contract: exactly one "request" line
+// per request, each carrying the request ID the response header named,
+// and error bodies echoing the same ID.
+func TestAccessLogs(t *testing.T) {
+	ts, _, buf := newTelemetryServer(t, "")
+
+	get := func(path, reqID string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, ts.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reqID != "" {
+			req.Header.Set("X-Request-ID", reqID)
+		}
+		r, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+
+	r1 := get("/healthz", "")
+	if r1.Header.Get("X-Request-ID") == "" {
+		t.Error("no X-Request-ID generated for a bare request")
+	}
+	r1.Body.Close()
+
+	r2 := get("/v1/stats", "my-req.2")
+	if got := r2.Header.Get("X-Request-ID"); got != "my-req.2" {
+		t.Errorf("client request ID not echoed: %q", got)
+	}
+	r2.Body.Close()
+
+	// Malformed client IDs (spaces, over-long) are replaced, not echoed.
+	r3 := get("/healthz", "bad id with spaces")
+	if got := r3.Header.Get("X-Request-ID"); got == "bad id with spaces" || got == "" {
+		t.Errorf("malformed client ID handling: %q", got)
+	}
+	r3.Body.Close()
+
+	// A 404 carries the request ID in its JSON error body too.
+	r4 := get("/no/such/route", "err-req-4")
+	var errBody struct {
+		Error     string `json:"error"`
+		RequestID string `json:"request_id"`
+	}
+	if err := json.NewDecoder(r4.Body).Decode(&errBody); err != nil {
+		t.Fatal(err)
+	}
+	r4.Body.Close()
+	if r4.StatusCode != http.StatusNotFound || errBody.RequestID != "err-req-4" {
+		t.Errorf("error body: status %d, request_id %q", r4.StatusCode, errBody.RequestID)
+	}
+
+	// Exactly one access line per request, every one with the full field
+	// set, and the known IDs appear on their lines.
+	type accessLine struct {
+		Msg       string  `json:"msg"`
+		RequestID string  `json:"request_id"`
+		Method    string  `json:"method"`
+		Route     string  `json:"route"`
+		Path      string  `json:"path"`
+		Status    int     `json:"status"`
+		Duration  float64 `json:"duration"`
+	}
+	var access []accessLine
+	sc := bufio.NewScanner(strings.NewReader(buf.String()))
+	for sc.Scan() {
+		var line accessLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("unparseable log line %q: %v", sc.Text(), err)
+		}
+		if line.Msg != "request" {
+			continue
+		}
+		if line.RequestID == "" || line.Method == "" || line.Route == "" ||
+			line.Path == "" || line.Status == 0 || line.Duration == 0 {
+			t.Errorf("incomplete access line: %+v", line)
+		}
+		access = append(access, line)
+	}
+	if len(access) != 4 {
+		t.Fatalf("want 4 access lines, got %d:\n%s", len(access), buf.String())
+	}
+	byID := make(map[string]accessLine)
+	for _, l := range access {
+		byID[l.RequestID] = l
+	}
+	if l, ok := byID["my-req.2"]; !ok || l.Route != "/v1/stats" || l.Status != 200 {
+		t.Errorf("stats access line: %+v", l)
+	}
+	if l, ok := byID["err-req-4"]; !ok || l.Status != 404 || l.Route != "other" {
+		t.Errorf("404 access line: %+v", l)
+	}
+}
+
+// TestHealthzReadiness covers both sides of the readiness probe: a
+// writable store answers ok/rw, a vanished store directory degrades to
+// 503 with a reason. (Degradation is simulated by removing the directory
+// — permission tricks don't bite when tests run as root.)
+func TestHealthzReadiness(t *testing.T) {
+	dir := t.TempDir()
+	ts, _, _ := newTelemetryServer(t, dir)
+
+	r, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("healthy status %d", r.StatusCode)
+	}
+	if got := decode[map[string]string](t, r); got["status"] != "ok" || got["store"] != "rw" {
+		t.Fatalf("healthy body %v", got)
+	}
+
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degraded status %d, want 503", r2.StatusCode)
+	}
+	got := decode[map[string]string](t, r2)
+	if got["status"] != "degraded" || got["store"] != "error" || got["reason"] == "" {
+		t.Fatalf("degraded body %v", got)
+	}
+}
+
+// TestMetricsDuringStreamingSweep scrapes /metrics from several goroutines
+// while a streaming sweep runs and an SSE subscriber drains its events —
+// the registry-race test at the service level (meaningful under -race).
+func TestMetricsDuringStreamingSweep(t *testing.T) {
+	ts, _, _ := newTelemetryServer(t, "")
+
+	r, err := http.Post(ts.URL+"/v1/sweeps", "application/json", strings.NewReader(tinySweepBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := decode[sweepResponse](t, r).ID
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					scrape(t, ts)
+				}
+			}
+		}()
+	}
+	// Drain the event stream concurrently; it ends at the terminal event.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		er, err := http.Get(ts.URL + "/v1/sweeps/" + id + "/events")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer er.Body.Close()
+		sc := bufio.NewScanner(er.Body)
+		for sc.Scan() {
+		}
+	}()
+
+	wr, err := http.Get(ts.URL + "/v1/sweeps/" + id + "?wait=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := decode[sweepResponse](t, wr).Status; st != "done" {
+		t.Fatalf("sweep status %q", st)
+	}
+	close(stop)
+	wg.Wait()
+
+	final := scrape(t, ts)
+	if final["slicc_sweep_cells_completed_total"] != 4 {
+		t.Fatalf("cells completed %v", final["slicc_sweep_cells_completed_total"])
+	}
+	if final["slicc_http_requests_in_flight"] != 1 {
+		// Only the scrape itself is in flight.
+		t.Errorf("in flight %v, want 1", final["slicc_http_requests_in_flight"])
+	}
+}

@@ -55,11 +55,13 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -85,6 +87,9 @@ type Options struct {
 	// store is a cache of recomputable results, and a torn write after a
 	// crash is detected by checksum and treated as a miss.
 	Sync bool
+	// Logger receives store lifecycle events (today: eviction passes).
+	// Nil is silent.
+	Logger *slog.Logger
 }
 
 // Store is a content-addressed result store rooted at one directory.
@@ -100,6 +105,11 @@ type Store struct {
 	// slightly more than needed, which is safe (entries are recomputable).
 	evictMu sync.Mutex
 
+	// evictions counts entries this Store evicted under the MaxBytes
+	// budget (process-local: other processes sharing the directory keep
+	// their own count).
+	evictions atomic.Int64
+
 	mu     sync.Mutex
 	closed bool
 }
@@ -110,6 +120,10 @@ type Stats struct {
 	Entries int
 	// Bytes is their total size.
 	Bytes int64
+	// Evictions counts entries evicted under the MaxBytes budget by this
+	// Store since it was opened (process-local, unlike Entries/Bytes
+	// which describe the shared directory).
+	Evictions int64
 }
 
 // EntryInfo describes one entry found by Scan.
@@ -330,9 +344,10 @@ func (s *Store) Delete(key string) error {
 	return nil
 }
 
-// Stats scans the directory and reports entry count and total size.
+// Stats scans the directory and reports entry count and total size, plus
+// this Store's process-local eviction count.
 func (s *Store) Stats() (Stats, error) {
-	var st Stats
+	st := Stats{Evictions: s.evictions.Load()}
 	err := s.scanFiles(func(path string, de fs.DirEntry) error {
 		info, err := de.Info()
 		if err != nil {
@@ -436,6 +451,8 @@ func (s *Store) evict(spare string) {
 		return
 	}
 	sort.Slice(files, func(i, j int) bool { return files[i].mtime.Before(files[j].mtime) })
+	var evicted int
+	var freed int64
 	for _, f := range files {
 		if total <= s.opts.MaxBytes {
 			break
@@ -445,6 +462,16 @@ func (s *Store) evict(spare string) {
 		}
 		if os.Remove(f.path) == nil || !fileExists(f.path) {
 			total -= f.size
+			evicted++
+			freed += f.size
+		}
+	}
+	if evicted > 0 {
+		s.evictions.Add(int64(evicted))
+		if s.opts.Logger != nil {
+			s.opts.Logger.Info("store eviction",
+				"evicted", evicted, "freed_bytes", freed,
+				"remaining_bytes", total, "max_bytes", s.opts.MaxBytes)
 		}
 	}
 }

@@ -5,9 +5,11 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"log/slog"
 	"strconv"
 
 	"slicc/internal/runner"
+	"slicc/internal/telemetry"
 )
 
 // CellResult is one expanded cell with its measured metrics. Speedup is
@@ -78,6 +80,9 @@ func run(ctx context.Context, pool *runner.Pool, spec Spec, batched bool) (*Resu
 	jobs := make([]runner.Job, 0, len(ex.jobs)+len(ex.baseJobs))
 	jobs = append(jobs, ex.jobs...)
 	jobs = append(jobs, ex.baseJobs...)
+	ctx, sp := telemetry.StartSpan(ctx, "sweep.run",
+		slog.Int("cells", len(ex.cells)), slog.Int("jobs", len(jobs)))
+	defer sp.End()
 	var rs []runner.Result
 	if batched {
 		rs, err = pool.RunBatched(ctx, jobs)

@@ -10,9 +10,11 @@ package sweep
 
 import (
 	"context"
+	"log/slog"
 	"sync"
 
 	"slicc/internal/runner"
+	"slicc/internal/telemetry"
 )
 
 // Event types.
@@ -78,6 +80,9 @@ func RunStream(ctx context.Context, pool *runner.Pool, spec Spec, emit func(Even
 	jobs := make([]runner.Job, 0, len(ex.jobs)+len(ex.baseJobs))
 	jobs = append(jobs, ex.jobs...)
 	jobs = append(jobs, ex.baseJobs...)
+	ctx, sp := telemetry.StartSpan(ctx, "sweep.run",
+		slog.Int("cells", len(ex.cells)), slog.Int("jobs", len(jobs)))
+	defer sp.End()
 
 	var (
 		mu        sync.Mutex

@@ -1,0 +1,78 @@
+// Package telemetrytest holds test helpers for the telemetry package's
+// Prometheus exposition: a strict little parser that both the registry's
+// own golden tests and the server's /metrics tests share.
+package telemetrytest
+
+import (
+	"bufio"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// ParsePrometheus validates text-format exposition line shapes (HELP/TYPE
+// headers, known types, one value per series, no stray comments) and
+// returns sample key (name plus label block) -> value. Malformed input
+// fails the test.
+func ParsePrometheus(t testing.TB, text string) map[string]float64 {
+	t.Helper()
+	samples := make(map[string]float64)
+	types := make(map[string]string)
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			switch parts[3] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("unknown metric type in %q", line)
+			}
+			types[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("unexpected comment line %q", line)
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		key, val := line[:sp], line[sp+1:]
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		base := key
+		if i := strings.IndexByte(base, '{'); i >= 0 {
+			if !strings.HasSuffix(base, "}") {
+				t.Fatalf("malformed label block in %q", line)
+			}
+			base = base[:i]
+		}
+		fam := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(base, "_bucket"), "_sum"), "_count")
+		if _, ok := types[fam]; !ok {
+			if _, ok := types[base]; !ok {
+				t.Fatalf("sample %q has no TYPE header", line)
+			}
+		}
+		if _, dup := samples[key]; dup {
+			t.Fatalf("duplicate sample %q", key)
+		}
+		samples[key] = f
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return samples
+}

@@ -1,0 +1,121 @@
+package telemetry
+
+// Lightweight request tracing. A Span is a named, timed unit of work with
+// a trace ID (shared by every span of one request) and a span ID, carried
+// through context so layers that know nothing about each other — HTTP
+// handler, engine, runner job, sim run — end up in one tree. Spans are
+// emitted as structured log events at debug level and their durations
+// feed a histogram via the Tracer's OnSpan hook; there is no in-memory
+// span store or export protocol, deliberately: the log stream *is* the
+// trace sink, grep-able by trace ID.
+//
+// Cost model: StartSpan is two context lookups and a context allocation;
+// End is a time.Since, a hook call and a debug log. That is fine at
+// request/job/cell granularity and forbidden in the per-instruction loop.
+// Without a Tracer in context, StartSpan returns a nil span whose methods
+// are no-ops, so instrumented library code costs one context lookup when
+// telemetry is off.
+
+import (
+	"context"
+	"log/slog"
+	"time"
+)
+
+// Tracer is the per-process span sink: where finished spans are logged
+// and how their durations are aggregated. Attach one to a context root
+// (sliccd does this once at startup) to activate the spans beneath it.
+type Tracer struct {
+	// Logger receives one debug event per finished span. Nil discards.
+	Logger *slog.Logger
+	// OnSpan, if set, is called with each finished span's name and
+	// duration — the bridge into the span-duration histogram.
+	OnSpan func(name string, d time.Duration)
+}
+
+// WithTracer returns ctx carrying t, activating StartSpan beneath it.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	return context.WithValue(ctx, tracerKey, t)
+}
+
+// tracerFrom returns the Tracer carried by ctx, nil when absent.
+func tracerFrom(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerKey).(*Tracer)
+	return t
+}
+
+// Span is one timed unit of work. A nil *Span is valid and inert, so
+// callers never branch on whether tracing is active.
+type Span struct {
+	tracer *Tracer
+	// Trace is the trace ID shared by the request's whole span tree (the
+	// request ID when one is in context); Parent is the enclosing span's
+	// ID, "" at the root.
+	Trace  string
+	ID     string
+	Parent string
+	Name   string
+	start  time.Time
+	attrs  []slog.Attr
+}
+
+// StartSpan begins a span named name under any enclosing span in ctx and
+// returns a context carrying it as the new parent. Without a Tracer in
+// ctx it returns (ctx, nil) — and nil spans no-op — so instrumented code
+// needs no telemetry-enabled check.
+func StartSpan(ctx context.Context, name string, attrs ...slog.Attr) (context.Context, *Span) {
+	t := tracerFrom(ctx)
+	if t == nil {
+		return ctx, nil
+	}
+	s := &Span{
+		tracer: t,
+		Trace:  RequestID(ctx),
+		ID:     NewRequestID(),
+		Name:   name,
+		start:  time.Now(),
+		attrs:  attrs,
+	}
+	if s.Trace == "" {
+		s.Trace = s.ID
+	}
+	if parent, ok := ctx.Value(spanKey).(*Span); ok && parent != nil {
+		s.Parent = parent.ID
+	}
+	return context.WithValue(ctx, spanKey, s), s
+}
+
+// SetAttrs appends attributes emitted with the span's end event.
+func (s *Span) SetAttrs(attrs ...slog.Attr) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, attrs...)
+}
+
+// End finishes the span: duration into the tracer's OnSpan hook, one
+// debug log event with the span's identity and attributes.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	d := time.Since(s.start)
+	if s.tracer.OnSpan != nil {
+		s.tracer.OnSpan(s.Name, d)
+	}
+	if s.tracer.Logger == nil {
+		return
+	}
+	attrs := make([]slog.Attr, 0, len(s.attrs)+5)
+	attrs = append(attrs,
+		slog.String("span", s.Name),
+		slog.String("trace_id", s.Trace),
+		slog.String("span_id", s.ID),
+	)
+	if s.Parent != "" {
+		attrs = append(attrs, slog.String("parent_id", s.Parent))
+	}
+	attrs = append(attrs, slog.Duration("duration", d))
+	attrs = append(attrs, s.attrs...)
+	s.tracer.Logger.LogAttrs(context.Background(), slog.LevelDebug, "span", attrs...)
+}

@@ -15,6 +15,8 @@ package sdk
 import (
 	"bytes"
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -26,6 +28,35 @@ import (
 	"slicc"
 )
 
+// Every request carries an X-Request-ID header — caller-provided via
+// WithRequestID, otherwise generated — which the service echoes in its
+// response header, error bodies and access log. An APIError carries the
+// ID back, so a failing call's error string names the exact server log
+// line to look at.
+
+// requestIDKey carries a caller-chosen request ID in a context.
+type requestIDKey struct{}
+
+// WithRequestID returns a context that pins the X-Request-ID the client
+// sends for requests made with it (at most 64 bytes of letters, digits,
+// '.', '_' and '-', or the service substitutes its own). Without it every
+// request gets a fresh generated ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// requestID returns the context's pinned request ID or a generated one.
+func requestID(ctx context.Context) string {
+	if id, ok := ctx.Value(requestIDKey{}).(string); ok && id != "" {
+		return id
+	}
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
 // ErrSweepGone reports that the service no longer tracks the requested
 // sweep: it was evicted, or the service restarted. The recovery is to
 // re-POST the spec — ids are content keys, so the resubmitted sweep has
@@ -34,13 +65,19 @@ import (
 var ErrSweepGone = errors.New("sweep no longer tracked by the service")
 
 // APIError is a non-2xx response from the service, carrying its JSON
-// error message.
+// error message and the request ID the failing exchange used.
 type APIError struct {
 	StatusCode int
 	Message    string
+	// RequestID identifies the failed request in the service's logs (from
+	// the error body, falling back to the X-Request-ID response header).
+	RequestID string
 }
 
 func (e *APIError) Error() string {
+	if e.RequestID != "" {
+		return fmt.Sprintf("sliccd: %d: %s (request %s)", e.StatusCode, e.Message, e.RequestID)
+	}
 	return fmt.Sprintf("sliccd: %d: %s", e.StatusCode, e.Message)
 }
 
@@ -66,11 +103,21 @@ type Sweep struct {
 	Error     string                  `json:"error,omitempty"`
 }
 
+// StoreStats mirrors the store block of GET /v1/stats.
+type StoreStats struct {
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+	Evictions int64 `json:"evictions"`
+}
+
 // Stats mirrors GET /v1/stats.
 type Stats struct {
-	Engine      slicc.EngineStats `json:"engine"`
-	Simulations int               `json:"simulations"`
-	Sweeps      int               `json:"sweeps"`
+	Engine slicc.EngineStats `json:"engine"`
+	// Store is nil when the service runs without a persistent store.
+	Store         *StoreStats `json:"store,omitempty"`
+	Simulations   int         `json:"simulations"`
+	Sweeps        int         `json:"sweeps"`
+	UptimeSeconds float64     `json:"uptime_seconds"`
 }
 
 // Client talks to one sliccd instance. The zero value is not usable; call
@@ -142,6 +189,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	req.Header.Set("X-Request-ID", requestID(ctx))
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return err
@@ -158,17 +206,23 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 }
 
 // decodeAPIError turns a non-2xx response into an *APIError, preserving
-// the service's message when the body is its JSON error envelope.
+// the service's message and request ID when the body is its JSON error
+// envelope.
 func decodeAPIError(resp *http.Response) error {
 	b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 	var env struct {
-		Error string `json:"error"`
+		Error     string `json:"error"`
+		RequestID string `json:"request_id"`
 	}
 	msg := strings.TrimSpace(string(b))
+	reqID := resp.Header.Get("X-Request-ID")
 	if json.Unmarshal(b, &env) == nil && env.Error != "" {
 		msg = env.Error
+		if env.RequestID != "" {
+			reqID = env.RequestID
+		}
 	}
-	return &APIError{StatusCode: resp.StatusCode, Message: msg}
+	return &APIError{StatusCode: resp.StatusCode, Message: msg, RequestID: reqID}
 }
 
 // waitQuery appends ?wait=1 when wait is set.

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -280,5 +281,45 @@ func TestSweepGoneMapsTo404(t *testing.T) {
 	_, err := c.Sweep(context.Background(), "nope", false)
 	if !errors.As(err, &ae) || ae.StatusCode != http.StatusNotFound {
 		t.Fatalf("ErrSweepGone lost its APIError: %v", err)
+	}
+}
+
+// TestRequestIDs checks the client side of the request-ID contract: every
+// request sends X-Request-ID, a pinned ID survives the round trip, and a
+// failing call's error carries the ID for log correlation.
+func TestRequestIDs(t *testing.T) {
+	var seen atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		seen.Store(id)
+		w.Header().Set("X-Request-ID", id)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		fmt.Fprintf(w, `{"error":"nope","request_id":%q}`, id)
+	}))
+	t.Cleanup(ts.Close)
+	c := New(ts.URL)
+
+	_, err := c.Stats(context.Background())
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("want APIError, got %v", err)
+	}
+	auto, _ := seen.Load().(string)
+	if auto == "" {
+		t.Fatal("client sent no X-Request-ID")
+	}
+	if ae.RequestID != auto {
+		t.Fatalf("error RequestID %q, header sent %q", ae.RequestID, auto)
+	}
+	if got := ae.Error(); !strings.Contains(got, auto) || !strings.Contains(got, "nope") {
+		t.Fatalf("error string %q misses id or message", got)
+	}
+
+	// A caller-pinned ID is used verbatim.
+	ctx := WithRequestID(context.Background(), "pinned-id-1")
+	_, err = c.Stats(ctx)
+	if errors.As(err, &ae); ae.RequestID != "pinned-id-1" {
+		t.Fatalf("pinned id lost: %+v", ae)
 	}
 }

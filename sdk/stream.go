@@ -59,6 +59,7 @@ func (st *SweepStream) connect() error {
 	if st.lastSeq > 0 {
 		req.Header.Set("Last-Event-ID", strconv.Itoa(st.lastSeq))
 	}
+	req.Header.Set("X-Request-ID", requestID(st.ctx))
 	resp, err := st.c.http.Do(req)
 	if err != nil {
 		return err
