@@ -26,6 +26,11 @@
 // match, and -min-warm-speedup fails when a store-warmed run is no longer
 // at least N times faster than a cold one — the guard on the store's
 // whole reason to exist, and the contract crash/resume is built on.
+// -min-mem-speedup holds the store's in-memory hot tier at N times a disk
+// hit (store.BenchmarkGetHit vs BenchmarkGetHitMem), and
+// -min-respcache-speedup holds both of sliccd's warm-GET fast paths —
+// cached response bytes and If-None-Match 304s — at N times the uncached
+// marshal (server.BenchmarkServerWarmGet sub-benchmarks).
 //
 // -baseline takes a comma-separated list of trajectory files. Baseline
 // names may carry a "pkg." prefix (e.g. "store.BenchmarkPut" for
@@ -51,6 +56,8 @@ func main() {
 		timeTol  = flag.Float64("time-tolerance", 4.0, "allowed fractional slowdown vs a recorded ns/op (4.0 = fail above 5x)")
 		minRatio = flag.Float64("min-batch-ratio", 0, "minimum BenchmarkSweepBatch batched/scalar rate ratio (0 disables)")
 		minWarm  = flag.Float64("min-warm-speedup", 0, "minimum BenchmarkStoreColdRun/BenchmarkStoreWarmRun ns/op ratio (0 disables)")
+		minMem   = flag.Float64("min-mem-speedup", 0, "minimum BenchmarkGetHit/BenchmarkGetHitMem ns/op ratio — disk vs memory-tier store hit (0 disables)")
+		minResp  = flag.Float64("min-respcache-speedup", 0, "minimum BenchmarkServerWarmGet uncached/cached and uncached/notmodified ns/op ratios (0 disables)")
 	)
 	flag.Parse()
 
@@ -75,7 +82,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchgate: no benchmark results on stdin")
 		os.Exit(2)
 	}
-	failures := gate(os.Stdout, results, floors, *tol, *timeTol, *minRatio, *minWarm)
+	failures := gate(os.Stdout, results, floors, *tol, *timeTol, *minRatio, *minWarm, *minMem, *minResp)
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "benchgate: %d benchmark(s) below floor\n", failures)
 		os.Exit(1)
@@ -192,7 +199,7 @@ func latestFloors(data []byte, floors map[string]benchResult) error {
 // gate prints a verdict table and returns the failure count. Benchmarks
 // with no recorded baseline pass (reported as such); the host-independent
 // ratio checks run when their flags are > 0.
-func gate(w io.Writer, results, floors map[string]benchResult, tol, timeTol, minRatio, minWarm float64) int {
+func gate(w io.Writer, results, floors map[string]benchResult, tol, timeTol, minRatio, minWarm, minMem, minResp float64) int {
 	failures := 0
 	names := make([]string, 0, len(results))
 	for name := range results {
@@ -248,19 +255,38 @@ func gate(w io.Writer, results, floors map[string]benchResult, tol, timeTol, min
 		}
 	}
 	if minWarm > 0 {
-		cold, okC := results["BenchmarkStoreColdRun"]["ns/op"]
-		warm, okW := results["BenchmarkStoreWarmRun"]["ns/op"]
-		switch {
-		case !okC || !okW || warm <= 0:
-			failures++
-			fmt.Fprintf(w, "FAIL  warm-store speedup: BenchmarkStore{Cold,Warm}Run missing from input\n")
-		case cold/warm < minWarm:
-			failures++
-			fmt.Fprintf(w, "FAIL  warm-store speedup %.1fx < %.1fx (cold %.0f, warm %.0f ns/op)\n",
-				cold/warm, minWarm, cold, warm)
-		default:
-			fmt.Fprintf(w, "PASS  warm-store speedup %.1fx (>= %.1fx)\n", cold/warm, minWarm)
-		}
+		failures += speedup(w, results, "warm-store",
+			"BenchmarkStoreColdRun", "BenchmarkStoreWarmRun", minWarm)
+	}
+	if minMem > 0 {
+		failures += speedup(w, results, "mem-tier hit",
+			"BenchmarkGetHit", "BenchmarkGetHitMem", minMem)
+	}
+	if minResp > 0 {
+		failures += speedup(w, results, "response-cache",
+			"BenchmarkServerWarmGet/uncached", "BenchmarkServerWarmGet/cached", minResp)
+		failures += speedup(w, results, "not-modified",
+			"BenchmarkServerWarmGet/uncached", "BenchmarkServerWarmGet/notmodified", minResp)
 	}
 	return failures
+}
+
+// speedup checks the host-independent ns/op ratio slow/fast >= min, both
+// series coming from the same run on the same machine. Returns 1 on
+// failure (either series missing, or ratio below min), 0 on pass.
+func speedup(w io.Writer, results map[string]benchResult, label, slow, fast string, min float64) int {
+	s, okS := results[slow]["ns/op"]
+	f, okF := results[fast]["ns/op"]
+	switch {
+	case !okS || !okF || f <= 0:
+		fmt.Fprintf(w, "FAIL  %s speedup: %s or %s missing from input\n", label, slow, fast)
+		return 1
+	case s/f < min:
+		fmt.Fprintf(w, "FAIL  %s speedup %.1fx < %.1fx (%s %.0f, %s %.0f ns/op)\n",
+			label, s/f, min, slow, s, fast, f)
+		return 1
+	default:
+		fmt.Fprintf(w, "PASS  %s speedup %.1fx (>= %.1fx)\n", label, s/f, min)
+		return 0
+	}
 }

@@ -44,6 +44,12 @@ PASS
 pkg: slicc/internal/store
 BenchmarkPut-16             	   10000	    110289 ns/op	  37.14 MB/s	    5671 B/op	      15 allocs/op
 BenchmarkGetHit-16          	  130000	      8921 ns/op	 459.12 MB/s	    5720 B/op	      10 allocs/op
+BenchmarkGetHitMem-16       	 9000000	       121 ns/op	33851.20 MB/s	       0 B/op	       0 allocs/op
+PASS
+pkg: slicc/internal/server
+BenchmarkServerWarmGet/uncached-16     	   80000	     14832 ns/op	    9321 B/op	      63 allocs/op
+BenchmarkServerWarmGet/cached-16       	  400000	      2716 ns/op	    1544 B/op	      18 allocs/op
+BenchmarkServerWarmGet/notmodified-16  	  500000	      2231 ns/op	    1322 B/op	      16 allocs/op
 PASS
 `
 
@@ -139,14 +145,14 @@ func TestGate(t *testing.T) {
 	floors := loadFloors(t, sampleBaseline)
 
 	var out strings.Builder
-	if n := gate(&out, results, floors, 0.35, 4.0, 0.75, 0); n != 0 {
+	if n := gate(&out, results, floors, 0.35, 4.0, 0.75, 0, 0, 0); n != 0 {
 		t.Fatalf("clean run failed %d gate(s):\n%s", n, out.String())
 	}
 
 	// A collapsed rate must fail: drop base to half its floor-with-tolerance.
 	results["BenchmarkMachineRun/base"]["instr/s"] = 15421476 * 0.3
 	out.Reset()
-	if n := gate(&out, results, floors, 0.35, 4.0, 0, 0); n != 1 {
+	if n := gate(&out, results, floors, 0.35, 4.0, 0, 0, 0, 0); n != 1 {
 		t.Fatalf("regressed run reported %d failures, want 1:\n%s", n, out.String())
 	}
 
@@ -155,7 +161,7 @@ func TestGate(t *testing.T) {
 	results["BenchmarkMachineRun/base"]["instr/s"] = 15421476
 	results["BenchmarkMachineRun/base"]["ns/op"] = 221508045 * 6
 	out.Reset()
-	if n := gate(&out, results, floors, 0.35, 4.0, 0, 0); n != 1 {
+	if n := gate(&out, results, floors, 0.35, 4.0, 0, 0, 0, 0); n != 1 {
 		t.Fatalf("slow run reported %d failures, want 1:\n%s", n, out.String())
 	}
 	results["BenchmarkMachineRun/base"]["ns/op"] = 221508045
@@ -164,7 +170,7 @@ func TestGate(t *testing.T) {
 	// even when its absolute floor (with tolerance) still passes.
 	results["BenchmarkSweepBatch/batched"]["cells/s"] = 5.637 * 0.70
 	out.Reset()
-	if n := gate(&out, results, floors, 0.35, 4.0, 0.75, 0); n != 1 {
+	if n := gate(&out, results, floors, 0.35, 4.0, 0.75, 0, 0, 0); n != 1 {
 		t.Fatalf("batch-ratio regression reported %d failures, want 1:\n%s", n, out.String())
 	}
 
@@ -172,7 +178,7 @@ func TestGate(t *testing.T) {
 	delete(floors, "BenchmarkSweepBatch/batched")
 	results["BenchmarkSweepBatch/batched"]["cells/s"] = 5.998
 	out.Reset()
-	if n := gate(&out, results, floors, 0.35, 4.0, 0.75, 0); n != 0 {
+	if n := gate(&out, results, floors, 0.35, 4.0, 0.75, 0, 0, 0); n != 0 {
 		t.Fatalf("unknown benchmark failed the gate:\n%s", out.String())
 	}
 	if !strings.Contains(out.String(), "no recorded floor") {
@@ -185,7 +191,7 @@ func TestGateWarmSpeedup(t *testing.T) {
 	floors := loadFloors(t, sampleStoreBaseline)
 
 	var out strings.Builder
-	if n := gate(&out, results, floors, 0.35, 4.0, 0, 20); n != 0 {
+	if n := gate(&out, results, floors, 0.35, 4.0, 0, 20, 0, 0); n != 0 {
 		t.Fatalf("clean store run failed %d gate(s):\n%s", n, out.String())
 	}
 	if !strings.Contains(out.String(), "warm-store speedup") {
@@ -197,14 +203,74 @@ func TestGateWarmSpeedup(t *testing.T) {
 	// with their generous host tolerance, could still pass.
 	results["BenchmarkStoreWarmRun"]["ns/op"] = results["BenchmarkStoreColdRun"]["ns/op"] / 10
 	out.Reset()
-	if n := gate(&out, results, floors, 0.35, 1000, 0, 20); n != 1 {
+	if n := gate(&out, results, floors, 0.35, 1000, 0, 20, 0, 0); n != 1 {
 		t.Fatalf("degraded warm run reported %d failures, want 1:\n%s", n, out.String())
 	}
 
 	// Missing series is a failure, not a silent pass.
 	delete(results, "BenchmarkStoreWarmRun")
 	out.Reset()
-	if n := gate(&out, results, floors, 0.35, 1000, 0, 20); n != 1 {
+	if n := gate(&out, results, floors, 0.35, 1000, 0, 20, 0, 0); n != 1 {
 		t.Fatalf("missing warm series reported %d failures, want 1:\n%s", n, out.String())
+	}
+}
+
+func TestGateMemSpeedup(t *testing.T) {
+	results, _ := parseBench(strings.NewReader(sampleStoreBench))
+	floors := loadFloors(t, sampleStoreBaseline)
+
+	// Sample: disk hit 8921 ns vs mem hit 121 ns, ~74x — passes >= 5x.
+	var out strings.Builder
+	if n := gate(&out, results, floors, 0.35, 4.0, 0, 0, 5, 0); n != 0 {
+		t.Fatalf("clean mem-tier run failed %d gate(s):\n%s", n, out.String())
+	}
+	if !strings.Contains(out.String(), "mem-tier hit speedup") {
+		t.Fatalf("mem-speedup check not reported:\n%s", out.String())
+	}
+
+	// A mem hit degraded to disk speed (tier silently disabled) must fail
+	// even though its absolute time would pass any host tolerance.
+	results["BenchmarkGetHitMem"]["ns/op"] = results["BenchmarkGetHit"]["ns/op"] * 0.5
+	out.Reset()
+	if n := gate(&out, results, floors, 0.35, 1000, 0, 0, 5, 0); n != 1 {
+		t.Fatalf("degraded mem tier reported %d failures, want 1:\n%s", n, out.String())
+	}
+
+	// Missing series fails loudly.
+	delete(results, "BenchmarkGetHitMem")
+	out.Reset()
+	if n := gate(&out, results, floors, 0.35, 1000, 0, 0, 5, 0); n != 1 {
+		t.Fatalf("missing mem series reported %d failures, want 1:\n%s", n, out.String())
+	}
+}
+
+func TestGateRespCacheSpeedup(t *testing.T) {
+	results, _ := parseBench(strings.NewReader(sampleStoreBench))
+	floors := loadFloors(t, sampleStoreBaseline)
+
+	// Sample: uncached 14832 ns vs cached 2716 / 304 2231 — both >= 5x.
+	var out strings.Builder
+	if n := gate(&out, results, floors, 0.35, 4.0, 0, 0, 0, 5); n != 0 {
+		t.Fatalf("clean response-cache run failed %d gate(s):\n%s", n, out.String())
+	}
+	for _, want := range []string{"response-cache speedup", "not-modified speedup"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("missing %q in report:\n%s", want, out.String())
+		}
+	}
+
+	// The flag gates BOTH ratios: a slow 304 path alone must fail.
+	results["BenchmarkServerWarmGet/notmodified"]["ns/op"] =
+		results["BenchmarkServerWarmGet/uncached"]["ns/op"] * 0.5
+	out.Reset()
+	if n := gate(&out, results, floors, 0.35, 1000, 0, 0, 0, 5); n != 1 {
+		t.Fatalf("degraded 304 path reported %d failures, want 1:\n%s", n, out.String())
+	}
+
+	// Missing sub-benchmarks fail both ratio checks loudly.
+	delete(results, "BenchmarkServerWarmGet/uncached")
+	out.Reset()
+	if n := gate(&out, results, floors, 0.35, 1000, 0, 0, 0, 5); n != 2 {
+		t.Fatalf("missing uncached series reported %d failures, want 2:\n%s", n, out.String())
 	}
 }

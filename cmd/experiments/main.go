@@ -53,6 +53,7 @@ func main() {
 		progress = flag.Bool("progress", false, "report live simulation progress on stderr")
 		storeDir = flag.String("store", "", "persist results in the content-addressed store at this directory; a warm store re-renders without simulating (see docs/SERVICE.md)")
 		storeMB  = flag.Int64("store-max-mb", 0, "evict least-recently-used store entries past this many MB (0 = unlimited)")
+		storeMem = flag.Int64("store-mem-mb", 0, "serve repeated store reads from an in-memory hot tier of this many MB (0 = disabled)")
 		verbose  = flag.Bool("v", false, "report wall-clock and simulated instructions/sec on exit")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (perf tuning)")
 	)
@@ -96,7 +97,7 @@ func main() {
 		w = f
 	}
 
-	opts := slicc.EngineOptions{Workers: *workers, StoreDir: *storeDir, StoreMaxBytes: *storeMB << 20}
+	opts := slicc.EngineOptions{Workers: *workers, StoreDir: *storeDir, StoreMaxBytes: *storeMB << 20, StoreMemBytes: *storeMem << 20}
 	if *progress {
 		opts.Progress = func(done, scheduled int) {
 			fmt.Fprintf(os.Stderr, "\rsimulations %d/%d ", done, scheduled)

@@ -42,15 +42,16 @@ import (
 
 // options carries the parsed flag set into run.
 type options struct {
-	addr      string
-	storeDir  string
-	storeMB   int64
-	workers   int
-	timeout   time.Duration
-	grace     time.Duration
-	logFormat string
-	logLevel  string
-	pprof     bool
+	addr       string
+	storeDir   string
+	storeMB    int64
+	storeMemMB int64
+	workers    int
+	timeout    time.Duration
+	grace      time.Duration
+	logFormat  string
+	logLevel   string
+	pprof      bool
 }
 
 func main() {
@@ -58,6 +59,7 @@ func main() {
 		addr     = flag.String("addr", "127.0.0.1:8080", "listen address (host:0 picks a free port)")
 		storeDir = flag.String("store", "", "persist results in the content-addressed store at this directory")
 		storeMB  = flag.Int64("store-max-mb", 0, "evict least-recently-used store entries past this many MB (0 = unlimited)")
+		storeMem = flag.Int64("store-mem-mb", 0, "serve repeated store reads from an in-memory hot tier of this many MB (0 = disabled)")
 		workers  = flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulation workers")
 		timeout  = flag.Duration("timeout", 2*time.Minute, "request timeout for experiment runs and ?wait=1 polls")
 		grace    = flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight requests")
@@ -68,7 +70,7 @@ func main() {
 	flag.Parse()
 
 	opts := options{
-		addr: *addr, storeDir: *storeDir, storeMB: *storeMB, workers: *workers,
+		addr: *addr, storeDir: *storeDir, storeMB: *storeMB, storeMemMB: *storeMem, workers: *workers,
 		timeout: *timeout, grace: *grace,
 		logFormat: *logFmt, logLevel: *logLvl, pprof: *pprofOn,
 	}
@@ -89,6 +91,7 @@ func run(o options) error {
 		Workers:       o.workers,
 		StoreDir:      o.storeDir,
 		StoreMaxBytes: o.storeMB << 20,
+		StoreMemBytes: o.storeMemMB << 20,
 		Logger:        logger,
 	})
 	if err != nil {

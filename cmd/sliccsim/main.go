@@ -45,6 +45,7 @@ func main() {
 		asJSON       = flag.Bool("json", false, "emit the result as JSON (the sliccd wire encoding) instead of text")
 		storeDir     = flag.String("store", "", "persist results in the content-addressed store at this directory (see docs/SERVICE.md)")
 		storeMB      = flag.Int64("store-max-mb", 0, "evict least-recently-used store entries past this many MB (0 = unlimited)")
+		storeMem     = flag.Int64("store-mem-mb", 0, "serve repeated store reads from an in-memory hot tier of this many MB (0 = disabled)")
 	)
 	flag.Parse()
 
@@ -80,7 +81,7 @@ func main() {
 
 	// All runs go through an engine so -store works uniformly; without
 	// -store this is the same fresh in-memory pool slicc.Run would use.
-	engine, err := slicc.NewEngine(slicc.EngineOptions{StoreDir: *storeDir, StoreMaxBytes: *storeMB << 20})
+	engine, err := slicc.NewEngine(slicc.EngineOptions{StoreDir: *storeDir, StoreMaxBytes: *storeMB << 20, StoreMemBytes: *storeMem << 20})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

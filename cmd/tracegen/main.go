@@ -42,6 +42,7 @@ func main() {
 		analyze  = flag.Bool("analyze", false, "print a reuse-distance analysis of the selected thread")
 		storeDir = flag.String("store", "", "after -dump-all/-verify, run a baseline replay of the container on a store-backed engine, warming the result store at this directory (see docs/SERVICE.md)")
 		storeMB  = flag.Int64("store-max-mb", 0, "evict least-recently-used store entries past this many MB (0 = unlimited)")
+		storeMem = flag.Int64("store-mem-mb", 0, "serve repeated store reads from an in-memory hot tier of this many MB (0 = disabled)")
 	)
 	flag.Parse()
 
@@ -65,7 +66,7 @@ func main() {
 			fatal(err)
 		}
 		if *verify == "" {
-			if err := warmStore(*storeDir, *storeMB, *dumpAll); err != nil {
+			if err := warmStore(*storeDir, *storeMB, *storeMem, *dumpAll); err != nil {
 				fatal(err)
 			}
 			return
@@ -75,7 +76,7 @@ func main() {
 		if err := verifyContainer(w, *verify); err != nil {
 			fatal(err)
 		}
-		if err := warmStore(*storeDir, *storeMB, *verify); err != nil {
+		if err := warmStore(*storeDir, *storeMB, *storeMem, *verify); err != nil {
 			fatal(err)
 		}
 		return
@@ -158,11 +159,11 @@ func fatal(err error) {
 // a store-backed engine, so the capture's first simulation result (keyed by
 // the container's content digest) is already persisted when experiments or
 // sliccd later replay the same recording. A no-op without -store.
-func warmStore(dir string, maxMB int64, path string) error {
+func warmStore(dir string, maxMB, memMB int64, path string) error {
 	if dir == "" {
 		return nil
 	}
-	eng, err := slicc.NewEngine(slicc.EngineOptions{StoreDir: dir, StoreMaxBytes: maxMB << 20})
+	eng, err := slicc.NewEngine(slicc.EngineOptions{StoreDir: dir, StoreMaxBytes: maxMB << 20, StoreMemBytes: memMB << 20})
 	if err != nil {
 		return err
 	}

@@ -98,4 +98,15 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("service state: sweep %s %s (%d/%d cells)\n", sw.ID[:12], sw.Status, sw.Completed, sw.Total)
+
+	// Poll again: the sweep is done, so the client sent the ETag it just
+	// saw and the service answered 304 Not Modified — no body on the
+	// wire, no marshaling on the server, same typed result here.
+	sw2, err := client.Sweep(context.Background(), id, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if sw2.NotModified {
+		fmt.Println("second poll: 304 Not Modified — replayed from the client's ETag cache")
+	}
 }

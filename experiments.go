@@ -107,6 +107,12 @@ type EngineOptions struct {
 	// StoreMaxBytes bounds the store directory's size (0 = unlimited);
 	// least-recently-used entries are evicted past the budget.
 	StoreMaxBytes int64
+	// StoreMemBytes bounds the store's sharded in-memory hot tier
+	// (0 = disabled): repeated reads of the same result are served from
+	// memory with no disk I/O or checksum work. Safe to enable alongside
+	// other processes sharing the directory — entries are immutable, so
+	// the tier can never serve stale bytes.
+	StoreMemBytes int64
 	// Logger receives engine lifecycle events (store evictions today).
 	// Nil is silent. Request-scoped logging and tracing travel through
 	// the ctx passed to Run/Sweep/Experiment instead, so library use
@@ -165,7 +171,7 @@ func NewEngine(o EngineOptions) (*Engine, error) {
 	var st *store.Store
 	if o.StoreDir != "" {
 		var err error
-		st, err = store.Open(o.StoreDir, store.Options{MaxBytes: o.StoreMaxBytes, Logger: o.Logger})
+		st, err = store.Open(o.StoreDir, store.Options{MaxBytes: o.StoreMaxBytes, MemBytes: o.StoreMemBytes, Logger: o.Logger})
 		if err != nil {
 			return nil, fmt.Errorf("slicc: opening result store: %w", err)
 		}
@@ -248,15 +254,24 @@ func (e *Engine) ExperimentWith(ctx context.Context, id string, o ExperimentOpti
 	return run(experiments.Options{Quick: o.Quick, Seed: o.Seed, TracePath: o.TracePath, Ctx: ctx, Pool: e.pool})
 }
 
-// StoreStats snapshots the engine's persistent result store.
+// StoreStats snapshots the engine's persistent result store and its
+// in-memory hot tier (mirrors store.Stats).
 type StoreStats struct {
 	// Entries / Bytes describe the shared store directory: entry-file
 	// count and their total size.
 	Entries int
 	Bytes   int64
-	// Evictions counts entries this engine's store evicted under its
-	// StoreMaxBytes budget (process-local).
-	Evictions int64
+	// DiskEvictions counts entries this engine's store evicted from disk
+	// under its StoreMaxBytes budget (process-local).
+	DiskEvictions int64
+	// Memory-tier occupancy and counters (zero when StoreMemBytes is
+	// unset); see store.Stats for field semantics.
+	MemEntries   int
+	MemBytes     int64
+	MemEvictions int64
+	MemHits      int64
+	MemMisses    int64
+	NegativeHits int64
 }
 
 // StoreDir returns the engine's store directory, "" when the engine runs
@@ -278,12 +293,22 @@ func (e *Engine) StoreStats() (stats StoreStats, ok bool) {
 		return StoreStats{}, false
 	}
 	st, err := e.store.Stats()
+	mirror := StoreStats{
+		DiskEvictions: st.DiskEvictions,
+		MemEntries:    st.MemEntries,
+		MemBytes:      st.MemBytes,
+		MemEvictions:  st.MemEvictions,
+		MemHits:       st.MemHits,
+		MemMisses:     st.MemMisses,
+		NegativeHits:  st.NegativeHits,
+	}
 	if err != nil {
 		// A concurrently deleted or unreadable directory reports as
 		// empty; the health endpoint is where degradation is surfaced.
-		return StoreStats{Evictions: st.Evictions}, true
+		return mirror, true
 	}
-	return StoreStats{Entries: st.Entries, Bytes: st.Bytes, Evictions: st.Evictions}, true
+	mirror.Entries, mirror.Bytes = st.Entries, st.Bytes
+	return mirror, true
 }
 
 // Stats returns the engine's dedup/cache counters.

@@ -7,6 +7,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"sync"
 
 	"slicc/internal/sim"
 	"slicc/internal/store"
@@ -67,17 +68,73 @@ type storedResult struct {
 	BloomAccuracy             float64
 }
 
+// memoCacheCap bounds the decoded-result cache entries a storeMemo keeps
+// (a Result is a few KB of counters plus optional event slices; hundreds
+// of entries cover any realistic working set of sweeps and figures).
+const memoCacheCap = 512
+
 // storeMemo adapts a content-addressed store.Store to the Memo interface,
 // encoding results with gob (bit-exact for floats, so a replayed result
 // formats byte-identically to the executed one).
+//
+// Above the store it keeps a bounded cache of *decoded* Results with
+// singleflight semantics: N concurrent Gets of the same warm key block on
+// one gob decode instead of performing N, and later Gets skip the decode
+// (and, with the store's memory tier, all I/O) entirely. Cached Results
+// are shared between callers — safe because the pool treats results as
+// immutable once recorded. The store's immutability invariant carries
+// up: a decoded entry can never be stale in content, only in existence,
+// exactly like the store's own memory tier.
 type storeMemo struct {
 	s *store.Store
+
+	mu      sync.Mutex
+	decoded map[string]*memoEntry
+	order   []string // insertion order, for bounding (oldest first)
+}
+
+// memoEntry is one singleflight slot: ready closes when the first
+// caller's decode finishes, after which res/ok never change.
+type memoEntry struct {
+	ready chan struct{}
+	res   Result
+	ok    bool
 }
 
 // NewStoreMemo wraps a result store as a pool Memo.
-func NewStoreMemo(s *store.Store) Memo { return storeMemo{s: s} }
+func NewStoreMemo(s *store.Store) Memo {
+	return &storeMemo{s: s, decoded: make(map[string]*memoEntry)}
+}
 
-func (m storeMemo) Get(key string) (Result, bool) {
+func (m *storeMemo) Get(key string) (Result, bool) {
+	m.mu.Lock()
+	if e, ok := m.decoded[key]; ok {
+		m.mu.Unlock()
+		<-e.ready // singleflight: wait for the first caller's decode
+		return e.res, e.ok
+	}
+	e := &memoEntry{ready: make(chan struct{})}
+	m.insertLocked(key, e)
+	m.mu.Unlock()
+
+	e.res, e.ok = m.load(key)
+	if !e.ok {
+		// Misses are not cached here (the store's negative tier already
+		// makes them cheap, and a Put by another process must become
+		// visible on the next Get), so drop the slot before releasing
+		// waiters.
+		m.mu.Lock()
+		if m.decoded[key] == e {
+			delete(m.decoded, key)
+		}
+		m.mu.Unlock()
+	}
+	close(e.ready)
+	return e.res, e.ok
+}
+
+// load reads and decodes key from the store (no caching).
+func (m *storeMemo) load(key string) (Result, bool) {
 	b, ok := m.s.Get(key)
 	if !ok {
 		return Result{}, false
@@ -96,7 +153,29 @@ func (m storeMemo) Get(key string) (Result, bool) {
 	}, true
 }
 
-func (m storeMemo) Put(key string, res Result) {
+// insertLocked records a slot under key and evicts the oldest completed
+// slots past memoCacheCap. Callers hold m.mu.
+func (m *storeMemo) insertLocked(key string, e *memoEntry) {
+	m.decoded[key] = e
+	m.order = append(m.order, key)
+	for len(m.decoded) > memoCacheCap && len(m.order) > 0 {
+		oldest := m.order[0]
+		m.order = m.order[1:]
+		old, ok := m.decoded[oldest]
+		if !ok || old == e {
+			continue
+		}
+		select {
+		case <-old.ready:
+			delete(m.decoded, oldest)
+		default:
+			// Still decoding; its Get will finish regardless. Leave it —
+			// the map may transiently exceed the cap by in-flight slots.
+		}
+	}
+}
+
+func (m *storeMemo) Put(key string, res Result) {
 	if res.Err != nil {
 		return
 	}
@@ -111,4 +190,18 @@ func (m storeMemo) Put(key string, res Result) {
 	}
 	// Best effort by contract: a failed write only costs a future re-run.
 	_ = m.s.Put(key, buf.Bytes())
+	// The decoded form is in hand; cache it so the first warm Get skips
+	// the read+decode too.
+	e := &memoEntry{ready: make(chan struct{}), res: Result{
+		Sim:           res.Sim,
+		ReuseGlobal:   res.ReuseGlobal,
+		ReusePerType:  res.ReusePerType,
+		BloomAccuracy: res.BloomAccuracy,
+	}, ok: true}
+	close(e.ready)
+	m.mu.Lock()
+	if _, exists := m.decoded[key]; !exists {
+		m.insertLocked(key, e)
+	}
+	m.mu.Unlock()
 }

@@ -1,0 +1,82 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"slicc"
+)
+
+// BenchmarkServerWarmGet measures the three ways a completed sweep's GET
+// can be served, CI-gated against each other (benchgate
+// -min-respcache-speedup): uncached re-marshals the response every time,
+// cached replays the stored bytes, and notmodified answers If-None-Match
+// with a bodyless 304. All three run the full handler stack (mux,
+// telemetry middleware, access log) over httptest recorders — no sockets,
+// so the ratio isolates the marshaling work the cache elides. The sweep
+// resource is the one dashboards and the SDK poll in a loop, and the one
+// whose response grows with the study.
+func BenchmarkServerWarmGet(b *testing.B) {
+	run := func(b *testing.B, noCache, conditional bool) {
+		eng, err := slicc.NewEngine(slicc.EngineOptions{Workers: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer eng.Close()
+		srv := New(eng, Options{Timeout: time.Minute, NoResponseCache: noCache})
+		defer srv.Close()
+		h := srv.Handler()
+
+		body := `{"workloads":["tpcc1","skewed"],"policies":["base","slicc-sw"],"threads":[6],"scales":[0.05]}`
+		post := httptest.NewRequest(http.MethodPost, "/v1/sweeps?wait=1", strings.NewReader(body))
+		post.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, post)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("submit: %d %s", rec.Code, rec.Body)
+		}
+		var sub struct {
+			ID     string `json:"id"`
+			Status string `json:"status"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &sub); err != nil || sub.Status != "done" {
+			b.Fatalf("submit status %q (%v)", sub.Status, err)
+		}
+
+		url := "/v1/sweeps/" + sub.ID
+		wrec := httptest.NewRecorder()
+		h.ServeHTTP(wrec, httptest.NewRequest(http.MethodGet, url, nil))
+		etag := wrec.Header().Get("ETag")
+		if wrec.Code != http.StatusOK || etag == "" {
+			b.Fatalf("warmup: %d etag %q", wrec.Code, etag)
+		}
+		b.SetBytes(int64(wrec.Body.Len()))
+
+		// The request is built once and reused: the benchmark measures the
+		// server's cost to answer, not the client's cost to ask. The mux
+		// re-routes per call and handlers never mutate the request.
+		req := httptest.NewRequest(http.MethodGet, url, nil)
+		if conditional {
+			req.Header.Set("If-None-Match", etag)
+		}
+		want := http.StatusOK
+		if conditional {
+			want = http.StatusNotModified
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != want {
+				b.Fatalf("GET: %d, want %d", rec.Code, want)
+			}
+		}
+	}
+	b.Run("uncached", func(b *testing.B) { run(b, true, false) })
+	b.Run("cached", func(b *testing.B) { run(b, false, false) })
+	b.Run("notmodified", func(b *testing.B) { run(b, false, true) })
+}

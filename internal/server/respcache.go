@@ -1,0 +1,139 @@
+package server
+
+// Response-byte caching and conditional GETs for completed resources.
+//
+// Simulation and sweep ids are content keys: a completed ("done")
+// resource is immutable, so its marshaled response bytes — JSON, CSV or
+// text — can be built once and replayed verbatim, and the id itself is a
+// strong validator. GET handlers set an ETag derived from the content
+// key and answer If-None-Match with 304 Not Modified before doing any
+// marshaling, so SDK pollers and dashboards watching a finished resource
+// cost near-zero.
+//
+// Only done resources participate: running resources change between
+// polls, and failed sweeps are retained *mutable* (a re-POST or resume
+// retries them in place), so neither gets an ETag or cached bytes.
+// Memory is bounded by construction: caches hang off the tracked-entry
+// maps (maxTrackedSims / Options.MaxTrackedSweeps) with at most three
+// formats per sweep, and eviction of an entry drops its cache with it.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// respCache lazily builds and retains the marshaled response bytes of an
+// immutable completed resource, one slot per format.
+type respCache struct {
+	mu       sync.Mutex
+	byFormat map[string][]byte
+}
+
+// bytes returns the cached representation for format, building it on
+// first use. hit reports whether the bytes were already cached. A build
+// error caches nothing.
+func (c *respCache) bytes(format string, build func() ([]byte, error)) (b []byte, hit bool, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if b, ok := c.byFormat[format]; ok {
+		return b, true, nil
+	}
+	b, err = build()
+	if err != nil {
+		return nil, false, err
+	}
+	if c.byFormat == nil {
+		c.byFormat = make(map[string][]byte, 1)
+	}
+	c.byFormat[format] = b
+	return b, false, nil
+}
+
+// etagFor derives the strong validator for a completed resource's
+// representation: the content-keyed id, suffixed with the non-default
+// format so distinct representations never share a validator.
+func etagFor(id, format string) string {
+	if format == "" || format == "json" {
+		return `"` + id + `"`
+	}
+	return `"` + id + `+` + format + `"`
+}
+
+// etagMatch reports whether an If-None-Match header value matches etag
+// (exact strong match, any member of a comma-separated list, or "*").
+// Weak validators (W/ prefix) are accepted too: weak comparison is
+// enough for a 304 on a byte-immutable resource.
+func etagMatch(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimSpace(part)
+		part = strings.TrimPrefix(part, "W/")
+		if part == "*" || part == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// marshalResponse renders v exactly as writeJSON would (indented JSON
+// with a trailing newline), without touching a ResponseWriter.
+func marshalResponse(v any) ([]byte, error) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// writeRaw sends prebuilt response bytes.
+func writeRaw(w http.ResponseWriter, contentType string, b []byte) {
+	w.Header().Set("Content-Type", contentType)
+	w.WriteHeader(http.StatusOK)
+	w.Write(b)
+}
+
+// serveCached handles the tail of a completed resource's GET: sets the
+// ETag, answers If-None-Match with 304, and (unless the response cache
+// is disabled) replays or builds-and-caches the representation via c and
+// build. It reports whether it fully handled the request; on false the
+// caller falls through to its uncached path (response cache disabled, or
+// the build failed and the normal path will surface the error).
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, c *respCache, id, format, contentType string, build func() ([]byte, error)) bool {
+	etag := etagFor(id, format)
+	w.Header().Set("ETag", etag)
+	if etagMatch(r.Header.Get("If-None-Match"), etag) {
+		s.metrics.notModified.Inc()
+		w.WriteHeader(http.StatusNotModified)
+		return true
+	}
+	if s.opts.NoResponseCache {
+		return false
+	}
+	b, hit, err := c.bytes(format, build)
+	if err != nil {
+		return false
+	}
+	if hit {
+		s.metrics.respCacheHits.Inc()
+	} else {
+		s.metrics.respCacheMisses.Inc()
+	}
+	writeRaw(w, contentType, b)
+	return true
+}
+
+// buffered adapts a writer-style renderer to serveCached's build shape.
+func buffered(render func(*bytes.Buffer) error) func() ([]byte, error) {
+	return func() ([]byte, error) {
+		var buf bytes.Buffer
+		if err := render(&buf); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
+}

@@ -1,0 +1,267 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"slicc"
+)
+
+func TestETagMatch(t *testing.T) {
+	cases := []struct {
+		header, etag string
+		want         bool
+	}{
+		{``, `"a"`, false},
+		{`"a"`, `"a"`, true},
+		{`"b"`, `"a"`, false},
+		{`"x", "a" , "y"`, `"a"`, true},
+		{`W/"a"`, `"a"`, true},
+		{`*`, `"a"`, true},
+		{`"a`, `"a"`, false},
+	}
+	for _, c := range cases {
+		if got := etagMatch(c.header, c.etag); got != c.want {
+			t.Errorf("etagMatch(%q, %q) = %v, want %v", c.header, c.etag, c.want, got)
+		}
+	}
+}
+
+func TestETagFor(t *testing.T) {
+	if got := etagFor("abc", "json"); got != `"abc"` {
+		t.Fatalf("json etag %s", got)
+	}
+	if got := etagFor("abc", "csv"); got != `"abc+csv"` {
+		t.Fatalf("csv etag %s", got)
+	}
+	if etagFor("abc", "csv") == etagFor("abc", "text") {
+		t.Fatal("distinct representations share a validator")
+	}
+}
+
+// get fetches url with optional If-None-Match, returning status, ETag and
+// body.
+func get(t *testing.T, url, inm string) (int, string, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inm != "" {
+		req.Header.Set("If-None-Match", inm)
+	}
+	r, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	b, err := io.ReadAll(r.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.StatusCode, r.Header.Get("ETag"), b
+}
+
+func TestSimulationETagAnd304(t *testing.T) {
+	ts, _ := newTestServer(t, "")
+	r, err := http.Post(ts.URL+"/v1/simulations?wait=1", "application/json", strings.NewReader(tinyBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := decode[simResponse](t, r)
+	if resp.Status != "done" {
+		t.Fatalf("status %s", resp.Status)
+	}
+	url := ts.URL + "/v1/simulations/" + resp.ID
+
+	code, etag, body1 := get(t, url, "")
+	if code != http.StatusOK || etag != `"`+resp.ID+`"` {
+		t.Fatalf("code %d etag %s", code, etag)
+	}
+	// Replay from the cache: byte-identical.
+	code, _, body2 := get(t, url, "")
+	if code != http.StatusOK || !bytes.Equal(body1, body2) {
+		t.Fatal("cached replay differs from the built response")
+	}
+	// Conditional GET: no body on the wire.
+	code, etag304, body3 := get(t, url, etag)
+	if code != http.StatusNotModified || len(body3) != 0 {
+		t.Fatalf("conditional get: code %d body %d bytes", code, len(body3))
+	}
+	if etag304 != etag {
+		t.Fatalf("304 etag %s, want %s", etag304, etag)
+	}
+	// A stale validator gets the full response.
+	if code, _, _ := get(t, url, `"somethingelse"`); code != http.StatusOK {
+		t.Fatalf("stale validator: code %d", code)
+	}
+}
+
+func TestSweepETagPerFormat(t *testing.T) {
+	ts, _ := newTestServer(t, "")
+	r, err := http.Post(ts.URL+"/v1/sweeps?wait=1", "application/json", strings.NewReader(tinySweepBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := decode[sweepResponse](t, r)
+	if resp.Status != "done" {
+		t.Fatalf("status %s", resp.Status)
+	}
+	url := ts.URL + "/v1/sweeps/" + resp.ID
+
+	for _, c := range []struct{ query, etag string }{
+		{"", `"` + resp.ID + `"`},
+		{"?format=csv", `"` + resp.ID + `+csv"`},
+		{"?format=text", `"` + resp.ID + `+text"`},
+	} {
+		code, etag, body1 := get(t, url+c.query, "")
+		if code != http.StatusOK || etag != c.etag {
+			t.Fatalf("%s: code %d etag %s want %s", c.query, code, etag, c.etag)
+		}
+		if code, _, body2 := get(t, url+c.query, ""); code != http.StatusOK || !bytes.Equal(body1, body2) {
+			t.Fatalf("%s: cached replay differs", c.query)
+		}
+		if code, _, body := get(t, url+c.query, etag); code != http.StatusNotModified || len(body) != 0 {
+			t.Fatalf("%s: conditional get code %d, %d bytes", c.query, code, len(body))
+		}
+	}
+	// Formats never share validators: a csv ETag does not 304 the json
+	// representation.
+	if code, _, _ := get(t, url, `"`+resp.ID+`+csv"`); code != http.StatusOK {
+		t.Fatal("csv validator matched the json representation")
+	}
+}
+
+// TestResponseCacheByteIdentical pins the cache's whole contract: the
+// cached bytes equal what an uncached server renders for the same
+// resource, for every format.
+func TestResponseCacheByteIdentical(t *testing.T) {
+	newServer := func(noCache bool) (*httptest.Server, func()) {
+		eng, err := slicc.NewEngine(slicc.EngineOptions{Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := New(eng, Options{Timeout: time.Minute, NoResponseCache: noCache})
+		ts := httptest.NewServer(srv.Handler())
+		return ts, func() { ts.Close(); srv.Close(); eng.Close() }
+	}
+	cached, closeCached := newServer(false)
+	defer closeCached()
+	uncached, closeUncached := newServer(true)
+	defer closeUncached()
+
+	var id string
+	for _, ts := range []*httptest.Server{cached, uncached} {
+		r, err := http.Post(ts.URL+"/v1/sweeps?wait=1", "application/json", strings.NewReader(tinySweepBody))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp := decode[sweepResponse](t, r)
+		if resp.Status != "done" {
+			t.Fatalf("status %s", resp.Status)
+		}
+		id = resp.ID
+	}
+	for _, query := range []string{"", "?format=csv", "?format=text"} {
+		url := "/v1/sweeps/" + id + query
+		_, _, first := get(t, cached.URL+url, "") // build + cache
+		_, _, replay := get(t, cached.URL+url, "")
+		code, etag, plain := get(t, uncached.URL+url, "")
+		if code != http.StatusOK {
+			t.Fatalf("%s: uncached code %d", query, code)
+		}
+		if !bytes.Equal(first, plain) || !bytes.Equal(replay, plain) {
+			t.Fatalf("%s: cached bytes differ from uncached rendering", query)
+		}
+		// The uncached server still serves conditional GETs (ETag is set
+		// even with the byte cache disabled).
+		if etag == "" {
+			t.Fatalf("%s: uncached server sent no ETag", query)
+		}
+		if code, _, _ := get(t, uncached.URL+url, etag); code != http.StatusNotModified {
+			t.Fatalf("%s: uncached server ignored If-None-Match", query)
+		}
+	}
+}
+
+func TestResponseCacheStats(t *testing.T) {
+	ts, _ := newTestServer(t, "")
+	r, err := http.Post(ts.URL+"/v1/simulations?wait=1", "application/json", strings.NewReader(tinyBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := decode[simResponse](t, r)
+	url := ts.URL + "/v1/simulations/" + resp.ID
+	_, etag, _ := get(t, url, "") // miss (build + cache)
+	get(t, url, "")               // hit
+	get(t, url, etag)             // 304
+
+	sr, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := decode[statsResponse](t, sr)
+	rc := stats.ResponseCache
+	if rc.Misses < 1 || rc.Hits < 1 || rc.NotModified < 1 {
+		t.Fatalf("response_cache stats %+v", rc)
+	}
+
+	mr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mr.Body.Close()
+	metrics, _ := io.ReadAll(mr.Body)
+	for _, family := range []string{
+		"slicc_response_cache_hits_total",
+		"slicc_response_cache_misses_total",
+		"slicc_http_not_modified_total",
+	} {
+		if !strings.Contains(string(metrics), family) {
+			t.Fatalf("/metrics missing %s", family)
+		}
+	}
+}
+
+// TestRunningResourceNoETag: only done resources are immutable; a
+// resource still running must not advertise a validator.
+func TestRunningResourceNoETag(t *testing.T) {
+	eng, err := slicc.NewEngine(slicc.EngineOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	srv := New(eng, Options{Timeout: time.Minute})
+	srv.Close() // runs fail: entries are transiently "running", never done
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	r, err := http.Post(ts.URL+"/v1/simulations", "application/json", strings.NewReader(tinyBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := decode[simResponse](t, r)
+	if resp.Status == "done" {
+		t.Fatalf("run succeeded under a closed server")
+	}
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/simulations/"+resp.ID, nil)
+	r2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	// The entry may already have been dropped (404) — fine; what must not
+	// happen is a 200 with an ETag on a non-done resource.
+	if r2.StatusCode == http.StatusOK && r2.Header.Get("ETag") != "" {
+		var got simResponse
+		if err := json.NewDecoder(r2.Body).Decode(&got); err == nil && got.Status != "done" {
+			t.Fatalf("ETag on a %q resource", got.Status)
+		}
+	}
+}

@@ -45,6 +45,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -93,6 +94,11 @@ type Options struct {
 	// default: profiles expose internals, so enabling is a deployment
 	// decision (sliccd -pprof).
 	Pprof bool
+	// NoResponseCache disables caching of marshaled response bytes for
+	// completed simulations and sweeps (see respcache.go). Conditional
+	// GETs (ETag / If-None-Match → 304) work either way; the switch
+	// exists for A/B measurement and memory-constrained deployments.
+	NoResponseCache bool
 }
 
 func (o Options) withDefaults() Options {
@@ -165,6 +171,9 @@ type simEntry struct {
 
 	result slicc.Result
 	err    error
+	// resp caches the marshaled bytes of the completed (done, non-failed)
+	// entry — immutable, like the result it renders.
+	resp respCache
 }
 
 // New builds a Server over eng. The caller retains ownership of the
@@ -296,10 +305,28 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // storeStatsBody mirrors slicc.StoreStats for the stats endpoint; the
 // numbers are the same ones /metrics samples, so the surfaces agree.
+// Evictions are split per tier: disk entries evicted under the
+// -store-max-mb budget vs memory-tier entries evicted under
+// -store-mem-mb (both process-local).
 type storeStatsBody struct {
-	Entries   int   `json:"entries"`
-	Bytes     int64 `json:"bytes"`
-	Evictions int64 `json:"evictions"`
+	Entries       int   `json:"entries"`
+	Bytes         int64 `json:"bytes"`
+	DiskEvictions int64 `json:"evictions_disk"`
+	MemEntries    int   `json:"mem_entries"`
+	MemBytes      int64 `json:"mem_bytes"`
+	MemEvictions  int64 `json:"evictions_mem"`
+	MemHits       int64 `json:"mem_hits"`
+	MemMisses     int64 `json:"mem_misses"`
+	NegativeHits  int64 `json:"negative_hits"`
+}
+
+// respCacheBody reports the response-byte cache and conditional-GET
+// counters (the same values the slicc_response_cache_* and
+// slicc_http_not_modified_total metric families expose).
+type respCacheBody struct {
+	Hits        uint64 `json:"hits"`
+	Misses      uint64 `json:"misses"`
+	NotModified uint64 `json:"not_modified"`
 }
 
 // statsResponse reports engine counters plus service-level bookkeeping.
@@ -307,6 +334,7 @@ type statsResponse struct {
 	Engine slicc.EngineStats `json:"engine"`
 	// Store is present only when the engine has a persistent store.
 	Store         *storeStatsBody `json:"store,omitempty"`
+	ResponseCache respCacheBody   `json:"response_cache"`
 	Simulations   int             `json:"simulations"`
 	Sweeps        int             `json:"sweeps"`
 	UptimeSeconds float64         `json:"uptime_seconds"`
@@ -317,13 +345,28 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	n, ns := len(s.sims), len(s.sweeps)
 	s.mu.Unlock()
 	resp := statsResponse{
-		Engine:        s.eng.Stats(),
+		Engine: s.eng.Stats(),
+		ResponseCache: respCacheBody{
+			Hits:        s.metrics.respCacheHits.Value(),
+			Misses:      s.metrics.respCacheMisses.Value(),
+			NotModified: s.metrics.notModified.Value(),
+		},
 		Simulations:   n,
 		Sweeps:        ns,
 		UptimeSeconds: time.Since(s.start).Seconds(),
 	}
 	if st, ok := s.eng.StoreStats(); ok {
-		resp.Store = &storeStatsBody{Entries: st.Entries, Bytes: st.Bytes, Evictions: st.Evictions}
+		resp.Store = &storeStatsBody{
+			Entries:       st.Entries,
+			Bytes:         st.Bytes,
+			DiskEvictions: st.DiskEvictions,
+			MemEntries:    st.MemEntries,
+			MemBytes:      st.MemBytes,
+			MemEvictions:  st.MemEvictions,
+			MemHits:       st.MemHits,
+			MemMisses:     st.MemMisses,
+			NegativeHits:  st.NegativeHits,
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -481,7 +524,16 @@ func (s *Server) handleSimulation(w http.ResponseWriter, r *http.Request) {
 		case <-s.baseCtx.Done():
 		}
 	}
-	writeJSON(w, http.StatusOK, e.response())
+	resp := e.response()
+	if resp.Status == "done" {
+		// Done simulations are immutable content keyed by id: serve the
+		// conditional-GET / cached-bytes fast path.
+		if s.serveCached(w, r, &e.resp, id, "json", "application/json",
+			func() ([]byte, error) { return marshalResponse(resp) }) {
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // sweepEntry is one content-keyed sweep accepted by the service.
@@ -495,6 +547,10 @@ type sweepEntry struct {
 
 	result *slicc.SweepResult
 	err    error
+	// resp caches the marshaled bytes (per format) of the completed
+	// (done, non-failed) sweep. Failed sweeps are never cached: they are
+	// retained mutable, retried in place by re-POST/resume.
+	resp respCache
 }
 
 // failed reports whether the entry's run has completed with an error.
@@ -703,7 +759,35 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	resp := e.response()
-	if format := r.URL.Query().Get("format"); format != "" && resp.Status == "done" {
+	format := r.URL.Query().Get("format")
+	if resp.Status == "done" {
+		// Done sweeps are immutable content keyed by id (+format for the
+		// non-JSON representations): conditional GETs and cached bytes.
+		switch format {
+		case "csv":
+			if s.serveCached(w, r, &e.resp, id, "csv", "text/csv; charset=utf-8",
+				buffered(func(buf *bytes.Buffer) error { return resp.Result.WriteCSV(buf) })) {
+				return
+			}
+		case "text":
+			if s.serveCached(w, r, &e.resp, id, "text", "text/plain; charset=utf-8",
+				buffered(func(buf *bytes.Buffer) error {
+					t := slicc.SweepTable(resp.Result)
+					t.Format(buf)
+					return nil
+				})) {
+				return
+			}
+		default:
+			if s.serveCached(w, r, &e.resp, id, "json", "application/json",
+				func() ([]byte, error) { return marshalResponse(resp) }) {
+				return
+			}
+		}
+	}
+	if resp.Status == "done" {
+		// Fallthrough from a disabled or failed response cache: render the
+		// requested format directly (pre-cache behavior).
 		switch format {
 		case "csv":
 			w.Header().Set("Content-Type", "text/csv; charset=utf-8")

@@ -22,6 +22,7 @@ import (
 	"net/http"
 	"os"
 	"strconv"
+	"sync"
 	"time"
 
 	"slicc"
@@ -32,11 +33,14 @@ import (
 // Everything sampled at scrape time (engine counters, store stats, queue
 // depth, uptime) is registered as a callback in registerMetrics instead.
 type serverMetrics struct {
-	reg            *telemetry.Registry
-	inFlight       *telemetry.Gauge
-	sseSubscribers *telemetry.Gauge
-	sseDropped     *telemetry.Counter
-	sweepCells     *telemetry.Counter
+	reg             *telemetry.Registry
+	inFlight        *telemetry.Gauge
+	sseSubscribers  *telemetry.Gauge
+	sseDropped      *telemetry.Counter
+	sweepCells      *telemetry.Counter
+	respCacheHits   *telemetry.Counter
+	respCacheMisses *telemetry.Counter
+	notModified     *telemetry.Counter
 }
 
 func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
@@ -50,6 +54,12 @@ func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
 			"Event-stream subscribers disconnected for falling a full buffer behind."),
 		sweepCells: reg.Counter("slicc_sweep_cells_completed_total",
 			"Sweep result cells completed across all sweeps."),
+		respCacheHits: reg.Counter("slicc_response_cache_hits_total",
+			"Completed-resource GETs served from cached response bytes."),
+		respCacheMisses: reg.Counter("slicc_response_cache_misses_total",
+			"Completed-resource GETs that built (and cached) their response bytes."),
+		notModified: reg.Counter("slicc_http_not_modified_total",
+			"Conditional GETs answered 304 via If-None-Match."),
 	}
 }
 
@@ -107,8 +117,29 @@ func (s *Server) registerMetrics() {
 			"Total size of the persistent result store's entry files.",
 			func() float64 { st, _ := eng.StoreStats(); return float64(st.Bytes) })
 		reg.CounterFunc("slicc_store_evictions_total",
-			"Store entries evicted under the size budget by this process.",
-			func() float64 { st, _ := eng.StoreStats(); return float64(st.Evictions) })
+			"Disk store entries evicted under the -store-max-mb budget by this process.",
+			func() float64 { st, _ := eng.StoreStats(); return float64(st.DiskEvictions) })
+		// Memory-tier families are registered whenever a store exists and
+		// simply read zero while -store-mem-mb is off, so dashboards need
+		// no conditional wiring.
+		reg.GaugeFunc("slicc_store_mem_entries",
+			"Entries in the store's in-memory hot tier.",
+			func() float64 { st, _ := eng.StoreStats(); return float64(st.MemEntries) })
+		reg.GaugeFunc("slicc_store_mem_bytes",
+			"Bytes held by the store's in-memory hot tier.",
+			func() float64 { st, _ := eng.StoreStats(); return float64(st.MemBytes) })
+		reg.CounterFunc("slicc_store_mem_evictions_total",
+			"Memory-tier entries evicted under the -store-mem-mb budget.",
+			func() float64 { st, _ := eng.StoreStats(); return float64(st.MemEvictions) })
+		reg.CounterFunc("slicc_store_mem_hits_total",
+			"Store lookups served from the in-memory hot tier (no disk I/O).",
+			func() float64 { st, _ := eng.StoreStats(); return float64(st.MemHits) })
+		reg.CounterFunc("slicc_store_mem_misses_total",
+			"Store lookups that fell through the in-memory hot tier.",
+			func() float64 { st, _ := eng.StoreStats(); return float64(st.MemMisses) })
+		reg.CounterFunc("slicc_store_negative_hits_total",
+			"Store misses answered by the negative cache without touching disk.",
+			func() float64 { st, _ := eng.StoreStats(); return float64(st.NegativeHits) })
 	}
 
 	reg.GaugeFunc("slicc_sweeps_running",
@@ -193,6 +224,27 @@ func (r *statusRecorder) Flush() {
 func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	hist := s.metrics.reg.Histogram("slicc_http_request_duration_seconds",
 		"HTTP request handling latency by route.", nil, telemetry.L("route", route))
+	// The request counter's registry lookup rebuilds a label signature on
+	// every call; routes see few distinct (method, status) pairs, so a
+	// small per-route cache keeps the hot path to one map read.
+	var countersMu sync.RWMutex
+	counters := map[[2]string]*telemetry.Counter{}
+	requestCounter := func(method string, status int) *telemetry.Counter {
+		key := [2]string{method, strconv.Itoa(status)}
+		countersMu.RLock()
+		c, ok := counters[key]
+		countersMu.RUnlock()
+		if !ok {
+			c = s.metrics.reg.Counter("slicc_http_requests_total",
+				"HTTP requests by route, method and status code.",
+				telemetry.L("route", route), telemetry.L("method", key[0]),
+				telemetry.L("code", key[1]))
+			countersMu.Lock()
+			counters[key] = c
+			countersMu.Unlock()
+		}
+		return c
+	}
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		id := requestID(r)
@@ -212,10 +264,7 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 		}
 		d := time.Since(start)
 		hist.Observe(d.Seconds())
-		s.metrics.reg.Counter("slicc_http_requests_total",
-			"HTTP requests by route, method and status code.",
-			telemetry.L("route", route), telemetry.L("method", r.Method),
-			telemetry.L("code", strconv.Itoa(rec.status))).Inc()
+		requestCounter(r.Method, rec.status).Inc()
 		logger.LogAttrs(ctx, slog.LevelInfo, "request",
 			slog.String("method", r.Method),
 			slog.String("route", route),

@@ -46,6 +46,18 @@
 // by file modification time: Get touches the entry it hits (best effort),
 // and Put evicts oldest-touched entries until the store fits the budget,
 // never evicting the entry it just published.
+//
+// # Memory tier
+//
+// Options.MemBytes enables a sharded in-memory hot tier above the disk
+// store (see memtier.go). A memory hit returns the verified payload with
+// no disk I/O, no checksum work and no allocation; disk hits promote
+// into the tier, Put inserts, and Delete or disk eviction invalidate. A
+// small negative cache short-circuits repeated misses. Because entries
+// are immutable, the tier can never serve stale *content*; the only
+// cross-process staleness is about *existence* (another process's Delete
+// or eviction is not seen by a key already cached here), which is benign
+// and documented on Get.
 package store
 
 import (
@@ -83,6 +95,11 @@ type Options struct {
 	// MaxBytes bounds the total size of entry files (0 = unlimited).
 	// Enforced after each Put by evicting least-recently-used entries.
 	MaxBytes int64
+	// MemBytes bounds an in-memory hot tier of verified payloads
+	// (0 = disabled). Memory hits skip disk, checksum and allocation
+	// entirely; see the package docs ("Memory tier") for the coherence
+	// contract and Get for the returned slice's read-only contract.
+	MemBytes int64
 	// Sync fsyncs each entry before publishing it. Off by default: the
 	// store is a cache of recomputable results, and a torn write after a
 	// crash is detected by checksum and treated as a miss.
@@ -105,25 +122,42 @@ type Store struct {
 	// slightly more than needed, which is safe (entries are recomputable).
 	evictMu sync.Mutex
 
-	// evictions counts entries this Store evicted under the MaxBytes
-	// budget (process-local: other processes sharing the directory keep
-	// their own count).
+	// evictions counts disk entries this Store evicted under the
+	// MaxBytes budget (process-local: other processes sharing the
+	// directory keep their own count).
 	evictions atomic.Int64
 
-	mu     sync.Mutex
-	closed bool
+	// mem is the optional in-memory hot tier (nil when Options.MemBytes
+	// is zero).
+	mem *memTier
+
+	closed atomic.Bool
 }
 
-// Stats snapshots a store directory.
+// Stats snapshots a store directory and this Store's cache tiers.
 type Stats struct {
-	// Entries is the number of entry files.
+	// Entries is the number of entry files on disk.
 	Entries int
 	// Bytes is their total size.
 	Bytes int64
-	// Evictions counts entries evicted under the MaxBytes budget by this
-	// Store since it was opened (process-local, unlike Entries/Bytes
-	// which describe the shared directory).
-	Evictions int64
+	// DiskEvictions counts entries evicted from disk under the MaxBytes
+	// budget by this Store since it was opened (process-local, unlike
+	// Entries/Bytes which describe the shared directory).
+	DiskEvictions int64
+
+	// The remaining fields describe the in-memory hot tier and are zero
+	// when Options.MemBytes is unset. MemBytes/MemEntries are current
+	// occupancy (never double-counting disk: a disk eviction invalidates
+	// the corresponding memory entry); the counters are process-local
+	// totals since open.
+	MemEntries   int
+	MemBytes     int64
+	MemEvictions int64
+	MemHits      int64
+	MemMisses    int64
+	// NegativeHits counts lookups answered "absent" by the negative
+	// cache without touching the filesystem.
+	NegativeHits int64
 }
 
 // EntryInfo describes one entry found by Scan.
@@ -145,7 +179,11 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o777); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	return &Store{dir: dir, opts: opts}, nil
+	s := &Store{dir: dir, opts: opts}
+	if opts.MemBytes > 0 {
+		s.mem = newMemTier(opts.MemBytes)
+	}
+	return s, nil
 }
 
 // Dir returns the store's root directory.
@@ -154,12 +192,9 @@ func (s *Store) Dir() string { return s.dir }
 // Close flushes and releases the store. The directory remains valid; a
 // closed Store rejects further operations.
 func (s *Store) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Swap(true) {
 		return nil
 	}
-	s.closed = true
 	// Entries are published atomically as they are written, so there is no
 	// buffered state to flush; syncing the directory makes the published
 	// names themselves durable where supported (best effort elsewhere).
@@ -170,11 +205,7 @@ func (s *Store) Close() error {
 	return nil
 }
 
-func (s *Store) isClosed() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.closed
-}
+func (s *Store) isClosed() bool { return s.closed.Load() }
 
 // path returns the entry file path for key. File names are the hash of the
 // key, so arbitrary keys (any length, any bytes) stay filesystem-safe.
@@ -187,37 +218,73 @@ func (s *Store) path(key string) string {
 // includes every form of unreadable, truncated, corrupted, mismatched or
 // future-format entry, by design: the store never surfaces corruption as an
 // error, it just recomputes.
+//
+// With the memory tier enabled (Options.MemBytes > 0) the returned slice
+// may be shared with other callers and with the tier itself, and must be
+// treated as read-only; a memory hit may also briefly outlive another
+// process's Delete or eviction of the key (stale existence, never stale
+// content — entries are immutable).
 func (s *Store) Get(key string) (payload []byte, ok bool) {
+	return s.lookup(key, true)
+}
+
+// Contains reports whether key has a valid entry, without touching its
+// disk LRU position. It shares Get's lookup path exactly — including the
+// memory and negative tiers — so the two can never disagree about an
+// entry (a corrupt disk entry is a miss for both).
+func (s *Store) Contains(key string) bool {
+	_, ok := s.lookup(key, false)
+	return ok
+}
+
+// lookup is the single read path under Get and Contains: memory tier,
+// negative cache, then disk read + full validation, promoting disk hits
+// into the memory tier. touch refreshes the entry's disk LRU position on
+// a disk hit (memory hits deliberately skip the touch — zero disk I/O is
+// the tier's point — so a disk-tier eviction can target a memory-hot
+// entry; that entry is invalidated from memory and recomputed or
+// re-fetched on next miss, which is benign).
+func (s *Store) lookup(key string, touch bool) (payload []byte, ok bool) {
 	if s.isClosed() {
 		return nil, false
+	}
+	if s.mem != nil {
+		switch p, state := s.mem.lookup(key); state {
+		case memHit:
+			return p, true
+		case memNegative:
+			return nil, false
+		}
 	}
 	p := s.path(key)
 	b, err := os.ReadFile(p)
 	if err != nil {
+		if s.mem != nil {
+			s.mem.negAdd(key)
+		}
 		return nil, false
 	}
 	payload, ok = decodeEntry(b, key)
-	if ok {
+	if !ok {
+		// Corrupt entries read as misses; remember that too (a local Put
+		// repairs the file and clears the negative entry).
+		if s.mem != nil {
+			s.mem.negAdd(key)
+		}
+		return nil, false
+	}
+	if s.mem != nil {
+		// Promote without copying: payload already sub-slices the freshly
+		// read buffer, which nothing else owns.
+		s.mem.insert(key, payload, false)
+	}
+	if touch {
 		// LRU touch, best effort: a failure (read-only store, concurrent
 		// eviction) costs only eviction precision.
 		now := time.Now()
 		_ = os.Chtimes(p, now, now)
 	}
-	return payload, ok
-}
-
-// Contains reports whether key has a valid entry, without touching its LRU
-// position.
-func (s *Store) Contains(key string) bool {
-	if s.isClosed() {
-		return false
-	}
-	b, err := os.ReadFile(s.path(key))
-	if err != nil {
-		return false
-	}
-	_, ok := decodeEntry(b, key)
-	return ok
+	return payload, true
 }
 
 // decodeEntry validates one entry file's bytes against key and returns the
@@ -326,13 +393,20 @@ func (s *Store) Put(key string, payload []byte) error {
 			}
 		}
 	}
+	if s.mem != nil {
+		// Cache the payload (copied: the caller owns and may reuse its
+		// buffer, and the memory tier serves without re-verification, so
+		// it must be immune to later mutation) and clear any negative
+		// entry for the key.
+		s.mem.insert(key, payload, true)
+	}
 	if s.opts.MaxBytes > 0 {
 		s.evict(final)
 	}
 	return nil
 }
 
-// Delete removes key's entry if present.
+// Delete removes key's entry if present, from disk and the memory tier.
 func (s *Store) Delete(key string) error {
 	if s.isClosed() {
 		return errors.New("store: closed")
@@ -341,13 +415,19 @@ func (s *Store) Delete(key string) error {
 	if err != nil && !errors.Is(err, fs.ErrNotExist) {
 		return fmt.Errorf("store: %w", err)
 	}
+	if s.mem != nil {
+		s.mem.invalidate(key)
+	}
 	return nil
 }
 
 // Stats scans the directory and reports entry count and total size, plus
-// this Store's process-local eviction count.
+// this Store's process-local tier counters.
 func (s *Store) Stats() (Stats, error) {
-	st := Stats{Evictions: s.evictions.Load()}
+	st := Stats{DiskEvictions: s.evictions.Load()}
+	if s.mem != nil {
+		s.mem.addStats(&st)
+	}
 	err := s.scanFiles(func(path string, de fs.DirEntry) error {
 		info, err := de.Info()
 		if err != nil {
@@ -460,10 +540,22 @@ func (s *Store) evict(spare string) {
 		if f.path == spare {
 			continue
 		}
+		// Recover the logical key before the file disappears so the
+		// memory tier can drop its copy too — otherwise Stats would keep
+		// counting the evicted entry's bytes in the memory tier while the
+		// disk tier has already reclaimed them.
+		var key string
+		var haveKey bool
+		if s.mem != nil {
+			key, haveKey = readEntryKey(f.path)
+		}
 		if os.Remove(f.path) == nil || !fileExists(f.path) {
 			total -= f.size
 			evicted++
 			freed += f.size
+			if haveKey {
+				s.mem.invalidate(key)
+			}
 		}
 	}
 	if evicted > 0 {

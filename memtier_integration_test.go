@@ -1,0 +1,229 @@
+package slicc
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// Integration coverage for the store's in-memory hot tier
+// (EngineOptions.StoreMemBytes / sliccd -store-mem-mb): the tier is a
+// pure read accelerator, so every output must be byte-identical with it
+// on, off, or mixed across processes, in both warm directions.
+
+// tieredEngine opens an engine over dir with the memory tier enabled.
+func tieredEngine(t testing.TB, dir string) *Engine {
+	t.Helper()
+	eng, err := NewEngine(EngineOptions{Workers: 2, StoreDir: dir, StoreMemBytes: 32 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	return eng
+}
+
+// renderExperiments formats a fixed set of experiments through eng.
+func renderExperiments(t *testing.T, eng *Engine) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, id := range []string{"fig7", "fig3"} {
+		tables, err := eng.Experiment(context.Background(), id, true, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		for _, tb := range tables {
+			tb.Format(&buf)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestMemTierByteIdenticalBothDirections is the tier's acceptance test:
+// a store written by an untiered engine warms a tiered one and vice
+// versa, and all four renderings (cold/warm x tiered/untiered) are
+// byte-identical.
+func TestMemTierByteIdenticalBothDirections(t *testing.T) {
+	// Direction 1: untiered writer → tiered reader.
+	dir1 := t.TempDir()
+	coldPlain := storeEngine(t, dir1)
+	outColdPlain := renderExperiments(t, coldPlain)
+
+	warmTiered := tieredEngine(t, dir1)
+	outWarmTiered := renderExperiments(t, warmTiered)
+	if s := warmTiered.Stats(); s.SimsExecuted != 0 {
+		t.Fatalf("tiered engine over a warm store executed %d sims", s.SimsExecuted)
+	}
+	if !bytes.Equal(outColdPlain, outWarmTiered) {
+		t.Fatalf("untiered→tiered warm output differs:\ncold:\n%s\nwarm:\n%s", outColdPlain, outWarmTiered)
+	}
+
+	// Direction 2: tiered writer → untiered reader.
+	dir2 := t.TempDir()
+	coldTiered := tieredEngine(t, dir2)
+	outColdTiered := renderExperiments(t, coldTiered)
+	if !bytes.Equal(outColdPlain, outColdTiered) {
+		t.Fatal("tiered cold run renders differently from untiered cold run")
+	}
+
+	warmPlain := storeEngine(t, dir2)
+	outWarmPlain := renderExperiments(t, warmPlain)
+	if s := warmPlain.Stats(); s.SimsExecuted != 0 {
+		t.Fatalf("untiered engine over a tiered-written store executed %d sims", s.SimsExecuted)
+	}
+	if !bytes.Equal(outColdPlain, outWarmPlain) {
+		t.Fatal("tiered→untiered warm output differs")
+	}
+
+	// Every disk hit promoted into the tier (a rerun would be served by
+	// the runner's decoded memo above the store, so the tier's own hit
+	// path is exercised by the store and server tests instead).
+	st, ok := warmTiered.StoreStats()
+	if !ok {
+		t.Fatal("no store stats")
+	}
+	if st.MemEntries == 0 || st.MemMisses == 0 {
+		t.Fatalf("warm reads did not promote into the tier: %+v", st)
+	}
+	if !bytes.Equal(outWarmTiered, renderExperiments(t, warmTiered)) {
+		t.Fatal("rerun differs")
+	}
+}
+
+// TestMemTierRunMatchesUntiered: single-run equality, plus the engine's
+// stats mirror carrying the tier fields.
+func TestMemTierRunMatchesUntiered(t *testing.T) {
+	dir := t.TempDir()
+	plain := storeEngine(t, dir)
+	r1, err := plain.Run(context.Background(), tiny(SLICCSW))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiered := tieredEngine(t, dir)
+	r2, err := tiered.Run(context.Background(), tiny(SLICCSW))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("tiered store hit differs from executed result:\n%+v\nvs\n%+v", r1, r2)
+	}
+	st, ok := tiered.StoreStats()
+	if !ok {
+		t.Fatal("no store stats")
+	}
+	// The store hit promoted the entry into the tier.
+	if st.MemEntries == 0 {
+		t.Fatalf("nothing promoted into the tier: %+v", st)
+	}
+}
+
+// TestMemTierStreamingSweepConcurrent runs real streaming sweeps through
+// one tiered engine from several goroutines — cold cells Put while warm
+// cells Get and the tier evicts under a tiny budget. -race is the
+// assertion; results must also agree across all streams.
+func TestMemTierStreamingSweepConcurrent(t *testing.T) {
+	eng, err := NewEngine(EngineOptions{
+		Workers: 4, StoreDir: t.TempDir(),
+		// A deliberately tiny tier (a few entries per shard) so eviction
+		// churns while the sweeps run.
+		StoreMemBytes: 64 * 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+
+	spec := SweepSpec{
+		Workloads: []string{"tpcc1", "skewed"},
+		Policies:  []string{"base", "slicc-sw"},
+		Threads:   SweepInts(6),
+		Scales:    SweepFloats(0.05),
+	}
+	run := func() (*SweepResult, int, error) {
+		cells := 0
+		res, err := eng.SweepStream(context.Background(), spec, func(ev SweepEvent) {
+			if ev.Type == SweepEventCell {
+				cells++
+			}
+		})
+		return res, cells, err
+	}
+	ref, n, err := run()
+	if err != nil || n != len(ref.Cells) {
+		t.Fatalf("reference sweep: %v (%d cells)", err, n)
+	}
+
+	var wg sync.WaitGroup
+	results := make([]*SweepResult, 4)
+	errs := make([]error, 4)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], _, errs[i] = run()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("sweep %d: %v", i, err)
+		}
+		for j, c := range results[i].Cells {
+			if c.Cycles != ref.Cells[j].Cycles {
+				t.Fatalf("sweep %d cell %d diverged: %v != %v", i, j, c.Cycles, ref.Cells[j].Cycles)
+			}
+		}
+	}
+	st, ok := eng.StoreStats()
+	if !ok {
+		t.Fatal("no store stats")
+	}
+	if st.MemHits+st.MemMisses+st.NegativeHits == 0 {
+		t.Fatalf("tier never consulted: %+v", st)
+	}
+}
+
+// TestStoreStatsMirror: the engine's StoreStats mirror carries every
+// tier field, and disk evictions never leave the memory tier counting
+// bytes the disk reclaimed.
+func TestStoreStatsMirror(t *testing.T) {
+	eng, err := NewEngine(EngineOptions{
+		Workers: 1, StoreDir: t.TempDir(),
+		StoreMaxBytes: 8 * 1024, StoreMemBytes: 1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	for i := 0; i < 6; i++ {
+		cfg := tiny(Baseline)
+		cfg.Seed = int64(i + 1)
+		if _, err := eng.Run(context.Background(), cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, ok := eng.StoreStats()
+	if !ok {
+		t.Fatal("no store stats")
+	}
+	if st.DiskEvictions == 0 {
+		t.Skipf("results fit the budget; no eviction to observe: %+v", st)
+	}
+	if st.MemEntries > st.Entries {
+		t.Fatalf("memory tier holds more entries than disk after evictions: %+v", st)
+	}
+	if st.MemEvictions != 0 && st.MemBytes == 0 {
+		t.Fatalf("inconsistent tier stats: %+v", st)
+	}
+	fmt.Fprintf(testWriter{t}, "store stats after eviction churn: %+v\n", st)
+}
+
+// testWriter adapts t.Logf for fmt.Fprintf.
+type testWriter struct{ t *testing.T }
+
+func (w testWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", p)
+	return len(p), nil
+}

@@ -23,6 +23,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"slicc"
@@ -88,6 +89,12 @@ type Simulation struct {
 	Config slicc.Config  `json:"config"`
 	Result *slicc.Result `json:"result,omitempty"`
 	Error  string        `json:"error,omitempty"`
+	// NotModified reports that the service answered this poll with 304
+	// (the client sent the last seen ETag and the resource is unchanged);
+	// the fields above are replayed from the previous response. Completed
+	// resources are immutable, so a NotModified poll is free for the
+	// server and near-free on the wire.
+	NotModified bool `json:"-"`
 }
 
 // Sweep mirrors the service's sweep resource, including the partial
@@ -101,23 +108,42 @@ type Sweep struct {
 	Partial   []slicc.SweepCellResult `json:"partial,omitempty"`
 	Result    *slicc.SweepResult      `json:"result,omitempty"`
 	Error     string                  `json:"error,omitempty"`
+	// NotModified: see Simulation.NotModified.
+	NotModified bool `json:"-"`
 }
 
-// StoreStats mirrors the store block of GET /v1/stats.
+// StoreStats mirrors the store block of GET /v1/stats. Evictions are
+// split per tier: disk entries evicted under -store-max-mb vs
+// memory-tier entries evicted under -store-mem-mb.
 type StoreStats struct {
-	Entries   int   `json:"entries"`
-	Bytes     int64 `json:"bytes"`
-	Evictions int64 `json:"evictions"`
+	Entries       int   `json:"entries"`
+	Bytes         int64 `json:"bytes"`
+	DiskEvictions int64 `json:"evictions_disk"`
+	MemEntries    int   `json:"mem_entries"`
+	MemBytes      int64 `json:"mem_bytes"`
+	MemEvictions  int64 `json:"evictions_mem"`
+	MemHits       int64 `json:"mem_hits"`
+	MemMisses     int64 `json:"mem_misses"`
+	NegativeHits  int64 `json:"negative_hits"`
+}
+
+// ResponseCacheStats mirrors the response_cache block of GET /v1/stats:
+// the service's response-byte cache and conditional-GET counters.
+type ResponseCacheStats struct {
+	Hits        uint64 `json:"hits"`
+	Misses      uint64 `json:"misses"`
+	NotModified uint64 `json:"not_modified"`
 }
 
 // Stats mirrors GET /v1/stats.
 type Stats struct {
 	Engine slicc.EngineStats `json:"engine"`
 	// Store is nil when the service runs without a persistent store.
-	Store         *StoreStats `json:"store,omitempty"`
-	Simulations   int         `json:"simulations"`
-	Sweeps        int         `json:"sweeps"`
-	UptimeSeconds float64     `json:"uptime_seconds"`
+	Store         *StoreStats        `json:"store,omitempty"`
+	ResponseCache ResponseCacheStats `json:"response_cache"`
+	Simulations   int                `json:"simulations"`
+	Sweeps        int                `json:"sweeps"`
+	UptimeSeconds float64            `json:"uptime_seconds"`
 }
 
 // Client talks to one sliccd instance. The zero value is not usable; call
@@ -130,6 +156,47 @@ type Client struct {
 	backoffMax   time.Duration
 	retryBudget  time.Duration
 	watchRetries int
+
+	// etags caches, per GET path, the last response that carried an ETag
+	// (the service only sets one on completed, immutable resources) so
+	// the next poll sends If-None-Match and a 304 replays the cached
+	// body without the server marshaling or sending it again.
+	mu    sync.Mutex
+	etags map[string]*etagState
+}
+
+// etagState is one cached conditional-GET validator + body.
+type etagState struct {
+	etag string
+	body []byte
+}
+
+// etagCacheCap bounds the client's conditional-GET cache (entries are
+// full response bodies; a polling client touches few distinct paths).
+const etagCacheCap = 64
+
+// cachedETag returns the cached state for a GET path, if any.
+func (c *Client) cachedETag(path string) *etagState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.etags[path]
+}
+
+// storeETag records a validator + body for path, evicting an arbitrary
+// entry past the cap.
+func (c *Client) storeETag(path, etag string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.etags == nil {
+		c.etags = make(map[string]*etagState)
+	}
+	if _, ok := c.etags[path]; !ok && len(c.etags) >= etagCacheCap {
+		for k := range c.etags {
+			delete(c.etags, k)
+			break
+		}
+	}
+	c.etags[path] = &etagState{etag: etag, body: body}
 }
 
 // Option configures a Client.
@@ -172,37 +239,63 @@ func New(baseURL string, opts ...Option) *Client {
 }
 
 // do performs one JSON round trip. body == nil means no request body; out
-// == nil discards the response body.
-func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+// == nil discards the response body. GETs with an out participate in
+// conditional requests: the last seen ETag for the path (if any) rides
+// out as If-None-Match, a 304 decodes the cached body into out and
+// reports notModified, and a 200 carrying an ETag refreshes the cache.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) (notModified bool, err error) {
 	var rd io.Reader
 	if body != nil {
 		b, err := json.Marshal(body)
 		if err != nil {
-			return fmt.Errorf("sdk: encoding request: %w", err)
+			return false, fmt.Errorf("sdk: encoding request: %w", err)
 		}
 		rd = bytes.NewReader(b)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.baseURL+path, rd)
 	if err != nil {
-		return err
+		return false, err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	req.Header.Set("X-Request-ID", requestID(ctx))
+	// Capture the cached state before sending so a concurrent cache
+	// eviction cannot strand a 304 without its body.
+	var cached *etagState
+	if method == http.MethodGet && out != nil {
+		if cached = c.cachedETag(path); cached != nil {
+			req.Header.Set("If-None-Match", cached.etag)
+		}
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return err
+		return false, err
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotModified && cached != nil {
+		io.Copy(io.Discard, resp.Body)
+		return true, json.Unmarshal(cached.body, out)
+	}
 	if resp.StatusCode >= 300 {
-		return decodeAPIError(resp)
+		return false, decodeAPIError(resp)
 	}
 	if out == nil {
 		_, err = io.Copy(io.Discard, resp.Body)
-		return err
+		return false, err
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	if cached != nil || resp.Header.Get("ETag") != "" {
+		// Buffer so the body can back future conditional requests.
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return false, err
+		}
+		if etag := resp.Header.Get("ETag"); etag != "" {
+			c.storeETag(path, etag, b)
+		}
+		return false, json.Unmarshal(b, out)
+	}
+	return false, json.NewDecoder(resp.Body).Decode(out)
 }
 
 // decodeAPIError turns a non-2xx response into an *APIError, preserving
@@ -238,7 +331,7 @@ func waitQuery(wait bool) string {
 // accepted, possibly still-running resource.
 func (c *Client) SubmitSimulation(ctx context.Context, cfg slicc.Config, wait bool) (*Simulation, error) {
 	var out Simulation
-	if err := c.do(ctx, http.MethodPost, "/v1/simulations"+waitQuery(wait), cfg, &out); err != nil {
+	if _, err := c.do(ctx, http.MethodPost, "/v1/simulations"+waitQuery(wait), cfg, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -248,9 +341,11 @@ func (c *Client) SubmitSimulation(ctx context.Context, cfg slicc.Config, wait bo
 // finish.
 func (c *Client) Simulation(ctx context.Context, id string, wait bool) (*Simulation, error) {
 	var out Simulation
-	if err := c.do(ctx, http.MethodGet, "/v1/simulations/"+id+waitQuery(wait), nil, &out); err != nil {
+	nm, err := c.do(ctx, http.MethodGet, "/v1/simulations/"+id+waitQuery(wait), nil, &out)
+	if err != nil {
 		return nil, err
 	}
+	out.NotModified = nm
 	return &out, nil
 }
 
@@ -259,7 +354,7 @@ func (c *Client) Simulation(ctx context.Context, id string, wait bool) (*Simulat
 // is the resume: finished cells replay from the store.
 func (c *Client) SubmitSweep(ctx context.Context, spec slicc.SweepSpec, wait bool) (*Sweep, error) {
 	var out Sweep
-	if err := c.do(ctx, http.MethodPost, "/v1/sweeps"+waitQuery(wait), spec, &out); err != nil {
+	if _, err := c.do(ctx, http.MethodPost, "/v1/sweeps"+waitQuery(wait), spec, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -270,9 +365,11 @@ func (c *Client) SubmitSweep(ctx context.Context, spec slicc.SweepSpec, wait boo
 // wraps ErrSweepGone.
 func (c *Client) Sweep(ctx context.Context, id string, wait bool) (*Sweep, error) {
 	var out Sweep
-	if err := c.do(ctx, http.MethodGet, "/v1/sweeps/"+id+waitQuery(wait), nil, &out); err != nil {
+	nm, err := c.do(ctx, http.MethodGet, "/v1/sweeps/"+id+waitQuery(wait), nil, &out)
+	if err != nil {
 		return nil, sweepGone(err)
 	}
+	out.NotModified = nm
 	return &out, nil
 }
 
@@ -281,7 +378,7 @@ func (c *Client) Sweep(ctx context.Context, id string, wait bool) (*Sweep, error
 // re-POST the spec instead.
 func (c *Client) ResumeSweep(ctx context.Context, id string, wait bool) (*Sweep, error) {
 	var out Sweep
-	if err := c.do(ctx, http.MethodPost, "/v1/sweeps/"+id+"/resume"+waitQuery(wait), nil, &out); err != nil {
+	if _, err := c.do(ctx, http.MethodPost, "/v1/sweeps/"+id+"/resume"+waitQuery(wait), nil, &out); err != nil {
 		return nil, sweepGone(err)
 	}
 	return &out, nil
@@ -290,7 +387,7 @@ func (c *Client) ResumeSweep(ctx context.Context, id string, wait bool) (*Sweep,
 // Stats fetches engine counters and service bookkeeping.
 func (c *Client) Stats(ctx context.Context) (*Stats, error) {
 	var out Stats
-	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out); err != nil {
+	if _, err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

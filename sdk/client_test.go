@@ -323,3 +323,142 @@ func TestRequestIDs(t *testing.T) {
 		t.Fatalf("pinned id lost: %+v", ae)
 	}
 }
+
+// TestConditionalGetAgainstRealService drives the full conditional-GET
+// loop against a real handler: first poll caches the validator, second
+// poll goes out with If-None-Match, comes back 304, and is surfaced as
+// NotModified with the identical decoded result.
+func TestConditionalGetAgainstRealService(t *testing.T) {
+	c := realService(t)
+	ctx := context.Background()
+	sw, err := c.SubmitSweep(ctx, tinySpec(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Status != "done" {
+		t.Fatalf("sweep %+v", sw)
+	}
+
+	first, err := c.Sweep(ctx, sw.ID, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.NotModified {
+		t.Fatal("first poll claims NotModified with no cached validator")
+	}
+	second, err := c.Sweep(ctx, sw.ID, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.NotModified {
+		t.Fatal("second poll of a done sweep was not served 304")
+	}
+	second.NotModified = first.NotModified
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("304 replay decodes differently from the 200 body")
+	}
+
+	// Simulations participate too.
+	cfg := slicc.Config{Benchmark: slicc.TPCC1, Threads: 4, Scale: 0.05}
+	sim, err := c.SubmitSimulation(ctx, cfg, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Simulation(ctx, sim.ID, false); err != nil {
+		t.Fatal(err)
+	}
+	again, err := c.Simulation(ctx, sim.ID, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.NotModified {
+		t.Fatal("second simulation poll was not served 304")
+	}
+}
+
+// TestConditionalGetScripted pins the wire behavior: what the client
+// sends, and that a 304 without a cached body never happens (the header
+// is only sent when a body is cached).
+func TestConditionalGetScripted(t *testing.T) {
+	var inm atomic.Value
+	calls := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		inm.Store(r.Header.Get("If-None-Match"))
+		w.Header().Set("ETag", `"abc"`)
+		if r.Header.Get("If-None-Match") == `"abc"` {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"id":"abc","status":"done","completed":4,"total":4}`)
+	}))
+	t.Cleanup(ts.Close)
+	c := New(ts.URL)
+	ctx := context.Background()
+
+	sw, err := c.Sweep(ctx, "abc", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := inm.Load().(string); got != "" {
+		t.Fatalf("first request sent If-None-Match %q", got)
+	}
+	if sw.NotModified || sw.Completed != 4 {
+		t.Fatalf("first poll %+v", sw)
+	}
+
+	sw2, err := c.Sweep(ctx, "abc", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := inm.Load().(string); got != `"abc"` {
+		t.Fatalf("second request sent If-None-Match %q", got)
+	}
+	if !sw2.NotModified || sw2.Completed != 4 || sw2.ID != "abc" {
+		t.Fatalf("304 replay %+v", sw2)
+	}
+	if calls != 2 {
+		t.Fatalf("%d requests", calls)
+	}
+}
+
+// TestStatsMirrorsCacheFields: the typed Stats surface carries the new
+// store-tier and response-cache fields end to end.
+func TestStatsMirrorsCacheFields(t *testing.T) {
+	eng, err := slicc.NewEngine(slicc.EngineOptions{
+		Workers: 2, StoreDir: t.TempDir(), StoreMemBytes: 8 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(eng, server.Options{Timeout: time.Minute})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close(); eng.Close() })
+	c := New(ts.URL)
+	ctx := context.Background()
+
+	sim, err := c.SubmitSimulation(ctx, slicc.Config{Benchmark: slicc.TPCC1, Threads: 4, Scale: 0.05}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Simulation(ctx, sim.ID, false); err != nil { // cache miss
+		t.Fatal(err)
+	}
+	if _, err := c.Simulation(ctx, sim.ID, false); err != nil { // 304
+		t.Fatal(err)
+	}
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Store == nil {
+		t.Fatal("no store stats")
+	}
+	if st.Store.MemEntries == 0 || st.Store.MemBytes == 0 {
+		t.Fatalf("mem tier empty after a store put: %+v", st.Store)
+	}
+	if st.ResponseCache.Misses == 0 || st.ResponseCache.NotModified == 0 {
+		t.Fatalf("response cache stats %+v", st.ResponseCache)
+	}
+}
