@@ -5,6 +5,7 @@
 //
 //	sliccd -store /var/lib/slicc/store
 //	sliccd -addr 127.0.0.1:8080 -store ./store -j 8 -timeout 5m
+//	sliccd -store ./store -distributed   # + sliccworker fleet (see cmd/sliccworker)
 //
 //	curl -s localhost:8080/healthz
 //	curl -s -X POST localhost:8080/v1/simulations?wait=1 \
@@ -31,11 +32,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"syscall"
 	"time"
 
 	"slicc"
+	"slicc/internal/queue"
 	"slicc/internal/server"
 	"slicc/internal/telemetry"
 )
@@ -52,6 +55,12 @@ type options struct {
 	logFormat  string
 	logLevel   string
 	pprof      bool
+
+	distributed   bool
+	queueDir      string
+	queueLeaseTTL time.Duration
+	queueAttempts int
+	queueBackoff  time.Duration
 }
 
 func main() {
@@ -66,6 +75,12 @@ func main() {
 		logFmt   = flag.String("log-format", "text", "structured log format on stderr: text or json")
 		logLvl   = flag.String("log-level", "info", "log level: debug, info, warn or error (debug includes spans and per-cell sweep progress)")
 		pprofOn  = flag.Bool("pprof", false, "serve net/http/pprof profiles under /debug/pprof/")
+
+		distributed = flag.Bool("distributed", false, "enqueue sweep cells onto the durable job queue for the sliccworker fleet instead of executing them in-process (requires -store)")
+		queueDir    = flag.String("queue", "", "durable job queue directory (default <store>/queue)")
+		queueTTL    = flag.Duration("queue-lease-ttl", 30*time.Second, "lease visibility timeout: an unrenewed lease expires and the cell is retried")
+		queueTries  = flag.Int("queue-max-attempts", 3, "failed attempts (worker failures and lease expirations) before a cell dead-letters")
+		queueWait   = flag.Duration("queue-backoff", time.Second, "delay before a failed cell's first retry (doubles per attempt)")
 	)
 	flag.Parse()
 
@@ -73,6 +88,8 @@ func main() {
 		addr: *addr, storeDir: *storeDir, storeMB: *storeMB, storeMemMB: *storeMem, workers: *workers,
 		timeout: *timeout, grace: *grace,
 		logFormat: *logFmt, logLevel: *logLvl, pprof: *pprofOn,
+		distributed: *distributed, queueDir: *queueDir,
+		queueLeaseTTL: *queueTTL, queueAttempts: *queueTries, queueBackoff: *queueWait,
 	}
 	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -87,19 +104,49 @@ func run(o options) error {
 	if err != nil {
 		return fmt.Errorf("sliccd: %w", err)
 	}
-	eng, err := slicc.NewEngine(slicc.EngineOptions{
+	// Distributed mode: open the durable job queue and hand the engine a
+	// dispatcher, so sweeps enqueue cells for the sliccworker fleet
+	// instead of executing them here. The store stays mandatory — it is
+	// how worker results come back.
+	var q *queue.Queue
+	if o.distributed {
+		if o.storeDir == "" {
+			return errors.New("sliccd: -distributed requires -store (the shared store carries worker results)")
+		}
+		qdir := o.queueDir
+		if qdir == "" {
+			qdir = filepath.Join(o.storeDir, "queue")
+		}
+		var err error
+		q, err = queue.Open(qdir, queue.Options{
+			MaxAttempts: o.queueAttempts,
+			LeaseTTL:    o.queueLeaseTTL,
+			Backoff:     o.queueBackoff,
+			Logger:      logger,
+		})
+		if err != nil {
+			return err
+		}
+		defer q.Close()
+	}
+
+	engOpts := slicc.EngineOptions{
 		Workers:       o.workers,
 		StoreDir:      o.storeDir,
 		StoreMaxBytes: o.storeMB << 20,
 		StoreMemBytes: o.storeMemMB << 20,
 		Logger:        logger,
-	})
+	}
+	if q != nil {
+		engOpts.Remote = &queue.Dispatcher{Q: q}
+	}
+	eng, err := slicc.NewEngine(engOpts)
 	if err != nil {
 		return err
 	}
 	defer eng.Close()
 
-	srv := server.New(eng, server.Options{Timeout: o.timeout, Logger: logger, Pprof: o.pprof})
+	srv := server.New(eng, server.Options{Timeout: o.timeout, Logger: logger, Pprof: o.pprof, Queue: q})
 	defer srv.Close()
 
 	ln, err := net.Listen("tcp", o.addr)
@@ -111,7 +158,7 @@ func run(o options) error {
 	// parse to find a dynamically assigned port.
 	fmt.Printf("sliccd listening on %s\n", ln.Addr())
 	logger.Info("sliccd started", "addr", ln.Addr().String(), "store", o.storeDir,
-		"workers", o.workers, "pprof", o.pprof)
+		"workers", o.workers, "pprof", o.pprof, "distributed", o.distributed)
 
 	hs := &http.Server{
 		Handler:           srv.Handler(),

@@ -1,0 +1,111 @@
+// Command sliccworker is a sliccd fleet member: it leases queued sweep
+// cells from a distributed control plane (sliccd -distributed), executes
+// them through the ordinary engine machinery, publishes results into the
+// shared content-addressed store, and acknowledges the lease. Scale a
+// sweep horizontally by pointing more sliccworkers at the same control
+// plane and store:
+//
+//	sliccd -addr 127.0.0.1:8080 -store /var/lib/slicc/store -distributed &
+//	sliccworker -server http://127.0.0.1:8080 -store /var/lib/slicc/store -j 8
+//
+// The store is the result transport and the checkpoint: a SIGKILLed
+// worker loses nothing (its leases expire and the cells are retried),
+// and a worker that crashed after publishing turns the retry into an
+// instant store hit. SIGINT/SIGTERM stop leasing, let in-flight cells
+// finish or abandon, and exit 0.
+//
+// See docs/SERVICE.md for the queue API and lease protocol.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"slicc/internal/telemetry"
+	"slicc/internal/worker"
+)
+
+func main() {
+	var (
+		server    = flag.String("server", "http://127.0.0.1:8080", "control plane base URL (sliccd -distributed)")
+		storeDir  = flag.String("store", "", "shared content-addressed store directory (required; same store as the control plane)")
+		storeMB   = flag.Int64("store-max-mb", 0, "evict least-recently-used store entries past this many MB (0 = unlimited)")
+		storeMem  = flag.Int64("store-mem-mb", 0, "serve repeated store reads from an in-memory hot tier of this many MB (0 = disabled)")
+		workers   = flag.Int("j", runtime.GOMAXPROCS(0), "concurrently leased jobs")
+		poll      = flag.Duration("poll", 10*time.Second, "lease long-poll wait per request")
+		heartbeat = flag.Duration("heartbeat", 0, "lease renewal interval (0 derives a third of the lease window)")
+		name      = flag.String("name", "", "worker label in leases and control-plane logs (default worker-<pid>)")
+		logFmt    = flag.String("log-format", "text", "structured log format on stderr: text or json")
+		logLvl    = flag.String("log-level", "info", "log level: debug, info, warn or error")
+		failSub   = flag.String("fail-substr", "", "fault injection for tests: fail leased jobs whose id or payload contains this substring")
+	)
+	flag.Parse()
+
+	if err := run(options{
+		server: *server, storeDir: *storeDir, storeMB: *storeMB, storeMemMB: *storeMem,
+		workers: *workers, poll: *poll, heartbeat: *heartbeat, name: *name,
+		logFormat: *logFmt, logLevel: *logLvl, failSubstr: *failSub,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// options carries the parsed flag set into run.
+type options struct {
+	server     string
+	storeDir   string
+	storeMB    int64
+	storeMemMB int64
+	workers    int
+	poll       time.Duration
+	heartbeat  time.Duration
+	name       string
+	logFormat  string
+	logLevel   string
+	failSubstr string
+}
+
+func run(o options) error {
+	logger, err := telemetry.NewLogger(os.Stderr, o.logFormat, o.logLevel)
+	if err != nil {
+		return fmt.Errorf("sliccworker: %w", err)
+	}
+	w, err := worker.New(worker.Options{
+		Server:        o.server,
+		StoreDir:      o.storeDir,
+		StoreMaxBytes: o.storeMB << 20,
+		StoreMemBytes: o.storeMemMB << 20,
+		Workers:       o.workers,
+		Poll:          o.poll,
+		Heartbeat:     o.heartbeat,
+		Name:          o.name,
+		FailSubstr:    o.failSubstr,
+		Logger:        logger,
+	})
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// One machine-readable startup line on stdout, mirroring sliccd's
+	// "listening on" contract, so harnesses know the lease loop is up.
+	fmt.Printf("sliccworker polling %s\n", o.server)
+	logger.Info("sliccworker started", "server", o.server, "store", o.storeDir,
+		"workers", o.workers, "poll", o.poll.String())
+
+	err = w.Run(ctx)
+	st := w.Stats()
+	logger.Info("sliccworker stopped",
+		"completed", st.Completed, "failed", st.Failed, "abandoned", st.Abandoned)
+	return err
+}

@@ -118,6 +118,24 @@ type EngineOptions struct {
 	// the ctx passed to Run/Sweep/Experiment instead, so library use
 	// stays zero-configuration.
 	Logger *slog.Logger
+	// Remote, when set, executes sweep cells on a distributed worker
+	// fleet instead of the local pool: a cell that misses the persistent
+	// store is handed to Remote (keyed by its content key, payload the
+	// canonical job JSON) and its result read back from the store once
+	// the fleet resolves it. Requires StoreDir — the shared store is the
+	// result transport. Only Sweep/SweepStream route through Remote;
+	// single simulations and experiments stay local, so the control
+	// plane keeps answering them even with no workers connected.
+	Remote RemoteRunner
+}
+
+// RemoteRunner executes jobs on a remote fleet; see EngineOptions.Remote.
+// Execute must return once the job's result is in the engine's store
+// under key, or with an error when the job cannot be resolved (a
+// dead-lettered poison job's error carries its retry chain). sliccd's
+// queue dispatcher is the production implementation.
+type RemoteRunner interface {
+	Execute(ctx context.Context, key string, job []byte) error
 }
 
 // EngineStats snapshots an engine's work counters.
@@ -131,8 +149,13 @@ type EngineStats struct {
 	DedupHits int
 	// StoreHits / StorePuts count simulations served from / recorded to
 	// the persistent store (zero without StoreDir). At any quiescent
-	// point SimsRequested == SimsExecuted + DedupHits + StoreHits.
+	// point SimsRequested == SimsExecuted + DedupHits + StoreHits +
+	// SimsRemote.
 	StoreHits, StorePuts int
+	// SimsRemote counts simulations resolved by the distributed worker
+	// fleet (EngineOptions.Remote) rather than executed locally; the
+	// store carried their results back.
+	SimsRemote int
 	// WorkloadsBuilt / WorkloadHits count workload-synthesis cache
 	// misses/hits.
 	WorkloadsBuilt, WorkloadHits int
@@ -160,6 +183,9 @@ type EngineStats struct {
 type Engine struct {
 	pool  *runner.Pool
 	store *store.Store // nil without EngineOptions.StoreDir
+	// remote executes sweep cells on the worker fleet when set
+	// (EngineOptions.Remote); nil runs everything locally.
+	remote runner.Remote
 }
 
 // NewEngine builds an experiment engine. The error is non-nil only when
@@ -167,6 +193,9 @@ type Engine struct {
 // that configure a store (or replay trace containers) should Close the
 // engine when done with it.
 func NewEngine(o EngineOptions) (*Engine, error) {
+	if o.Remote != nil && o.StoreDir == "" {
+		return nil, fmt.Errorf("slicc: EngineOptions.Remote requires StoreDir (the shared store carries remote results back)")
+	}
 	ropts := runner.Options{Workers: o.Workers, OnProgress: o.Progress}
 	var st *store.Store
 	if o.StoreDir != "" {
@@ -177,7 +206,11 @@ func NewEngine(o EngineOptions) (*Engine, error) {
 		}
 		ropts.Memo = runner.NewStoreMemo(st)
 	}
-	return &Engine{pool: runner.New(ropts), store: st}, nil
+	e := &Engine{pool: runner.New(ropts), store: st}
+	if o.Remote != nil {
+		e.remote = o.Remote
+	}
+	return e, nil
 }
 
 // Close releases the engine's long-lived resources: cached trace-container
@@ -320,6 +353,7 @@ func (e *Engine) Stats() EngineStats {
 		DedupHits:             s.DedupHits,
 		StoreHits:             s.StoreHits,
 		StorePuts:             s.StorePuts,
+		SimsRemote:            s.JobsRemote,
 		WorkloadsBuilt:        s.WorkloadsBuilt,
 		WorkloadHits:          s.WorkloadHits,
 		InstructionsSimulated: s.Instructions,

@@ -1,0 +1,84 @@
+package queue
+
+// HTTP wire types for the queue API, shared by the control plane
+// (internal/server) and the worker (internal/worker, cmd/sliccworker) so
+// the two sides cannot drift. See docs/SERVICE.md for the endpoint
+// reference.
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// LeaseRequest is the body of POST /v1/queue/lease.
+type LeaseRequest struct {
+	// Worker labels the lease holder (hostname/pid by convention); it
+	// prefixes the issued holder token and appears in expiry logs.
+	Worker string `json:"worker,omitempty"`
+	// WaitSeconds long-polls up to this many seconds when no entry is
+	// eligible (the server caps it; 0 returns immediately).
+	WaitSeconds int `json:"wait_seconds,omitempty"`
+}
+
+// LeaseJob is one leased job.
+type LeaseJob struct {
+	// ID is the job's content key (runner.JobKey of the cell): the queue
+	// entry id, the store key of the result, and the idempotency token,
+	// all one value.
+	ID string `json:"id"`
+	// Payload is the canonical JSON of the normalized runner job.
+	Payload json.RawMessage `json:"payload"`
+	// Attempts counts prior failed attempts (0 on first lease).
+	Attempts int `json:"attempts"`
+	// Holder authenticates this lease's heartbeat/complete/fail calls.
+	Holder string `json:"holder"`
+	// LeaseExpires is when the lease lapses unless renewed by heartbeat.
+	LeaseExpires time.Time `json:"lease_expires"`
+}
+
+// LeaseResponse is the body of a 200 from POST /v1/queue/lease. Job is
+// null when the wait elapsed with nothing eligible.
+type LeaseResponse struct {
+	Job *LeaseJob `json:"job"`
+}
+
+// HeartbeatRequest is the body of POST /v1/queue/{id}/heartbeat.
+type HeartbeatRequest struct {
+	Holder string `json:"holder"`
+}
+
+// HeartbeatResponse carries the renewed lease expiry.
+type HeartbeatResponse struct {
+	LeaseExpires time.Time `json:"lease_expires"`
+}
+
+// CompleteRequest is the body of POST /v1/queue/{id}/complete.
+type CompleteRequest struct {
+	Holder string `json:"holder"`
+}
+
+// FailRequest is the body of POST /v1/queue/{id}/fail.
+type FailRequest struct {
+	Holder string `json:"holder"`
+	// Error is the worker-side cause, appended to the entry's error chain.
+	Error string `json:"error"`
+}
+
+// FailResponse reports the entry's post-failure state.
+type FailResponse struct {
+	Attempts int  `json:"attempts"`
+	Dead     bool `json:"dead"`
+}
+
+// DeadJob is one dead-letter entry as served by GET /v1/queue/dead.
+type DeadJob struct {
+	ID       string    `json:"id"`
+	Attempts int       `json:"attempts"`
+	Errors   []string  `json:"errors"`
+	Enqueued time.Time `json:"enqueued"`
+}
+
+// DeadResponse is the body of GET /v1/queue/dead.
+type DeadResponse struct {
+	Dead []DeadJob `json:"dead"`
+}

@@ -1,0 +1,34 @@
+package queue
+
+// Dispatcher adapts a Queue to the runner's remote-execution seam: the
+// pool calls Execute instead of running a claimed job locally, Execute
+// enqueues the job and blocks until a worker resolves it, and the pool
+// then reads the result back from the shared store. It structurally
+// implements runner.Remote without importing the runner — the seam's two
+// sides meet only at the slicc.EngineOptions wiring.
+
+import "context"
+
+// Dispatcher submits jobs to a Queue and waits for their resolution.
+type Dispatcher struct {
+	Q *Queue
+}
+
+// Execute enqueues the job under its content key and blocks until a
+// worker completes it (nil), the entry dead-letters (*DeadError carrying
+// the retry chain), or ctx ends. On ctx cancellation the entry stays
+// queued: a worker may still execute it, its result lands in the store,
+// and a resubmitted sweep replays it as a store hit — the durable-queue
+// half of the checkpoint-free resume contract.
+func (d *Dispatcher) Execute(ctx context.Context, key string, job []byte) error {
+	t, err := d.Q.Enqueue(key, job)
+	if err != nil {
+		return err
+	}
+	select {
+	case <-t.Done():
+		return t.Err()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

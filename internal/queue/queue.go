@@ -1,0 +1,752 @@
+// Package queue implements the durable on-disk job queue behind
+// distributed sliccd: the control plane enqueues sweep cells keyed by
+// their content key (runner.JobKey), workers lease them over HTTP, run
+// them through the ordinary engine, and publish results into the shared
+// content-addressed store. The queue itself never carries results — the
+// store is the result transport and the checkpoint — so queue entries are
+// small JSON documents and every queue operation is idempotent by
+// construction: enqueueing an id twice coalesces, completing a job twice
+// is a no-op for the second caller, and a crashed worker's lease simply
+// expires and the entry becomes leasable again.
+//
+// Durability follows the store's publish idiom: an entry is written to a
+// temp file in the queue directory and link(2)ed to its final name
+// (O_EXCL semantics; rename repairs corrupt leftovers), and state changes
+// (retry bookkeeping, dead-lettering) rewrite the file via temp+rename.
+// Leases are deliberately *not* persisted: after a control-plane restart
+// every recovered entry is pending again, which at worst re-executes work
+// whose result the store already absorbs. Dead-letter entries do persist,
+// so a poison job stays inspectable (and stays poison) across restarts.
+//
+// Corrupt or truncated entry files are skipped on open and repaired on
+// the next enqueue of the same id — never an error, never a panic —
+// matching the store's corruption tolerance.
+package queue
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// FormatVersion tags the on-disk entry schema; entries with any other
+// version are skipped as corrupt.
+const FormatVersion = 1
+
+const (
+	// entrySuffix names queue entry files ("slicc queue job").
+	entrySuffix = ".sqj"
+	// tmpPattern names in-progress writes; Open sweeps leftovers.
+	tmpPattern = ".qtmp-*"
+	// maxIDLen bounds entry ids (content keys are 64 hex chars).
+	maxIDLen = 256
+	// maxPayload bounds entry payloads (a sweep cell job is <1KB of JSON).
+	maxPayload = 1 << 20
+	// maxErrors bounds the per-entry error chain: the most recent failures
+	// win (the chain exists to diagnose, not to archive).
+	maxErrors = 8
+)
+
+// Sentinel errors for the lease protocol. The HTTP layer maps ErrUnknown
+// to 404 and ErrNotHolder to 409; workers treat both as "stop working on
+// this job" (someone else owns it now, or it is gone).
+var (
+	// ErrClosed reports an operation on a closed queue.
+	ErrClosed = errors.New("queue: closed")
+	// ErrUnknown reports an id with no queue entry (completed, never
+	// enqueued, or evicted).
+	ErrUnknown = errors.New("queue: unknown job")
+	// ErrNotHolder reports a heartbeat/complete/fail whose holder token
+	// does not hold the entry's current lease — the lease expired and was
+	// re-issued, or the entry is no longer leased.
+	ErrNotHolder = errors.New("queue: lease not held by caller")
+)
+
+// DeadError is the terminal error a dead-lettered job resolves with: the
+// dispatcher returns it to the sweep, so the failed cell's error carries
+// the whole retry chain.
+type DeadError struct {
+	ID       string
+	Attempts int
+	Errors   []string
+}
+
+func (e *DeadError) Error() string {
+	return fmt.Sprintf("queue: job %s dead after %d attempts: %s",
+		shortID(e.ID), e.Attempts, strings.Join(e.Errors, "; "))
+}
+
+// shortID abbreviates content keys for log and error text.
+func shortID(id string) string {
+	if len(id) > 12 {
+		return id[:12]
+	}
+	return id
+}
+
+// Options configures a Queue.
+type Options struct {
+	// MaxAttempts is the retry budget per entry (default 3): an entry
+	// whose attempt count reaches it — explicit failures and lease
+	// expirations both count — moves to the dead-letter queue.
+	MaxAttempts int
+	// LeaseTTL is the visibility timeout (default 30s): a lease not
+	// renewed by heartbeat within it expires, and the entry becomes
+	// leasable again.
+	LeaseTTL time.Duration
+	// Backoff is the delay before a failed entry's first retry (default
+	// 1s), doubling per attempt up to MaxBackoff (default 30s).
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// SweepInterval is the lease-expiry scan period (default 1s). Lease
+	// calls scan opportunistically too; the ticker guarantees expiry (and
+	// dead-lettering) even when no worker is polling.
+	SweepInterval time.Duration
+	// Logger receives queue lifecycle events (skipped corrupt entries,
+	// expirations, dead-letterings). Nil is silent.
+	Logger *slog.Logger
+
+	// now overrides the clock in tests (same-package only).
+	now func() time.Time
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = 30 * time.Second
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = time.Second
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 30 * time.Second
+	}
+	if o.SweepInterval <= 0 {
+		o.SweepInterval = time.Second
+	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.DiscardHandler)
+	}
+	if o.now == nil {
+		o.now = time.Now
+	}
+	return o
+}
+
+// state is an entry's in-memory lifecycle position.
+type state int
+
+const (
+	statePending state = iota
+	stateLeased
+	stateDead
+)
+
+// entry is one queued job.
+type entry struct {
+	id       string
+	payload  []byte
+	attempts int
+	errors   []string
+	enqueued time.Time
+
+	state     state
+	notBefore time.Time // earliest next lease (retry backoff)
+
+	holder       string // lease holder token, "" unless leased
+	leaseExpires time.Time
+
+	// done resolves waiters (Ticket holders): closed with err == nil on
+	// completion, with a *DeadError on dead-lettering. err is written
+	// before done closes and read only after — no lock guards it.
+	done chan struct{}
+	err  error
+}
+
+// diskEntry is the persisted JSON form of an entry. Leases are absent by
+// design: they are in-memory state, voided by a control-plane restart.
+type diskEntry struct {
+	V         int             `json:"v"`
+	ID        string          `json:"id"`
+	Payload   json.RawMessage `json:"payload"`
+	Attempts  int             `json:"attempts"`
+	Errors    []string        `json:"errors,omitempty"`
+	Dead      bool            `json:"dead,omitempty"`
+	NotBefore time.Time       `json:"not_before"`
+	Enqueued  time.Time       `json:"enqueued"`
+}
+
+// decodeDiskEntry validates b as a queue entry file. Any malformation —
+// bad JSON, wrong version, missing or oversized fields — is ok=false,
+// never a panic: corrupt entries are skipped and later repaired.
+func decodeDiskEntry(b []byte) (diskEntry, bool) {
+	var d diskEntry
+	if err := json.Unmarshal(b, &d); err != nil {
+		return diskEntry{}, false
+	}
+	if d.V != FormatVersion {
+		return diskEntry{}, false
+	}
+	if d.ID == "" || len(d.ID) > maxIDLen {
+		return diskEntry{}, false
+	}
+	if len(d.Payload) == 0 || len(d.Payload) > maxPayload {
+		return diskEntry{}, false
+	}
+	if d.Attempts < 0 || d.Attempts > 1<<20 {
+		return diskEntry{}, false
+	}
+	return d, true
+}
+
+// Stats snapshots the queue's gauges and lifetime counters.
+type Stats struct {
+	// Pending / Leased / Dead are current entry counts by state: pending
+	// entries are enqueued but unleased (including those in retry
+	// backoff), leased entries are in flight on a worker, dead entries
+	// are the DLQ.
+	Pending int
+	Leased  int
+	Dead    int
+	// Lifetime counters since Open.
+	Enqueued    int64
+	Leases      int64
+	Heartbeats  int64
+	Expirations int64
+	Completions int64
+	Failures    int64
+}
+
+// Queue is a durable job queue rooted at one directory. It is safe for
+// concurrent use; one Queue instance per directory per process (the
+// directory is the durability layer, the instance holds the lease state).
+type Queue struct {
+	dir  string
+	opts Options
+
+	mu      sync.Mutex
+	entries map[string]*entry
+	// avail is the lease long-poll broadcast: closed and replaced
+	// whenever an entry may have become leasable.
+	avail     chan struct{}
+	holderSeq int64
+	stats     Stats
+	closed    bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Open opens (creating if needed) the queue at dir and recovers persisted
+// entries: non-dead entries become pending (their attempt counts and
+// backoff windows survive), dead entries rejoin the DLQ, corrupt files
+// are skipped. Leftover temp files from crashed writers are removed.
+func Open(dir string, opts Options) (*Queue, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("queue: %w", err)
+	}
+	q := &Queue{
+		dir:     dir,
+		opts:    opts,
+		entries: make(map[string]*entry),
+		avail:   make(chan struct{}),
+		stop:    make(chan struct{}),
+	}
+	if err := q.recover(); err != nil {
+		return nil, err
+	}
+	q.wg.Add(1)
+	go q.sweeper()
+	return q, nil
+}
+
+// recover loads persisted entries from the queue directory.
+func (q *Queue) recover() error {
+	des, err := os.ReadDir(q.dir)
+	if err != nil {
+		return fmt.Errorf("queue: %w", err)
+	}
+	for _, de := range des {
+		name := de.Name()
+		if ok, _ := filepath.Match(tmpPattern, name); ok {
+			os.Remove(filepath.Join(q.dir, name))
+			continue
+		}
+		if !strings.HasSuffix(name, entrySuffix) || de.IsDir() {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(q.dir, name))
+		if err != nil {
+			continue
+		}
+		d, ok := decodeDiskEntry(b)
+		if !ok || fileName(d.ID) != name {
+			q.opts.Logger.Warn("queue: skipping corrupt entry file", "file", name)
+			continue
+		}
+		e := &entry{
+			id:        d.ID,
+			payload:   []byte(d.Payload),
+			attempts:  d.Attempts,
+			errors:    d.Errors,
+			enqueued:  d.Enqueued,
+			notBefore: d.NotBefore,
+			done:      make(chan struct{}),
+		}
+		if d.Dead {
+			e.state = stateDead
+			e.err = &DeadError{ID: e.id, Attempts: e.attempts, Errors: e.errors}
+			close(e.done)
+		}
+		q.entries[e.id] = e
+	}
+	return nil
+}
+
+// Close stops the expiry sweeper and closes the queue; subsequent
+// operations fail with ErrClosed. Entries (and their files) are left as
+// they are — a reopened queue resumes them. Close does not resolve
+// outstanding Tickets; their sweeps' context cancellation does.
+func (q *Queue) Close() error {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return nil
+	}
+	q.closed = true
+	close(q.stop)
+	q.broadcastLocked() // wake Lease long-polls so they observe closed
+	q.mu.Unlock()
+	q.wg.Wait()
+	return nil
+}
+
+// sweeper periodically expires stale leases so visibility timeouts (and
+// the dead-lettering they can trigger) are time-driven, not only
+// Lease-driven, and wakes long-polls whose retry backoff has elapsed.
+func (q *Queue) sweeper() {
+	defer q.wg.Done()
+	t := time.NewTicker(q.opts.SweepInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-q.stop:
+			return
+		case <-t.C:
+			q.mu.Lock()
+			now := q.opts.now()
+			q.expireLocked(now)
+			if q.leasableLocked(now) {
+				q.broadcastLocked()
+			}
+			q.mu.Unlock()
+		}
+	}
+}
+
+// broadcastLocked wakes every Lease long-poll. Caller holds q.mu.
+func (q *Queue) broadcastLocked() {
+	close(q.avail)
+	q.avail = make(chan struct{})
+}
+
+// leasableLocked reports whether any pending entry is eligible now.
+func (q *Queue) leasableLocked(now time.Time) bool {
+	for _, e := range q.entries {
+		if e.state == statePending && !now.Before(e.notBefore) {
+			return true
+		}
+	}
+	return false
+}
+
+// expireLocked fails every lease whose visibility timeout has passed.
+// Caller holds q.mu.
+func (q *Queue) expireLocked(now time.Time) {
+	for _, e := range q.entries {
+		if e.state == stateLeased && now.After(e.leaseExpires) {
+			q.stats.Expirations++
+			q.opts.Logger.Warn("queue: lease expired",
+				"id", shortID(e.id), "holder", e.holder, "attempts", e.attempts+1)
+			q.failLocked(e, fmt.Sprintf("lease expired (holder %s)", e.holder), now)
+		}
+	}
+}
+
+// failLocked records one failed attempt on e and either schedules a
+// backoff retry or dead-letters it. Caller holds q.mu.
+func (q *Queue) failLocked(e *entry, cause string, now time.Time) {
+	e.attempts++
+	e.errors = append(e.errors, fmt.Sprintf("attempt %d: %s", e.attempts, cause))
+	if len(e.errors) > maxErrors {
+		e.errors = e.errors[len(e.errors)-maxErrors:]
+	}
+	e.holder = ""
+	q.stats.Failures++
+	if e.attempts >= q.opts.MaxAttempts {
+		e.state = stateDead
+		q.opts.Logger.Warn("queue: job dead-lettered",
+			"id", shortID(e.id), "attempts", e.attempts, "cause", cause)
+		q.persistLocked(e)
+		e.err = &DeadError{ID: e.id, Attempts: e.attempts, Errors: append([]string(nil), e.errors...)}
+		close(e.done)
+		return
+	}
+	e.state = statePending
+	e.notBefore = now.Add(q.backoff(e.attempts))
+	q.persistLocked(e)
+}
+
+// backoff returns the retry delay after the given attempt count:
+// Backoff doubling per attempt, capped at MaxBackoff.
+func (q *Queue) backoff(attempts int) time.Duration {
+	d := q.opts.Backoff
+	for i := 1; i < attempts && d < q.opts.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > q.opts.MaxBackoff {
+		d = q.opts.MaxBackoff
+	}
+	return d
+}
+
+// fileName maps an entry id to its file name: ids are content keys
+// (already uniform), but hashing keeps names fixed-length and safe for
+// any id the API accepts.
+func fileName(id string) string {
+	sum := sha256.Sum256([]byte(id))
+	return hex.EncodeToString(sum[:]) + entrySuffix
+}
+
+func (q *Queue) path(id string) string { return filepath.Join(q.dir, fileName(id)) }
+
+// persistLocked rewrites e's file via temp+rename (atomic replace). Disk
+// errors are logged, not fatal: the in-memory state is authoritative for
+// this process, and durability is best-effort by the same contract as
+// store writes. Caller holds q.mu.
+func (q *Queue) persistLocked(e *entry) {
+	d := diskEntry{
+		V: FormatVersion, ID: e.id, Payload: json.RawMessage(e.payload),
+		Attempts: e.attempts, Errors: e.errors, Dead: e.state == stateDead,
+		NotBefore: e.notBefore, Enqueued: e.enqueued,
+	}
+	b, err := json.Marshal(d)
+	if err != nil {
+		return // diskEntry is plain data; cannot fail
+	}
+	if err := writeFileAtomic(q.dir, q.path(e.id), b, false); err != nil {
+		q.opts.Logger.Warn("queue: persisting entry", "id", shortID(e.id), "error", err.Error())
+	}
+}
+
+// writeFileAtomic writes b to final via a temp file in dir. With
+// exclusive set it publishes via link(2) — failing with fs.ErrExist when
+// final already exists — otherwise it replaces final via rename.
+func writeFileAtomic(dir, final string, b []byte, exclusive bool) error {
+	tmp, err := os.CreateTemp(dir, tmpPattern)
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	// Removed on every path out: link() leaves the temp name behind
+	// deliberately, and failures must not litter.
+	defer os.Remove(tmpName)
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if !exclusive {
+		return os.Rename(tmpName, final)
+	}
+	if err := os.Link(tmpName, final); err != nil {
+		if errors.Is(err, fs.ErrExist) {
+			return fs.ErrExist
+		}
+		// Filesystems without hard links take the rename path.
+		return os.Rename(tmpName, final)
+	}
+	return nil
+}
+
+// Ticket is a waiter on one enqueued job: Done closes when the job
+// completes or dead-letters (Err then reports which). A Ticket never
+// times out on its own — abandon it when the caller's context ends; the
+// entry stays queued and its eventual result lands in the store.
+type Ticket struct{ e *entry }
+
+// Done returns the resolution channel.
+func (t *Ticket) Done() <-chan struct{} { return t.e.done }
+
+// Err reports the terminal error (nil on completion, *DeadError on
+// dead-lettering). Valid only after Done is closed.
+func (t *Ticket) Err() error { return t.e.err }
+
+// Enqueue adds the job under id, durably, and returns a Ticket resolving
+// when it completes. Enqueueing an existing id coalesces onto the
+// existing entry (the payload is a pure function of the id by the
+// content-key contract); enqueueing a dead id returns a Ticket that is
+// already resolved with the DeadError — deterministic poison stays
+// poison until the DLQ entry is removed from the queue directory.
+func (q *Queue) Enqueue(id string, payload []byte) (*Ticket, error) {
+	if id == "" || len(id) > maxIDLen {
+		return nil, fmt.Errorf("queue: id length %d out of range [1, %d]", len(id), maxIDLen)
+	}
+	if len(payload) == 0 || len(payload) > maxPayload {
+		return nil, fmt.Errorf("queue: payload size %d out of range [1, %d]", len(payload), maxPayload)
+	}
+	if !json.Valid(payload) {
+		return nil, errors.New("queue: payload is not valid JSON")
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil, ErrClosed
+	}
+	if e, ok := q.entries[id]; ok {
+		return &Ticket{e: e}, nil
+	}
+	now := q.opts.now()
+	e := &entry{
+		id:       id,
+		payload:  append([]byte(nil), payload...),
+		enqueued: now,
+		done:     make(chan struct{}),
+	}
+	d := diskEntry{
+		V: FormatVersion, ID: id, Payload: json.RawMessage(e.payload),
+		NotBefore: now, Enqueued: now,
+	}
+	b, _ := json.Marshal(d)
+	if err := writeFileAtomic(q.dir, q.path(id), b, true); err != nil {
+		if !errors.Is(err, fs.ErrExist) {
+			q.opts.Logger.Warn("queue: persisting entry", "id", shortID(id), "error", err.Error())
+		} else if prev, rerr := os.ReadFile(q.path(id)); rerr == nil {
+			// A file exists with no in-memory entry (crash leftovers the
+			// recovery scan raced with, or a corrupt write). Valid same-id
+			// files adopt their persisted retry state; anything else is
+			// repaired in place.
+			if pd, ok := decodeDiskEntry(prev); ok && pd.ID == id {
+				e.attempts, e.errors, e.notBefore, e.enqueued = pd.Attempts, pd.Errors, pd.NotBefore, pd.Enqueued
+				if pd.Dead {
+					e.state = stateDead
+					e.err = &DeadError{ID: id, Attempts: e.attempts, Errors: e.errors}
+					close(e.done)
+				}
+			} else {
+				q.persistLocked(e)
+			}
+		}
+	}
+	q.entries[id] = e
+	q.stats.Enqueued++
+	if e.state == statePending {
+		q.broadcastLocked()
+	}
+	return &Ticket{e: e}, nil
+}
+
+// Lease claims the oldest eligible pending entry for worker, long-polling
+// up to wait when none is available. It returns nil with a nil error when
+// the wait elapses empty (or ctx ends); the returned job's Holder token
+// authenticates the worker's heartbeat/complete/fail calls for this
+// lease.
+func (q *Queue) Lease(ctx context.Context, worker string, wait time.Duration) (*LeaseJob, error) {
+	if worker == "" {
+		worker = "worker"
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		q.mu.Lock()
+		if q.closed {
+			q.mu.Unlock()
+			return nil, ErrClosed
+		}
+		now := q.opts.now()
+		q.expireLocked(now)
+		if e := q.pickLocked(now); e != nil {
+			q.holderSeq++
+			e.state = stateLeased
+			e.holder = fmt.Sprintf("%s#%d", worker, q.holderSeq)
+			e.leaseExpires = now.Add(q.opts.LeaseTTL)
+			q.stats.Leases++
+			job := &LeaseJob{
+				ID: e.id, Payload: json.RawMessage(append([]byte(nil), e.payload...)),
+				Attempts: e.attempts, Holder: e.holder, LeaseExpires: e.leaseExpires,
+			}
+			q.mu.Unlock()
+			return job, nil
+		}
+		avail := q.avail
+		q.mu.Unlock()
+
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return nil, nil
+		}
+		t := time.NewTimer(remaining)
+		select {
+		case <-avail:
+			t.Stop()
+		case <-ctx.Done():
+			t.Stop()
+			return nil, nil
+		case <-t.C:
+			return nil, nil
+		}
+	}
+}
+
+// pickLocked returns the eligible pending entry with the earliest
+// (enqueued, id) order, nil when none. Caller holds q.mu.
+func (q *Queue) pickLocked(now time.Time) *entry {
+	var best *entry
+	for _, e := range q.entries {
+		if e.state != statePending || now.Before(e.notBefore) {
+			continue
+		}
+		if best == nil || e.enqueued.Before(best.enqueued) ||
+			(e.enqueued.Equal(best.enqueued) && e.id < best.id) {
+			best = e
+		}
+	}
+	return best
+}
+
+// holderLocked resolves (id, holder) to its leased entry. Caller holds q.mu.
+func (q *Queue) holderLocked(id, holder string) (*entry, error) {
+	e, ok := q.entries[id]
+	if !ok {
+		return nil, ErrUnknown
+	}
+	if e.state != stateLeased || e.holder != holder {
+		return nil, ErrNotHolder
+	}
+	return e, nil
+}
+
+// Heartbeat renews the lease on id held by holder and returns the new
+// expiry. A worker whose heartbeat fails with ErrNotHolder has lost the
+// lease (it expired and may have been re-issued) and should abandon the
+// job — its eventual store Put stays benign either way.
+func (q *Queue) Heartbeat(id, holder string) (time.Time, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return time.Time{}, ErrClosed
+	}
+	now := q.opts.now()
+	q.expireLocked(now)
+	e, err := q.holderLocked(id, holder)
+	if err != nil {
+		return time.Time{}, err
+	}
+	e.leaseExpires = now.Add(q.opts.LeaseTTL)
+	q.stats.Heartbeats++
+	return e.leaseExpires, nil
+}
+
+// Complete acknowledges id as done by holder: the entry (and its file)
+// are removed and every Ticket resolves nil. The job's result must
+// already be in the shared store — completion is the ack, the store is
+// the payload. A stale Complete (expired lease) fails with ErrNotHolder
+// and is benign: the result is in the store regardless, and the retried
+// execution will complete as a store hit.
+func (q *Queue) Complete(id, holder string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	q.expireLocked(q.opts.now())
+	e, err := q.holderLocked(id, holder)
+	if err != nil {
+		return err
+	}
+	delete(q.entries, id)
+	if err := os.Remove(q.path(id)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		q.opts.Logger.Warn("queue: removing completed entry", "id", shortID(id), "error", err.Error())
+	}
+	q.stats.Completions++
+	close(e.done)
+	return nil
+}
+
+// Fail records a failed attempt on id by holder with the given cause,
+// returning the updated attempt count and whether the entry was
+// dead-lettered (otherwise it retries after backoff).
+func (q *Queue) Fail(id, holder, cause string) (attempts int, dead bool, err error) {
+	if cause == "" {
+		cause = "unspecified failure"
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return 0, false, ErrClosed
+	}
+	now := q.opts.now()
+	q.expireLocked(now)
+	e, herr := q.holderLocked(id, holder)
+	if herr != nil {
+		return 0, false, herr
+	}
+	q.failLocked(e, cause, now)
+	return e.attempts, e.state == stateDead, nil
+}
+
+// Dead returns the dead-letter queue in id order.
+func (q *Queue) Dead() []DeadJob {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var dead []DeadJob
+	for _, e := range q.entries {
+		if e.state != stateDead {
+			continue
+		}
+		dead = append(dead, DeadJob{
+			ID:       e.id,
+			Attempts: e.attempts,
+			Errors:   append([]string(nil), e.errors...),
+			Enqueued: e.enqueued,
+		})
+	}
+	sort.Slice(dead, func(i, j int) bool { return dead[i].ID < dead[j].ID })
+	return dead
+}
+
+// Stats snapshots the queue's counters.
+func (q *Queue) Stats() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	s := q.stats
+	for _, e := range q.entries {
+		switch e.state {
+		case statePending:
+			s.Pending++
+		case stateLeased:
+			s.Leased++
+		case stateDead:
+			s.Dead++
+		}
+	}
+	return s
+}
+
+// Dir returns the queue's directory.
+func (q *Queue) Dir() string { return q.dir }

@@ -1,0 +1,736 @@
+package queue
+
+// Unit tests for the durable queue: the lease/heartbeat/complete/fail
+// protocol, visibility timeouts, retry backoff and dead-lettering run
+// against a test clock so every timing decision is deterministic; the
+// durability tests close and reopen real directories; the contention test
+// hammers the lease path from many goroutines under -race.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testClock is a manually advanced clock wired into Options.now.
+type testClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newTestClock() *testClock {
+	return &testClock{t: time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)}
+}
+
+func (c *testClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *testClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// open builds a queue in a fresh temp dir on the given clock, closed at
+// test end.
+func open(t *testing.T, clk *testClock, opts Options) *Queue {
+	t.Helper()
+	if clk != nil {
+		opts.now = clk.now
+		// Keep the real-time sweeper out of clock-driven tests: expiry is
+		// exercised through the Lease/Heartbeat opportunistic scans.
+		if opts.SweepInterval == 0 {
+			opts.SweepInterval = time.Hour
+		}
+	}
+	q, err := Open(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { q.Close() })
+	return q
+}
+
+func mustLease(t *testing.T, q *Queue, worker string) *LeaseJob {
+	t.Helper()
+	job, err := q.Lease(context.Background(), worker, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job == nil {
+		t.Fatal("no job leasable")
+	}
+	return job
+}
+
+func TestQueueLifecycle(t *testing.T) {
+	clk := newTestClock()
+	q := open(t, clk, Options{})
+	tk, err := q.Enqueue("job-a", []byte(`{"n":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(q.path("job-a")); err != nil {
+		t.Fatalf("entry file not published: %v", err)
+	}
+
+	job := mustLease(t, q, "w1")
+	if job.ID != "job-a" || string(job.Payload) != `{"n":1}` || job.Attempts != 0 {
+		t.Fatalf("leased %+v", job)
+	}
+	if !strings.HasPrefix(job.Holder, "w1#") {
+		t.Fatalf("holder token %q", job.Holder)
+	}
+	// Held entries are invisible to other workers.
+	if j, _ := q.Lease(context.Background(), "w2", 0); j != nil {
+		t.Fatalf("second lease got held job %q", j.ID)
+	}
+
+	exp, err := q.Heartbeat("job-a", job.Holder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exp.After(job.LeaseExpires.Add(-time.Nanosecond)) {
+		t.Fatalf("heartbeat expiry %v not past lease %v", exp, job.LeaseExpires)
+	}
+
+	select {
+	case <-tk.Done():
+		t.Fatal("ticket resolved before completion")
+	default:
+	}
+	if err := q.Complete("job-a", job.Holder); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-tk.Done():
+	default:
+		t.Fatal("ticket not resolved by completion")
+	}
+	if tk.Err() != nil {
+		t.Fatalf("completed ticket error %v", tk.Err())
+	}
+	if _, err := os.Stat(q.path("job-a")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("entry file not removed after completion: %v", err)
+	}
+	// A second complete from the same (now dropped) lease is a protocol
+	// rejection, not a crash or a double count.
+	if err := q.Complete("job-a", job.Holder); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("duplicate complete: %v, want ErrUnknown", err)
+	}
+
+	st := q.Stats()
+	want := Stats{Enqueued: 1, Leases: 1, Heartbeats: 1, Completions: 1}
+	if st != want {
+		t.Fatalf("stats %+v, want %+v", st, want)
+	}
+}
+
+func TestQueueEnqueueCoalesces(t *testing.T) {
+	q := open(t, newTestClock(), Options{})
+	t1, err := q.Enqueue("job-a", []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := q.Enqueue("job-a", []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.e != t2.e {
+		t.Fatal("re-enqueue did not coalesce onto the existing entry")
+	}
+	if st := q.Stats(); st.Enqueued != 1 || st.Pending != 1 {
+		t.Fatalf("stats %+v, want one pending entry enqueued once", st)
+	}
+}
+
+func TestQueueEnqueueValidation(t *testing.T) {
+	q := open(t, newTestClock(), Options{})
+	cases := []struct {
+		name    string
+		id      string
+		payload []byte
+	}{
+		{"empty id", "", []byte(`{}`)},
+		{"oversized id", strings.Repeat("x", maxIDLen+1), []byte(`{}`)},
+		{"empty payload", "job-a", nil},
+		{"oversized payload", "job-a", []byte(`"` + strings.Repeat("x", maxPayload) + `"`)},
+		{"invalid json", "job-a", []byte(`{"n":`)},
+	}
+	for _, c := range cases {
+		if _, err := q.Enqueue(c.id, c.payload); err == nil {
+			t.Errorf("%s: enqueue accepted", c.name)
+		}
+	}
+	if st := q.Stats(); st.Pending != 0 || st.Enqueued != 0 {
+		t.Fatalf("rejected enqueues left state behind: %+v", st)
+	}
+}
+
+func TestQueueRetryBackoffAndDeadLetter(t *testing.T) {
+	clk := newTestClock()
+	q := open(t, clk, Options{MaxAttempts: 3, Backoff: time.Second, MaxBackoff: 30 * time.Second})
+	tk, err := q.Enqueue("job-a", []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Attempt 1 fails: the entry enters backoff, invisible until it ends.
+	job := mustLease(t, q, "w1")
+	attempts, dead, err := q.Fail("job-a", job.Holder, "boom one")
+	if err != nil || attempts != 1 || dead {
+		t.Fatalf("first fail: attempts=%d dead=%v err=%v", attempts, dead, err)
+	}
+	if j, _ := q.Lease(context.Background(), "w1", 0); j != nil {
+		t.Fatal("leased during backoff")
+	}
+	clk.advance(1100 * time.Millisecond)
+
+	// Attempt 2 (backoff doubles to 2s).
+	job = mustLease(t, q, "w2")
+	if job.Attempts != 1 {
+		t.Fatalf("retry carries attempts=%d, want 1", job.Attempts)
+	}
+	if _, _, err := q.Fail("job-a", job.Holder, "boom two"); err != nil {
+		t.Fatal(err)
+	}
+	clk.advance(1100 * time.Millisecond)
+	if j, _ := q.Lease(context.Background(), "w2", 0); j != nil {
+		t.Fatal("doubled backoff not honored")
+	}
+	clk.advance(time.Second)
+
+	// Attempt 3 exhausts the budget: dead-letter.
+	job = mustLease(t, q, "w3")
+	attempts, dead, err = q.Fail("job-a", job.Holder, "boom three")
+	if err != nil || attempts != 3 || !dead {
+		t.Fatalf("final fail: attempts=%d dead=%v err=%v", attempts, dead, err)
+	}
+
+	select {
+	case <-tk.Done():
+	default:
+		t.Fatal("ticket not resolved by dead-lettering")
+	}
+	var de *DeadError
+	if !errors.As(tk.Err(), &de) {
+		t.Fatalf("ticket error %T %v, want *DeadError", tk.Err(), tk.Err())
+	}
+	if de.Attempts != 3 || len(de.Errors) != 3 {
+		t.Fatalf("dead error %+v", de)
+	}
+	for i, cause := range []string{"boom one", "boom two", "boom three"} {
+		if want := fmt.Sprintf("attempt %d: %s", i+1, cause); de.Errors[i] != want {
+			t.Fatalf("error chain[%d] = %q, want %q", i, de.Errors[i], want)
+		}
+	}
+
+	dl := q.Dead()
+	if len(dl) != 1 || dl[0].ID != "job-a" || dl[0].Attempts != 3 {
+		t.Fatalf("DLQ %+v", dl)
+	}
+	// Dead entries are unleasable and a re-enqueue resolves immediately
+	// with the same terminal error: deterministic poison stays poison.
+	if j, _ := q.Lease(context.Background(), "w4", 0); j != nil {
+		t.Fatal("leased a dead entry")
+	}
+	tk2, err := q.Enqueue("job-a", []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-tk2.Done():
+	default:
+		t.Fatal("re-enqueued dead job's ticket not already resolved")
+	}
+	if !errors.As(tk2.Err(), &de) {
+		t.Fatalf("re-enqueued dead job error %v", tk2.Err())
+	}
+	if st := q.Stats(); st.Dead != 1 || st.Failures != 3 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestQueueLeaseExpiry(t *testing.T) {
+	clk := newTestClock()
+	q := open(t, clk, Options{LeaseTTL: 30 * time.Second, Backoff: time.Second, MaxAttempts: 5})
+	if _, err := q.Enqueue("job-a", []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	job := mustLease(t, q, "w1")
+
+	// Within the TTL the lease holds.
+	clk.advance(29 * time.Second)
+	if j, _ := q.Lease(context.Background(), "w2", 0); j != nil {
+		t.Fatal("lease stolen before the visibility timeout")
+	}
+
+	// Past it the entry expires into backoff, then re-leases with the
+	// attempt recorded.
+	clk.advance(2 * time.Second)
+	if j, _ := q.Lease(context.Background(), "w2", 0); j != nil {
+		t.Fatal("expired entry leased before its retry backoff")
+	}
+	clk.advance(1100 * time.Millisecond)
+	job2 := mustLease(t, q, "w2")
+	if job2.Attempts != 1 {
+		t.Fatalf("re-leased attempts=%d, want 1", job2.Attempts)
+	}
+	if job2.Holder == job.Holder {
+		t.Fatal("re-issued lease reused the holder token")
+	}
+
+	// The dead holder's acks are rejected; the live holder's succeed.
+	if err := q.Complete("job-a", job.Holder); !errors.Is(err, ErrNotHolder) {
+		t.Fatalf("stale complete: %v, want ErrNotHolder", err)
+	}
+	if _, err := q.Heartbeat("job-a", job.Holder); !errors.Is(err, ErrNotHolder) {
+		t.Fatalf("stale heartbeat: %v, want ErrNotHolder", err)
+	}
+	if err := q.Complete("job-a", job2.Holder); err != nil {
+		t.Fatal(err)
+	}
+
+	st := q.Stats()
+	if st.Expirations != 1 || st.Failures != 1 || st.Completions != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if len(q.Dead()) != 0 {
+		t.Fatal("expiry dead-lettered under budget")
+	}
+}
+
+func TestQueueHeartbeatKeepsLease(t *testing.T) {
+	clk := newTestClock()
+	q := open(t, clk, Options{LeaseTTL: 30 * time.Second})
+	if _, err := q.Enqueue("job-a", []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	job := mustLease(t, q, "w1")
+	// Renew every 20s across 2.5 TTLs of wall time: never expires.
+	for i := 0; i < 4; i++ {
+		clk.advance(20 * time.Second)
+		if _, err := q.Heartbeat("job-a", job.Holder); err != nil {
+			t.Fatalf("heartbeat %d: %v", i, err)
+		}
+		if j, _ := q.Lease(context.Background(), "w2", 0); j != nil {
+			t.Fatal("heartbeated lease was re-issued")
+		}
+	}
+	if err := q.Complete("job-a", job.Holder); err != nil {
+		t.Fatal(err)
+	}
+	if st := q.Stats(); st.Expirations != 0 || st.Heartbeats != 4 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestQueueExpiryDeadLettersUnattendedJob(t *testing.T) {
+	// A job that is leased and never acked — worker crash in a loop —
+	// dead-letters from expirations alone, with the holder named in the
+	// error chain. The sweeper drives this on a real queue; here the
+	// opportunistic Lease scan does.
+	clk := newTestClock()
+	q := open(t, clk, Options{LeaseTTL: time.Second, Backoff: time.Millisecond, MaxAttempts: 2})
+	tk, err := q.Enqueue("job-a", []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		clk.advance(10 * time.Millisecond) // past any retry backoff
+		job := mustLease(t, q, "crashy")
+		_ = job
+		clk.advance(2 * time.Second)
+		q.Lease(context.Background(), "scanner", 0) // trigger the expiry scan
+	}
+	select {
+	case <-tk.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("ticket not resolved by expiry-driven dead-lettering")
+	}
+	var de *DeadError
+	if !errors.As(tk.Err(), &de) || de.Attempts != 2 {
+		t.Fatalf("ticket error %v", tk.Err())
+	}
+	for _, line := range de.Errors {
+		if !strings.Contains(line, "lease expired (holder crashy#") {
+			t.Fatalf("error chain line %q does not name the expired holder", line)
+		}
+	}
+}
+
+func TestQueueRestartRecovery(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{MaxAttempts: 2, Backoff: time.Millisecond, LeaseTTL: time.Minute, SweepInterval: 20 * time.Millisecond}
+	q1, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// pending-fresh: never touched. pending-retried: one failed attempt.
+	// poison: dead-lettered. leased: in flight at "crash" time.
+	for _, id := range []string{"pending-fresh", "pending-retried", "poison", "leased"} {
+		if _, err := q1.Enqueue(id, []byte(`{"job":"`+id+`"}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Lease all four, then drive each into its target state through its
+	// own holder. "pending-fresh" and "leased" are simply never acked —
+	// their in-memory leases vanish at the "crash" without a disk trace.
+	held := map[string]*LeaseJob{}
+	for i := 0; i < 4; i++ {
+		job, err := q1.Lease(ctx, "w", time.Second)
+		if err != nil || job == nil {
+			t.Fatalf("setup lease %d: job=%v err=%v", i, job, err)
+		}
+		held[job.ID] = job
+	}
+	j := held["poison"]
+	if _, _, err := q1.Fail(j.ID, j.Holder, "poison one"); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond) // past the 1ms retry backoff
+	j, err = q1.Lease(ctx, "w", time.Second)
+	if err != nil || j == nil || j.ID != "poison" {
+		t.Fatalf("poison retry lease: job=%v err=%v", j, err)
+	}
+	if _, dead, err := q1.Fail(j.ID, j.Holder, "poison two"); err != nil || !dead {
+		t.Fatalf("poison not dead: dead=%v err=%v", dead, err)
+	}
+	j = held["pending-retried"]
+	if _, _, err := q1.Fail(j.ID, j.Holder, "transient"); err != nil {
+		t.Fatal(err)
+	}
+	if err := q1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": recovery voids the lease, keeps attempts, keeps the DLQ.
+	time.Sleep(5 * time.Millisecond) // past the failed entry's retry backoff
+	q2, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q2.Close()
+	st := q2.Stats()
+	if st.Pending != 3 || st.Leased != 0 || st.Dead != 1 {
+		t.Fatalf("recovered stats %+v, want 3 pending (lease voided) / 1 dead", st)
+	}
+	dl := q2.Dead()
+	if len(dl) != 1 || dl[0].ID != "poison" || dl[0].Attempts != 2 {
+		t.Fatalf("recovered DLQ %+v", dl)
+	}
+	if len(dl[0].Errors) != 2 || !strings.Contains(dl[0].Errors[1], "poison two") {
+		t.Fatalf("recovered DLQ error chain %q", dl[0].Errors)
+	}
+	// The failed-once entry still carries its attempt count; the payload
+	// round-trips bytes intact.
+	seen := map[string]*LeaseJob{}
+	for i := 0; i < 3; i++ {
+		job, err := q2.Lease(ctx, "w", time.Second)
+		if err != nil || job == nil {
+			t.Fatalf("recovered lease %d: job=%v err=%v", i, job, err)
+		}
+		seen[job.ID] = job
+	}
+	if job := seen["pending-retried"]; job == nil || job.Attempts != 1 {
+		t.Fatalf("pending-retried recovered as %+v", job)
+	}
+	if job := seen["leased"]; job == nil || job.Attempts != 0 {
+		t.Fatalf("leased recovered as %+v (in-memory lease must not persist an attempt)", job)
+	}
+	if job := seen["pending-fresh"]; job == nil || string(job.Payload) != `{"job":"pending-fresh"}` {
+		t.Fatalf("pending-fresh payload %s", job.Payload)
+	}
+}
+
+func TestQueueCorruptEntrySkippedAndRepaired(t *testing.T) {
+	dir := t.TempDir()
+	q1, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q1.Enqueue("job-a", []byte(`{"n":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the entry file and scatter junk the recovery scan must
+	// tolerate: garbage under the entry suffix, a truncated JSON document,
+	// and a leftover temp file.
+	if err := os.WriteFile(filepath.Join(dir, fileName("job-a")), []byte("\x00garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, strings.Repeat("ab", 32)+entrySuffix), []byte(`{"v":1,"id":"x"`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(dir, ".qtmp-leftover")
+	if err := os.WriteFile(tmp, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	q2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("corrupt entries must be skipped, not fatal: %v", err)
+	}
+	defer q2.Close()
+	if st := q2.Stats(); st.Pending != 0 || st.Dead != 0 {
+		t.Fatalf("corrupt entries recovered as live state: %+v", st)
+	}
+	if _, err := os.Stat(tmp); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("leftover temp file survived recovery")
+	}
+
+	// Re-enqueueing the id repairs the corrupt file in place.
+	if _, err := q2.Enqueue("job-a", []byte(`{"n":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, fileName("job-a")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, ok := decodeDiskEntry(b)
+	if !ok || d.ID != "job-a" {
+		t.Fatalf("repaired entry file still corrupt: %q", b)
+	}
+	job := mustLease(t, q2, "w1")
+	if job.ID != "job-a" || string(job.Payload) != `{"n":1}` {
+		t.Fatalf("repaired entry leased as %+v", job)
+	}
+}
+
+func TestQueueLeaseContention(t *testing.T) {
+	// Many workers fight over one queue: every entry is completed exactly
+	// once, and no two workers ever hold the same entry at the same time.
+	// Run under -race this doubles as the data-race check on the lease path.
+	const workers, jobs = 8, 40
+	q := open(t, nil, Options{LeaseTTL: time.Minute, SweepInterval: 10 * time.Millisecond})
+	for i := 0; i < jobs; i++ {
+		if _, err := q.Enqueue(fmt.Sprintf("job-%02d", i), []byte(`{}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var (
+		mu      sync.Mutex
+		holding = map[string]string{} // id -> holder while processing
+		done    int
+	)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := fmt.Sprintf("w%d", w)
+			for {
+				job, err := q.Lease(ctx, name, 20*time.Millisecond)
+				if err != nil {
+					t.Errorf("%s: lease: %v", name, err)
+					return
+				}
+				if job == nil {
+					mu.Lock()
+					finished := done == jobs
+					mu.Unlock()
+					if finished {
+						return
+					}
+					continue
+				}
+				mu.Lock()
+				if prev, held := holding[job.ID]; held {
+					t.Errorf("%s leased %s while %s holds it", job.Holder, job.ID, prev)
+				}
+				holding[job.ID] = job.Holder
+				mu.Unlock()
+
+				runtime.Gosched() // widen the overlap window
+
+				mu.Lock()
+				delete(holding, job.ID)
+				mu.Unlock()
+				if err := q.Complete(job.ID, job.Holder); err != nil {
+					t.Errorf("%s: complete %s: %v", name, job.ID, err)
+					return
+				}
+				mu.Lock()
+				done++
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := q.Stats()
+	if st.Completions != jobs || st.Leases != jobs || st.Pending != 0 || st.Leased != 0 {
+		t.Fatalf("stats %+v, want exactly %d leases and completions", st, jobs)
+	}
+}
+
+func TestQueueLongPollWakesOnEnqueue(t *testing.T) {
+	q := open(t, nil, Options{})
+	start := time.Now()
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		if _, err := q.Enqueue("job-a", []byte(`{}`)); err != nil {
+			t.Error(err)
+		}
+	}()
+	job, err := q.Lease(context.Background(), "w1", 10*time.Second)
+	if err != nil || job == nil {
+		t.Fatalf("long poll: job=%v err=%v", job, err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("long poll slept %v instead of waking on enqueue", d)
+	}
+}
+
+func TestQueueCloseWakesLeaseAndStopsGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	q, err := Open(t.TempDir(), Options{SweepInterval: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaseDone := make(chan error, 1)
+	go func() {
+		_, err := q.Lease(context.Background(), "w1", time.Minute)
+		leaseDone <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the poll park
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-leaseDone:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("lease across close: %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("close did not wake the parked lease")
+	}
+	// Every operation on a closed queue reports ErrClosed.
+	if _, err := q.Enqueue("job-a", []byte(`{}`)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("enqueue after close: %v", err)
+	}
+	if err := q.Complete("job-a", "w1#1"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("complete after close: %v", err)
+	}
+	// The sweeper and the long poll are gone: goroutine count settles back.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Fatalf("goroutines leaked across Close: %d before, %d after", before, n)
+	}
+}
+
+func TestQueueCloseIsIdempotent(t *testing.T) {
+	q, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDispatcherRoundTrip(t *testing.T) {
+	q := open(t, nil, Options{})
+	d := &Dispatcher{Q: q}
+	ctx := context.Background()
+
+	// A "worker": lease and complete whatever shows up.
+	go func() {
+		for {
+			job, err := q.Lease(ctx, "w1", time.Second)
+			if err != nil || job == nil {
+				return
+			}
+			q.Complete(job.ID, job.Holder)
+		}
+	}()
+	if err := d.Execute(ctx, "job-a", []byte(`{}`)); err != nil {
+		t.Fatalf("dispatch: %v", err)
+	}
+
+	// Cancellation abandons the wait but leaves the entry queued — the
+	// durable-resume contract.
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if err := d.Execute(cctx, "job-b", []byte(`{}`)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled dispatch: %v", err)
+	}
+	if st := q.Stats(); st.Pending != 1 {
+		t.Fatalf("cancelled dispatch dropped the entry: %+v", st)
+	}
+}
+
+func TestDispatcherDeadJob(t *testing.T) {
+	q := open(t, nil, Options{MaxAttempts: 1, LeaseTTL: time.Minute})
+	go func() {
+		job, err := q.Lease(context.Background(), "w1", 5*time.Second)
+		if err != nil || job == nil {
+			return
+		}
+		q.Fail(job.ID, job.Holder, "no thanks")
+	}()
+	err := (&Dispatcher{Q: q}).Execute(context.Background(), "job-a", []byte(`{}`))
+	var de *DeadError
+	if !errors.As(err, &de) {
+		t.Fatalf("dispatch error %v, want *DeadError", err)
+	}
+	if de.Attempts != 1 || !strings.Contains(err.Error(), "no thanks") {
+		t.Fatalf("dead error %v", err)
+	}
+}
+
+func FuzzDecodeDiskEntry(f *testing.F) {
+	valid := []byte(`{"v":1,"id":"job-a","payload":{"n":1},"attempts":2,` +
+		`"errors":["attempt 1: boom"],"not_before":"2026-01-02T03:04:05Z","enqueued":"2026-01-02T03:04:05Z"}`)
+	f.Add(valid)
+	f.Add([]byte(`{"v":1,"id":"job-a","payload":{},"dead":true}`))
+	f.Add([]byte(`{"v":2,"id":"job-a","payload":{}}`))
+	f.Add([]byte(`{"v":1,"id":"","payload":{}}`))
+	f.Add([]byte(`{"v":1,"id":"job-a"}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`\x00\xff garbage`))
+	f.Add(valid[:20])
+	f.Fuzz(func(t *testing.T, b []byte) {
+		// The only contract: never panic, and anything accepted satisfies
+		// the invariants the queue relies on.
+		d, ok := decodeDiskEntry(b)
+		if !ok {
+			return
+		}
+		if d.V != FormatVersion {
+			t.Fatalf("accepted version %d", d.V)
+		}
+		if d.ID == "" || len(d.ID) > maxIDLen {
+			t.Fatalf("accepted id %q", d.ID)
+		}
+		if len(d.Payload) == 0 || len(d.Payload) > maxPayload {
+			t.Fatalf("accepted payload of %d bytes", len(d.Payload))
+		}
+		if d.Attempts < 0 {
+			t.Fatalf("accepted attempts %d", d.Attempts)
+		}
+	})
+}

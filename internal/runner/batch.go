@@ -118,7 +118,7 @@ func (p *Pool) executeBatch(ctx context.Context, jobs []Job, entries []*entry) {
 	case 1:
 		// A family of one miss is a scalar job. (execute re-consults the
 		// store; the extra read is cheap and keeps one code path.)
-		p.execute(ctx, missJobs[0], missEntries[0])
+		p.execute(ctx, missJobs[0], missEntries[0], nil)
 		return
 	}
 	if p.persist == nil {

@@ -18,6 +18,7 @@ package runner
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"log/slog"
@@ -61,6 +62,17 @@ const (
 	// spec declarative.
 	CSP
 )
+
+// Remote executes claimed jobs somewhere else — the enqueue-instead-of-
+// execute seam under distributed sweeps. Execute receives the job's
+// content key (JobKey) and the canonical JSON of the normalized job; it
+// returns once the job's result has been published to the shared store
+// under that key (by whoever executed it), or with an error when the job
+// cannot be resolved remotely. Implementations must be safe for
+// concurrent use. The queue dispatcher is the production implementation.
+type Remote interface {
+	Execute(ctx context.Context, key string, job []byte) error
+}
 
 // PolicySpec declares a job's policy as data.
 type PolicySpec struct {
@@ -148,8 +160,13 @@ type Stats struct {
 	DedupHits int
 	// StoreHits is how many requested jobs were served by the persistent
 	// Memo instead of executing. JobsRequested == JobsExecuted + DedupHits
-	// + StoreHits at every quiescent point.
+	// + StoreHits + JobsRemote at every quiescent point.
 	StoreHits int
+	// JobsRemote is how many claimed jobs were resolved by a Remote (the
+	// distributed worker fleet) rather than a local execution: the remote
+	// ran them, the shared store carried the result back. Zero outside
+	// RunEachVia.
+	JobsRemote int
 	// StorePuts is how many executed results were recorded in the Memo.
 	StorePuts int
 	// WorkloadsBuilt / WorkloadHits count workload-synthesis cache
@@ -447,7 +464,7 @@ func (p *Pool) dispatch(ctx context.Context, jobs []Job, entries []*entry) {
 		go func() {
 			defer wg.Done()
 			for k := range feed {
-				p.execute(ctx, jobs[k], entries[k])
+				p.execute(ctx, jobs[k], entries[k], nil)
 			}
 		}()
 	}
@@ -493,7 +510,11 @@ func (p *Pool) claim(j Job) (e *entry, claimed bool) {
 // of a job looks it up (concurrent identical jobs cost one disk read), a
 // hit publishes without ever taking a worker slot, and a miss executes and
 // records the result for every future process.
-func (p *Pool) execute(ctx context.Context, j Job, e *entry) {
+//
+// A non-nil remote diverts the miss path to the worker fleet (see
+// executeRemote); the store-hit fast path above it is unchanged, which is
+// what makes distributed reruns replay instantly.
+func (p *Pool) execute(ctx context.Context, j Job, e *entry, remote Remote) {
 	var key string
 	if p.persist != nil {
 		key = JobKey(j)
@@ -508,6 +529,13 @@ func (p *Pool) execute(ctx context.Context, j Job, e *entry) {
 			p.progress()
 			return
 		}
+	}
+	// Trace-driven jobs stay local defensively: their payload carries only
+	// the content digest, which a remote worker cannot resolve back to a
+	// readable file. Sweep cells are always synthetic.
+	if remote != nil && j.Workload.TraceDigest == "" {
+		p.executeRemote(ctx, j, e, remote, key)
+		return
 	}
 	select {
 	case p.sem <- struct{}{}:
@@ -534,6 +562,37 @@ func (p *Pool) execute(ctx context.Context, j Job, e *entry) {
 	p.mu.Lock()
 	p.stats.JobsExecuted++
 	p.stats.Instructions += res.Sim.Instructions
+	p.done++
+	p.mu.Unlock()
+	e.res = res
+	close(e.ready)
+	p.progress()
+}
+
+// executeRemote resolves one claimed job through the Remote: ship the
+// normalized job, wait for the fleet, then read the result back from the
+// persistent Memo — the store is the result transport, so a "completed"
+// job whose result is missing is an error, not a silent re-execution.
+// Remote jobs never take a local worker slot: the control plane's
+// concurrency is bounded by the fleet, not by its own -j.
+func (p *Pool) executeRemote(ctx context.Context, j Job, e *entry, remote Remote, key string) {
+	payload, err := json.Marshal(j)
+	if err != nil {
+		// Job is a tree of plain exported value fields; Marshal cannot fail.
+		p.fail(j, e, fmt.Errorf("runner: encoding job for remote execution: %w", err))
+		return
+	}
+	if err := remote.Execute(ctx, key, payload); err != nil {
+		p.fail(j, e, err)
+		return
+	}
+	res, ok := p.persist.Get(key)
+	if !ok {
+		p.fail(j, e, fmt.Errorf("runner: remote completed job %s but its result is not in the store", key))
+		return
+	}
+	p.mu.Lock()
+	p.stats.JobsRemote++
 	p.done++
 	p.mu.Unlock()
 	e.res = res

@@ -11,6 +11,7 @@ package runner
 
 import (
 	"context"
+	"errors"
 	"sync"
 )
 
@@ -28,6 +29,21 @@ import (
 // identical to Run's, so callers stream content-deterministic events in a
 // nondeterministic order.
 func (p *Pool) RunEach(ctx context.Context, jobs []Job, onDone func(i int, res Result, storeHit bool)) ([]Result, error) {
+	return p.RunEachVia(ctx, jobs, nil, onDone)
+}
+
+// RunEachVia is RunEach with an optional Remote: claimed jobs that miss
+// the persistent Memo are resolved by remote.Execute (the distributed
+// worker fleet) instead of a local execution, and their results read back
+// from the Memo — so a non-nil remote requires Options.Memo (the store is
+// the result transport). Everything else is identical to RunEach: store
+// keys, dedup, stats accounting (remote resolutions count as JobsRemote),
+// per-completion callbacks, and the results themselves — which is what
+// makes distributed and standalone runs byte-identical and cross-warming.
+func (p *Pool) RunEachVia(ctx context.Context, jobs []Job, remote Remote, onDone func(i int, res Result, storeHit bool)) ([]Result, error) {
+	if remote != nil && p.persist == nil {
+		return nil, errors.New("runner: remote execution requires a persistent Memo (the store carries results back)")
+	}
 	norm, err := p.normalizeJobs(jobs)
 	if err != nil {
 		return nil, err
@@ -42,7 +58,7 @@ func (p *Pool) RunEach(ctx context.Context, jobs []Job, onDone func(i int, res R
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			res, storeHit := p.runOne(ctx, norm[i])
+			res, storeHit := p.runOne(ctx, norm[i], remote)
 			mu.Lock()
 			results[i] = res
 			if firstErr == nil && res.Err != nil {
@@ -68,7 +84,7 @@ func (p *Pool) RunEach(ctx context.Context, jobs []Job, onDone func(i int, res R
 // DedupHits + StoreHits is preserved exactly as in the batch path,
 // including the dedup un-count when a joined entry's owner is cancelled
 // and this caller ends up executing after all.
-func (p *Pool) runOne(ctx context.Context, j Job) (Result, bool) {
+func (p *Pool) runOne(ctx context.Context, j Job, remote Remote) (Result, bool) {
 	p.mu.Lock()
 	p.stats.JobsRequested++
 	p.mu.Unlock()
@@ -83,7 +99,7 @@ func (p *Pool) runOne(ctx context.Context, j Job) (Result, bool) {
 				p.mu.Unlock()
 			}
 			p.progress()
-			p.execute(ctx, j, e)
+			p.execute(ctx, j, e, remote)
 		} else if !counted {
 			counted = true
 			p.mu.Lock()

@@ -1,0 +1,354 @@
+package server
+
+// Tests for the control-plane queue API: the HTTP protocol (status-code
+// mapping, long-poll, dead-letter inspection, stats surfacing) and a full
+// in-process distributed sweep — engine dispatching cells onto the queue,
+// a worker.Worker fleet member executing them against the shared store —
+// all under one race detector.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"slicc"
+	"slicc/internal/queue"
+	"slicc/internal/worker"
+)
+
+// newDistributedServer boots a control plane: a queue-backed engine whose
+// sweeps dispatch cells remotely, plus the queue API. Returns the test
+// server, the engine, the queue, and the shared store directory workers
+// must open.
+func newDistributedServer(t *testing.T, qopts queue.Options) (*httptest.Server, *slicc.Engine, *queue.Queue, string) {
+	t.Helper()
+	dir := t.TempDir()
+	storeDir := filepath.Join(dir, "store")
+	q, err := queue.Open(filepath.Join(dir, "queue"), qopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := slicc.NewEngine(slicc.EngineOptions{
+		Workers: 2, StoreDir: storeDir, Remote: &queue.Dispatcher{Q: q},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(eng, Options{Timeout: time.Minute, Queue: q})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+		eng.Close()
+		q.Close()
+	})
+	return ts, eng, q, storeDir
+}
+
+// startWorker runs an in-process fleet member against the control plane
+// until the test ends.
+func startWorker(t *testing.T, o worker.Options) *worker.Worker {
+	t.Helper()
+	w, err := worker.New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = w.Run(ctx)
+	}()
+	t.Cleanup(func() {
+		cancel()
+		<-done
+		w.Close()
+	})
+	return w
+}
+
+// compact strips the response writer's indentation for byte comparisons.
+func compact(t *testing.T, b []byte) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, b); err != nil {
+		t.Fatalf("compacting %q: %v", b, err)
+	}
+	return buf.String()
+}
+
+// post sends a JSON body and returns the response.
+func post(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestQueueAPIProtocol(t *testing.T) {
+	ts, _, q, _ := newDistributedServer(t, queue.Options{LeaseTTL: time.Minute})
+	if _, err := q.Enqueue("job-a", []byte(`{"n":1}`)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Lease the entry over HTTP.
+	resp := post(t, ts.URL+"/v1/queue/lease", queue.LeaseRequest{Worker: "wapi"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("lease status %d", resp.StatusCode)
+	}
+	lr := decode[queue.LeaseResponse](t, resp)
+	if lr.Job == nil || lr.Job.ID != "job-a" || !strings.HasPrefix(lr.Job.Holder, "wapi#") {
+		t.Fatalf("lease response %+v", lr.Job)
+	}
+	if got := compact(t, lr.Job.Payload); got != `{"n":1}` {
+		t.Fatalf("payload %s", got)
+	}
+
+	// An empty queue leases {"job": null}, not an error.
+	resp = post(t, ts.URL+"/v1/queue/lease", queue.LeaseRequest{Worker: "wapi"})
+	if lr2 := decode[queue.LeaseResponse](t, resp); lr2.Job != nil {
+		t.Fatalf("empty lease returned %+v", lr2.Job)
+	}
+
+	// Protocol rejections: 404 for unknown ids, 409 for stale holders.
+	resp = post(t, ts.URL+"/v1/queue/nonesuch/heartbeat", queue.HeartbeatRequest{Holder: lr.Job.Holder})
+	if resp.Body.Close(); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown heartbeat status %d, want 404", resp.StatusCode)
+	}
+	resp = post(t, ts.URL+"/v1/queue/job-a/heartbeat", queue.HeartbeatRequest{Holder: "impostor#9"})
+	if resp.Body.Close(); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("impostor heartbeat status %d, want 409", resp.StatusCode)
+	}
+	resp = post(t, ts.URL+"/v1/queue/job-a/complete", queue.CompleteRequest{Holder: "impostor#9"})
+	if resp.Body.Close(); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("impostor complete status %d, want 409", resp.StatusCode)
+	}
+
+	// The real holder renews and completes; a duplicate complete is 404
+	// (the entry is gone — exactly-once ack).
+	resp = post(t, ts.URL+"/v1/queue/job-a/heartbeat", queue.HeartbeatRequest{Holder: lr.Job.Holder})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("heartbeat status %d", resp.StatusCode)
+	}
+	hb := decode[queue.HeartbeatResponse](t, resp)
+	if !hb.LeaseExpires.After(time.Now()) {
+		t.Fatalf("renewed lease already expired: %v", hb.LeaseExpires)
+	}
+	resp = post(t, ts.URL+"/v1/queue/job-a/complete", queue.CompleteRequest{Holder: lr.Job.Holder})
+	if resp.Body.Close(); resp.StatusCode != http.StatusOK {
+		t.Fatalf("complete status %d", resp.StatusCode)
+	}
+	resp = post(t, ts.URL+"/v1/queue/job-a/complete", queue.CompleteRequest{Holder: lr.Job.Holder})
+	if resp.Body.Close(); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("duplicate complete status %d, want 404", resp.StatusCode)
+	}
+
+	// Malformed and over-strict bodies are 400s.
+	resp, err := http.Post(ts.URL+"/v1/queue/lease", "application/json", strings.NewReader(`{"worker":`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Body.Close(); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("truncated body status %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/v1/queue/lease", "application/json", strings.NewReader(`{"surprise":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Body.Close(); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestQueueAPIDeadLetter(t *testing.T) {
+	ts, _, q, _ := newDistributedServer(t, queue.Options{
+		MaxAttempts: 2, Backoff: time.Millisecond, LeaseTTL: time.Minute,
+	})
+	if _, err := q.Enqueue("job-b", []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+
+	// An empty DLQ serialises as [], never null.
+	resp, err := http.Get(ts.URL + "/v1/queue/dead")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(compact(t, raw), `"dead":[]`) {
+		t.Fatalf("empty DLQ body %s, want \"dead\":[]", raw)
+	}
+
+	failOnce := func(cause string) queue.FailResponse {
+		t.Helper()
+		lresp := post(t, ts.URL+"/v1/queue/lease", queue.LeaseRequest{Worker: "wf"})
+		lr := decode[queue.LeaseResponse](t, lresp)
+		if lr.Job == nil {
+			t.Fatal("nothing to lease")
+		}
+		fresp := post(t, ts.URL+"/v1/queue/job-b/fail", queue.FailRequest{Holder: lr.Job.Holder, Error: cause})
+		if fresp.StatusCode != http.StatusOK {
+			t.Fatalf("fail status %d", fresp.StatusCode)
+		}
+		return decode[queue.FailResponse](t, fresp)
+	}
+	if fr := failOnce("boom one"); fr.Attempts != 1 || fr.Dead {
+		t.Fatalf("first fail %+v", fr)
+	}
+	time.Sleep(5 * time.Millisecond) // past the retry backoff
+	if fr := failOnce("boom two"); fr.Attempts != 2 || !fr.Dead {
+		t.Fatalf("second fail %+v, want dead", fr)
+	}
+
+	// The DLQ reports the full error chain over HTTP.
+	resp, err = http.Get(ts.URL + "/v1/queue/dead")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr := decode[queue.DeadResponse](t, resp)
+	if len(dr.Dead) != 1 || dr.Dead[0].ID != "job-b" || dr.Dead[0].Attempts != 2 {
+		t.Fatalf("DLQ %+v", dr.Dead)
+	}
+	if len(dr.Dead[0].Errors) != 2 || !strings.Contains(dr.Dead[0].Errors[1], "boom two") {
+		t.Fatalf("DLQ error chain %q", dr.Dead[0].Errors)
+	}
+
+	// /v1/stats surfaces the queue block alongside the sweep gauges.
+	sresp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := decode[struct {
+		Queue *struct {
+			Pending  int   `json:"pending"`
+			Leased   int   `json:"leased"`
+			Dead     int   `json:"dead"`
+			Leases   int64 `json:"leases"`
+			Failures int64 `json:"failures"`
+		} `json:"queue"`
+		SweepsRunning     int `json:"sweeps_running"`
+		SweepCellsPending int `json:"sweep_cells_pending"`
+	}](t, sresp)
+	if st.Queue == nil {
+		t.Fatal("stats missing queue block on a distributed server")
+	}
+	if st.Queue.Dead != 1 || st.Queue.Failures != 2 || st.Queue.Leases != 2 || st.Queue.Pending != 0 {
+		t.Fatalf("queue stats %+v", st.Queue)
+	}
+	if st.SweepsRunning != 0 || st.SweepCellsPending != 0 {
+		t.Fatalf("idle sweep gauges %d/%d", st.SweepsRunning, st.SweepCellsPending)
+	}
+
+	// And the metrics endpoint exports the same numbers.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mraw, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{
+		"slicc_queue_dead 1",
+		"slicc_queue_failures_total 2",
+		"slicc_queue_leases_total 2",
+		`slicc_queue_depth{state="pending"} 0`,
+	} {
+		if !strings.Contains(string(mraw), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestDistributedSweepInProcess is the fleet under one race detector: the
+// engine enqueues sweep cells, an in-process worker leases and executes
+// them against the shared store, and the control plane assembles the
+// result without executing a single simulation itself.
+func TestDistributedSweepInProcess(t *testing.T) {
+	ts, eng, q, storeDir := newDistributedServer(t, queue.Options{
+		LeaseTTL: 30 * time.Second, SweepInterval: 50 * time.Millisecond,
+	})
+	w := startWorker(t, worker.Options{
+		Server: ts.URL, StoreDir: storeDir, Workers: 2, Poll: time.Second, Name: "inproc",
+	})
+
+	spec := `{"name":"dist","workloads":["tpcc1"],"policies":["base","nextline"],"threads":[4],"scales":[0.1]}`
+	resp, err := http.Post(ts.URL+"/v1/sweeps?wait=1", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := decode[struct {
+		Status    string             `json:"status"`
+		Completed int                `json:"completed"`
+		Total     int                `json:"total"`
+		Result    *slicc.SweepResult `json:"result"`
+	}](t, resp)
+	if sw.Status != "done" || sw.Completed != 2 || sw.Total != 2 || sw.Result == nil || len(sw.Result.Cells) != 2 {
+		t.Fatalf("distributed sweep %+v", sw)
+	}
+	for _, c := range sw.Result.Cells {
+		if c.Instructions == 0 || c.Cycles <= 0 {
+			t.Fatalf("cell %+v carries no simulation result", c)
+		}
+	}
+
+	// The control plane dispatched, never simulated; the worker did the
+	// work; every queue entry was completed exactly once.
+	es := eng.Stats()
+	if es.SimsExecuted != 0 || es.SimsRemote != 2 {
+		t.Fatalf("engine stats %+v, want 0 executed / 2 remote", es)
+	}
+	qs := q.Stats()
+	if qs.Enqueued != 2 || qs.Completions != 2 || qs.Dead != 0 || qs.Pending != 0 || qs.Leased != 0 {
+		t.Fatalf("queue stats %+v", qs)
+	}
+	// The worker bumps its counters after its ack round trip returns,
+	// which can trail the sweep's completion; give it a moment.
+	deadline := time.Now().Add(5 * time.Second)
+	for w.Stats().Completed != 2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if ws := w.Stats(); ws.Completed != 2 || ws.Failed != 0 {
+		t.Fatalf("worker stats %+v", ws)
+	}
+
+	// Warm cross-check: a fresh *standalone* engine on the same store
+	// serves every cell as a store hit — results produced by the fleet
+	// and results produced in-process are the same store entries — and
+	// reproduces the distributed cells exactly. Nothing new is enqueued.
+	var sp slicc.SweepSpec
+	if err := json.Unmarshal([]byte(spec), &sp); err != nil {
+		t.Fatal(err)
+	}
+	eng2, err := slicc.NewEngine(slicc.EngineOptions{Workers: 2, StoreDir: storeDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng2.Close()
+	res2, err := eng2.Sweep(context.Background(), sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es2 := eng2.Stats()
+	if es2.SimsExecuted != 0 || es2.StoreHits < 2 {
+		t.Fatalf("standalone warm stats %+v, want pure store hits", es2)
+	}
+	if !reflect.DeepEqual(res2.Cells, sw.Result.Cells) {
+		t.Fatalf("standalone cells diverge from distributed:\n%+v\nvs\n%+v", res2.Cells, sw.Result.Cells)
+	}
+	if qs := q.Stats(); qs.Enqueued != 2 {
+		t.Fatalf("warm rerun enqueued new cells: %+v", qs)
+	}
+}

@@ -33,7 +33,12 @@
 //	                            return its rendered tables (?quick=1,
 //	                            &seed=N, &format=text).
 //	GET  /v1/stats              engine work counters (executions, dedup and
-//	                            store hits), store stats, and uptime.
+//	                            store hits), store stats, queue stats on
+//	                            distributed control planes, and uptime.
+//	POST /v1/queue/lease        distributed mode only (Options.Queue): the
+//	POST /v1/queue/{id}/...     worker fleet's lease/heartbeat/complete/
+//	GET  /v1/queue/dead         fail protocol and DLQ inspection — see
+//	                            queue.go and docs/SERVICE.md.
 //	GET  /metrics               Prometheus text-format metrics.
 //	GET  /healthz               readiness: probes the result store for
 //	                            writability; degraded stores answer 503.
@@ -59,6 +64,7 @@ import (
 	"time"
 
 	"slicc"
+	"slicc/internal/queue"
 	"slicc/internal/telemetry"
 )
 
@@ -99,6 +105,11 @@ type Options struct {
 	// GETs (ETag / If-None-Match → 304) work either way; the switch
 	// exists for A/B measurement and memory-constrained deployments.
 	NoResponseCache bool
+	// Queue, when set, mounts the distributed-execution queue API
+	// (/v1/queue/*) over it and adds the slicc_queue_* metric families
+	// and the stats queue block. The caller owns the queue (sliccd opens
+	// and closes it alongside the engine); the server only serves it.
+	Queue *queue.Queue
 }
 
 func (o Options) withDefaults() Options {
@@ -217,6 +228,9 @@ func New(eng *slicc.Engine, opts Options) *Server {
 		return eng.SweepStream(ctx, spec, emit)
 	}
 	s.registerMetrics()
+	if s.opts.Queue != nil {
+		s.registerQueueMetrics()
+	}
 	return s
 }
 
@@ -247,6 +261,9 @@ func (s *Server) Handler() http.Handler {
 	add("GET /v1/sweeps/{id}/events", "/v1/sweeps/{id}/events", s.handleSweepEvents)
 	add("POST /v1/sweeps/{id}/resume", "/v1/sweeps/{id}/resume", s.handleSweepResume)
 	add("GET /v1/experiments/{id}", "/v1/experiments/{id}", s.handleExperiment)
+	if s.opts.Queue != nil {
+		s.queueRoutes(add)
+	}
 	if s.opts.Pprof {
 		// Deliberately uninstrumented: profile endpoints stream for their
 		// whole -seconds window and would skew the latency histograms.
@@ -335,15 +352,27 @@ type statsResponse struct {
 	// Store is present only when the engine has a persistent store.
 	Store         *storeStatsBody `json:"store,omitempty"`
 	ResponseCache respCacheBody   `json:"response_cache"`
-	Simulations   int             `json:"simulations"`
-	Sweeps        int             `json:"sweeps"`
-	UptimeSeconds float64         `json:"uptime_seconds"`
+	// Queue is present only on distributed control planes (sliccd
+	// -distributed): the durable job queue's depth, DLQ and lifetime
+	// counters.
+	Queue       *queueStatsBody `json:"queue,omitempty"`
+	Simulations int             `json:"simulations"`
+	// Sweeps counts tracked sweep entries (running and retained
+	// completed/failed ones); SweepsRunning counts only the running
+	// subset, whose unfinished result cells are SweepCellsPending. In
+	// distributed mode the queue block splits that pending work further
+	// into queued-but-unleased vs in-flight-on-a-worker.
+	Sweeps            int     `json:"sweeps"`
+	SweepsRunning     int     `json:"sweeps_running"`
+	SweepCellsPending int     `json:"sweep_cells_pending"`
+	UptimeSeconds     float64 `json:"uptime_seconds"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	n, ns := len(s.sims), len(s.sweeps)
 	s.mu.Unlock()
+	running, pending := s.sweepDepth()
 	resp := statsResponse{
 		Engine: s.eng.Stats(),
 		ResponseCache: respCacheBody{
@@ -351,9 +380,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Misses:      s.metrics.respCacheMisses.Value(),
 			NotModified: s.metrics.notModified.Value(),
 		},
-		Simulations:   n,
-		Sweeps:        ns,
-		UptimeSeconds: time.Since(s.start).Seconds(),
+		Simulations:       n,
+		Sweeps:            ns,
+		SweepsRunning:     running,
+		SweepCellsPending: pending,
+		UptimeSeconds:     time.Since(s.start).Seconds(),
+	}
+	if q := s.opts.Queue; q != nil {
+		st := q.Stats()
+		resp.Queue = &queueStatsBody{
+			Pending: st.Pending, Leased: st.Leased, Dead: st.Dead,
+			Enqueued: st.Enqueued, Leases: st.Leases, Heartbeats: st.Heartbeats,
+			Expirations: st.Expirations, Completions: st.Completions, Failures: st.Failures,
+		}
 	}
 	if st, ok := s.eng.StoreStats(); ok {
 		resp.Store = &storeStatsBody{

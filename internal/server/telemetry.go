@@ -78,6 +78,9 @@ func (s *Server) registerMetrics() {
 	engCounter("slicc_sims_executed_total",
 		"Simulations actually executed (cache misses).",
 		func(e slicc.EngineStats) float64 { return float64(e.SimsExecuted) })
+	engCounter("slicc_sims_remote_total",
+		"Simulations dispatched to the distributed worker fleet.",
+		func(e slicc.EngineStats) float64 { return float64(e.SimsRemote) })
 	engCounter("slicc_dedup_hits_total",
 		"Simulations served by an identical in-process execution.",
 		func(e slicc.EngineStats) float64 { return float64(e.DedupHits) })

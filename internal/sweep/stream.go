@@ -69,6 +69,16 @@ type Event struct {
 // scalar cells — and per-cell completion is the point here. Store keys are
 // identical either way, so streamed and batched sweeps cross-warm.
 func RunStream(ctx context.Context, pool *runner.Pool, spec Spec, emit func(Event)) (*Result, error) {
+	return RunStreamVia(ctx, pool, spec, nil, emit)
+}
+
+// RunStreamVia is RunStream with an optional runner.Remote: cells (and
+// baselines) that miss the persistent store are executed by the worker
+// fleet instead of the local pool, with results carried back through the
+// store. Events, aggregation and the final Result are identical to
+// RunStream's — distribution changes where cells run, not what they
+// produce.
+func RunStreamVia(ctx context.Context, pool *runner.Pool, spec Spec, remote runner.Remote, emit func(Event)) (*Result, error) {
 	norm, err := spec.Normalized()
 	if err != nil {
 		return nil, err
@@ -132,7 +142,7 @@ func RunStream(ctx context.Context, pool *runner.Pool, spec Spec, emit func(Even
 	if emit == nil {
 		onDone = nil
 	}
-	rs, err := pool.RunEach(ctx, jobs, onDone)
+	rs, err := pool.RunEachVia(ctx, jobs, remote, onDone)
 	if err != nil {
 		return nil, err
 	}

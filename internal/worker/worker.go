@@ -1,0 +1,389 @@
+// Package worker implements the sliccworker fleet member: lease a job
+// from the control plane's queue API, run it through the ordinary
+// engine machinery (runner pool over the shared content-addressed
+// store), publish the result as a store Put, and acknowledge the lease.
+// The store is the result transport — complete/fail acks carry no data —
+// so a worker that crashes mid-job loses nothing: its lease expires, the
+// cell is re-leased, and if the crash happened after the Put the retry
+// resolves instantly as a store hit.
+//
+// The package exists (rather than living inside cmd/sliccworker) so
+// tests can run whole fleets in-process under the race detector; the
+// binary is a flag-parsing shell around Options + Run.
+package worker
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"slicc/internal/queue"
+	"slicc/internal/runner"
+	"slicc/internal/store"
+)
+
+// Options configures a Worker.
+type Options struct {
+	// Server is the control plane's base URL (e.g. http://127.0.0.1:8080).
+	Server string
+	// StoreDir is the shared result store directory — the same directory
+	// (or filesystem view of it) the control plane serves results from.
+	StoreDir string
+	// StoreMaxBytes / StoreMemBytes mirror the engine's store knobs.
+	StoreMaxBytes int64
+	StoreMemBytes int64
+	// Workers bounds concurrently leased jobs (default GOMAXPROCS).
+	Workers int
+	// Poll is the lease long-poll wait per request (default 10s).
+	Poll time.Duration
+	// Heartbeat is the lease renewal interval; 0 derives a third of the
+	// lease window from each lease's expiry.
+	Heartbeat time.Duration
+	// Name labels this worker's leases (default worker-<pid>).
+	Name string
+	// FailSubstr is deterministic fault injection for the test harness:
+	// a leased job whose id or payload contains the substring fails
+	// without executing. Empty disables it.
+	FailSubstr string
+	// Logger receives worker lifecycle events. Nil is silent.
+	Logger *slog.Logger
+	// Client overrides the HTTP client (default: a fresh http.Client).
+	Client *http.Client
+}
+
+// Stats counts a worker's lifetime outcomes.
+type Stats struct {
+	// Completed / Failed count acknowledged jobs by outcome; Abandoned
+	// counts jobs dropped without an ack (lost lease or shutdown mid-job
+	// — the lease expiry retries them).
+	Completed int64
+	Failed    int64
+	Abandoned int64
+}
+
+// Worker leases jobs from one control plane and executes them against
+// one shared store.
+type Worker struct {
+	opts   Options
+	client *http.Client
+	logger *slog.Logger
+	st     *store.Store
+	pool   *runner.Pool
+
+	completed atomic.Int64
+	failed    atomic.Int64
+	abandoned atomic.Int64
+}
+
+// New builds a Worker: opens the shared store and the local runner pool.
+// Callers own the Worker and must Close it after Run returns.
+func New(o Options) (*Worker, error) {
+	if o.Server == "" {
+		return nil, errors.New("worker: Server is required")
+	}
+	if o.StoreDir == "" {
+		return nil, errors.New("worker: StoreDir is required (the shared store carries results)")
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Poll <= 0 {
+		o.Poll = 10 * time.Second
+	}
+	if o.Name == "" {
+		o.Name = fmt.Sprintf("worker-%d", os.Getpid())
+	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.DiscardHandler)
+	}
+	o.Server = strings.TrimRight(o.Server, "/")
+	client := o.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	st, err := store.Open(o.StoreDir, store.Options{MaxBytes: o.StoreMaxBytes, MemBytes: o.StoreMemBytes, Logger: o.Logger})
+	if err != nil {
+		return nil, fmt.Errorf("worker: opening result store: %w", err)
+	}
+	pool := runner.New(runner.Options{Workers: o.Workers, Memo: runner.NewStoreMemo(st)})
+	return &Worker{opts: o, client: client, logger: o.Logger, st: st, pool: pool}, nil
+}
+
+// Close releases the worker's store and pool resources. Call after Run
+// has returned.
+func (w *Worker) Close() error {
+	err := w.pool.Close()
+	if serr := w.st.Close(); err == nil {
+		err = serr
+	}
+	return err
+}
+
+// Stats snapshots the worker's outcome counters.
+func (w *Worker) Stats() Stats {
+	return Stats{
+		Completed: w.completed.Load(),
+		Failed:    w.failed.Load(),
+		Abandoned: w.abandoned.Load(),
+	}
+}
+
+// Run leases and executes jobs until ctx ends, on Options.Workers
+// concurrent lease loops, then waits for in-flight jobs to finish or
+// abandon. It returns nil on cancellation — the lease protocol makes
+// shutdown mid-job safe, not an error.
+func (w *Worker) Run(ctx context.Context) error {
+	var wg sync.WaitGroup
+	for i := 0; i < w.opts.Workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.loop(ctx)
+		}()
+	}
+	wg.Wait()
+	return nil
+}
+
+// loop is one lease-execute-ack cycle runner.
+func (w *Worker) loop(ctx context.Context) {
+	for ctx.Err() == nil {
+		job, err := w.lease(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			// Control plane down or restarting: back off and retry. The
+			// queue is durable, so nothing is lost while we wait.
+			w.logger.Warn("worker: lease failed", "error", err.Error())
+			select {
+			case <-time.After(time.Second):
+			case <-ctx.Done():
+				return
+			}
+			continue
+		}
+		if job == nil {
+			continue // empty long poll
+		}
+		w.process(ctx, job)
+	}
+}
+
+// process executes one leased job and acknowledges it.
+func (w *Worker) process(ctx context.Context, job *queue.LeaseJob) {
+	log := w.logger.With("id", shortID(job.ID), "holder", job.Holder)
+	log.Debug("worker: leased", "attempts", job.Attempts)
+
+	// Deterministic fault injection (test harness): fail before decoding
+	// so even malformed payloads can be forced down the fail path. The
+	// payload is compacted first so substrings like `"Threads":9` match
+	// regardless of how the transport indented the JSON.
+	if s := w.opts.FailSubstr; s != "" &&
+		(strings.Contains(job.ID, s) || bytes.Contains(compactJSON(job.Payload), []byte(s))) {
+		w.ack(ctx, job, fmt.Sprintf("injected failure: payload matches -fail-substr %q", s))
+		return
+	}
+
+	var j runner.Job
+	if err := json.Unmarshal(job.Payload, &j); err != nil {
+		w.ack(ctx, job, "decoding job payload: "+err.Error())
+		return
+	}
+	// The id is the result's store key; a payload that hashes differently
+	// would publish under the wrong key. Refuse rather than corrupt.
+	if key := runner.JobKey(j); key != job.ID {
+		w.ack(ctx, job, fmt.Sprintf("job key mismatch: payload hashes to %s", shortID(key)))
+		return
+	}
+
+	// jobCtx is cancelled when the lease is lost (heartbeat rejected):
+	// past that point another worker may be executing the same cell, and
+	// finishing here would only duplicate work the store already absorbs.
+	jobCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	stopHB := w.startHeartbeat(jobCtx, cancel, job)
+	rs, err := w.pool.Run(jobCtx, []runner.Job{j})
+	stopHB()
+
+	switch {
+	case err == nil && len(rs) == 1 && rs[0].Err == nil:
+		// The pool's store memo already published the result (or served
+		// it as a hit on a retried cell); the ack is all that is left.
+		w.ack(ctx, job, "")
+	case jobCtx.Err() != nil:
+		// Shutdown or lost lease: no ack. The visibility timeout returns
+		// the cell to the queue.
+		w.abandoned.Add(1)
+		log.Debug("worker: abandoned", "reason", context.Cause(jobCtx).Error())
+	default:
+		if err == nil {
+			err = rs[0].Err
+		}
+		w.ack(ctx, job, err.Error())
+	}
+}
+
+// ack acknowledges a processed job: complete on empty cause, fail
+// otherwise. Rejected acks (expired/re-issued lease) are benign — the
+// retry resolves through the store — so they are logged, not retried.
+func (w *Worker) ack(ctx context.Context, job *queue.LeaseJob, cause string) {
+	log := w.logger.With("id", shortID(job.ID), "holder", job.Holder)
+	if cause == "" {
+		if err := w.complete(ctx, job.ID, job.Holder); err != nil {
+			w.abandoned.Add(1)
+			log.Warn("worker: complete rejected", "error", err.Error())
+			return
+		}
+		w.completed.Add(1)
+		log.Debug("worker: completed")
+		return
+	}
+	if err := w.fail(ctx, job.ID, job.Holder, cause); err != nil {
+		w.abandoned.Add(1)
+		log.Warn("worker: fail rejected", "error", err.Error())
+		return
+	}
+	w.failed.Add(1)
+	log.Debug("worker: failed", "cause", cause)
+}
+
+// startHeartbeat renews job's lease until the returned stop function is
+// called. A rejected renewal (the lease expired and may be held by
+// another worker now) cancels the job via cancel; transient errors (the
+// control plane restarting) are retried on the next tick.
+func (w *Worker) startHeartbeat(ctx context.Context, cancel context.CancelFunc, job *queue.LeaseJob) (stop func()) {
+	interval := w.opts.Heartbeat
+	if interval <= 0 {
+		interval = time.Until(job.LeaseExpires) / 3
+	}
+	if interval < 200*time.Millisecond {
+		interval = 200 * time.Millisecond
+	}
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				if err := w.heartbeat(ctx, job.ID, job.Holder); err != nil {
+					if errors.Is(err, queue.ErrNotHolder) || errors.Is(err, queue.ErrUnknown) {
+						w.logger.Warn("worker: lease lost", "id", shortID(job.ID), "error", err.Error())
+						cancel()
+						return
+					}
+					w.logger.Warn("worker: heartbeat failed", "id", shortID(job.ID), "error", err.Error())
+				}
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// lease requests one job, long-polling Options.Poll.
+func (w *Worker) lease(ctx context.Context) (*queue.LeaseJob, error) {
+	req := queue.LeaseRequest{Worker: w.opts.Name, WaitSeconds: int(w.opts.Poll / time.Second)}
+	var resp queue.LeaseResponse
+	if err := w.do(ctx, "/v1/queue/lease", req, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Job, nil
+}
+
+func (w *Worker) heartbeat(ctx context.Context, id, holder string) error {
+	var resp queue.HeartbeatResponse
+	return w.do(ctx, "/v1/queue/"+id+"/heartbeat", queue.HeartbeatRequest{Holder: holder}, &resp)
+}
+
+func (w *Worker) complete(ctx context.Context, id, holder string) error {
+	return w.do(ctx, "/v1/queue/"+id+"/complete", queue.CompleteRequest{Holder: holder}, nil)
+}
+
+func (w *Worker) fail(ctx context.Context, id, holder, cause string) error {
+	var resp queue.FailResponse
+	return w.do(ctx, "/v1/queue/"+id+"/fail", queue.FailRequest{Holder: holder, Error: cause}, &resp)
+}
+
+// do POSTs body as JSON to path and decodes the response into out (when
+// non-nil). Protocol rejections map onto the queue's sentinel errors: 404
+// is ErrUnknown, 409 is ErrNotHolder.
+func (w *Worker) do(ctx context.Context, path string, body, out any) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.opts.Server+path, bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	switch resp.StatusCode {
+	case http.StatusNotFound:
+		return fmt.Errorf("%w: %s", queue.ErrUnknown, errText(raw))
+	case http.StatusConflict:
+		return fmt.Errorf("%w: %s", queue.ErrNotHolder, errText(raw))
+	}
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("worker: %s: %s: %s", path, resp.Status, errText(raw))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(raw, out)
+}
+
+// errText extracts the server's error message from a JSON error body,
+// falling back to the raw bytes.
+func errText(raw []byte) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return strings.TrimSpace(string(raw))
+}
+
+// compactJSON strips insignificant whitespace from b, returning b itself
+// when it is not valid JSON (the fail-substr check still sees the bytes).
+func compactJSON(b []byte) []byte {
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, b); err != nil {
+		return b
+	}
+	return buf.Bytes()
+}
+
+// shortID abbreviates content keys for logs.
+func shortID(id string) string {
+	if len(id) > 12 {
+		return id[:12]
+	}
+	return id
+}

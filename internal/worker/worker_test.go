@@ -1,0 +1,183 @@
+package worker_test
+
+// In-process fleet-member tests against a real control plane: the
+// heartbeat loop keeps a job leased for longer than the visibility
+// timeout, and -fail-substr fault injection drives a poison cell through
+// the retry budget into the dead-letter queue while healthy cells are
+// untouched. Both run whole HTTP round trips under the race detector.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"slicc"
+	"slicc/internal/queue"
+	"slicc/internal/server"
+	"slicc/internal/worker"
+)
+
+// plane is an in-process distributed control plane.
+type plane struct {
+	url      string
+	q        *queue.Queue
+	storeDir string
+}
+
+func newPlane(t *testing.T, qopts queue.Options) plane {
+	t.Helper()
+	dir := t.TempDir()
+	storeDir := filepath.Join(dir, "store")
+	q, err := queue.Open(filepath.Join(dir, "queue"), qopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := slicc.NewEngine(slicc.EngineOptions{
+		Workers: 2, StoreDir: storeDir, Remote: &queue.Dispatcher{Q: q},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(eng, server.Options{Timeout: time.Minute, Queue: q})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+		eng.Close()
+		q.Close()
+	})
+	return plane{url: ts.URL, q: q, storeDir: storeDir}
+}
+
+func startWorker(t *testing.T, o worker.Options) *worker.Worker {
+	t.Helper()
+	w, err := worker.New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = w.Run(ctx)
+	}()
+	t.Cleanup(func() {
+		cancel()
+		<-done
+		w.Close()
+	})
+	return w
+}
+
+// runSweep POSTs a sweep spec with wait=1 and returns its terminal state.
+func runSweep(t *testing.T, base, spec string) (status, errText string) {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/sweeps?wait=1", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sw struct {
+		Status string `json:"status"`
+		Error  string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sw); err != nil {
+		t.Fatal(err)
+	}
+	return sw.Status, sw.Error
+}
+
+// TestWorkerHeartbeatOutlivesLeaseTTL proves the renewal loop: one cell
+// runs for several visibility timeouts, and because the worker heartbeats
+// under the TTL the lease never expires and the cell is never re-issued.
+func TestWorkerHeartbeatOutlivesLeaseTTL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a multi-second simulation cell")
+	}
+	p := newPlane(t, queue.Options{
+		LeaseTTL: 700 * time.Millisecond, SweepInterval: 50 * time.Millisecond,
+	})
+	w := startWorker(t, worker.Options{
+		Server: p.url, StoreDir: p.storeDir, Workers: 1,
+		Poll: time.Second, Heartbeat: 200 * time.Millisecond, Name: "hb",
+	})
+
+	// One cell long enough to span several TTLs of wall time.
+	spec := `{"name":"hb","baseline":"none","workloads":["tpcc1"],"policies":["slicc-sw"],"threads":[8],"scales":[3]}`
+	if status, errText := runSweep(t, p.url, spec); status != "done" {
+		t.Fatalf("sweep status %q (%s)", status, errText)
+	}
+
+	qs := p.q.Stats()
+	if qs.Expirations != 0 {
+		t.Fatalf("lease expired %d times under an active heartbeat", qs.Expirations)
+	}
+	if qs.Heartbeats == 0 {
+		t.Fatal("no heartbeats recorded for a job spanning multiple TTLs")
+	}
+	if qs.Leases != 1 || qs.Completions != 1 {
+		t.Fatalf("queue stats %+v, want the one cell leased and completed once", qs)
+	}
+	// The worker bumps its counter after its complete call returns, which
+	// can trail the sweep's own completion by one HTTP round trip.
+	deadline := time.Now().Add(5 * time.Second)
+	for w.Stats().Completed != 1 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if ws := w.Stats(); ws.Completed != 1 || ws.Abandoned != 0 {
+		t.Fatalf("worker stats %+v", ws)
+	}
+}
+
+// TestWorkerFailSubstrDeadLetters drives the poison path end to end in
+// process: the injected failure exhausts the retry budget, the cell
+// dead-letters with its error chain, the sweep reports the failure, and
+// the poison is sticky for re-submissions.
+func TestWorkerFailSubstrDeadLetters(t *testing.T) {
+	p := newPlane(t, queue.Options{
+		MaxAttempts: 2, Backoff: 10 * time.Millisecond,
+		LeaseTTL: 30 * time.Second, SweepInterval: 20 * time.Millisecond,
+	})
+	startWorker(t, worker.Options{
+		Server: p.url, StoreDir: p.storeDir, Workers: 2,
+		Poll: time.Second, Name: "poisoned", FailSubstr: `"Threads":9`,
+	})
+
+	// Two cells; the injected substring matches exactly one payload.
+	spec := `{"name":"poison","baseline":"none","workloads":["tpcc1"],"policies":["base"],"threads":[4,9],"scales":[0.1]}`
+	status, errText := runSweep(t, p.url, spec)
+	if status != "failed" {
+		t.Fatalf("sweep status %q, want failed", status)
+	}
+	for _, want := range []string{"dead after 2 attempts", "injected failure", "-fail-substr"} {
+		if !strings.Contains(errText, want) {
+			t.Fatalf("sweep error %q missing %q", errText, want)
+		}
+	}
+
+	// The DLQ names the cell with the whole attempt chain.
+	dead := p.q.Dead()
+	if len(dead) != 1 || dead[0].Attempts != 2 {
+		t.Fatalf("DLQ %+v, want the one poison cell after 2 attempts", dead)
+	}
+	for i, line := range dead[0].Errors {
+		if !strings.Contains(line, "injected failure") {
+			t.Fatalf("DLQ error %d = %q", i, line)
+		}
+	}
+
+	// Re-submitting (fresh sweep id, same cells) fails fast off the DLQ:
+	// deterministic poison stays poison, with no new failed attempts.
+	status, errText = runSweep(t, p.url, strings.Replace(spec, `"poison"`, `"poison-again"`, 1))
+	if status != "failed" || !strings.Contains(errText, "dead after 2 attempts") {
+		t.Fatalf("re-submitted sweep: status %q error %q", status, errText)
+	}
+	if qs := p.q.Stats(); qs.Dead != 1 || qs.Failures != 2 {
+		t.Fatalf("re-submission touched the DLQ: %+v", qs)
+	}
+}

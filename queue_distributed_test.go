@@ -1,0 +1,446 @@
+package slicc_test
+
+// The distributed fault-injection harness: real sliccd and sliccworker
+// binaries, real SIGKILLs. One test crashes a fleet member mid-lease and
+// proves the visibility timeout hands its cell to a second worker with
+// byte-identical results and exactly-once store entries; the other feeds
+// a worker a deterministically poisoned cell and proves it dead-letters
+// with its whole error chain, survives a control-plane restart, and heals
+// once the DLQ entry is cleared.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"slicc"
+	"slicc/sdk"
+)
+
+// buildSliccworker compiles the real sliccworker binary into dir.
+func buildSliccworker(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "sliccworker")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/sliccworker")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/sliccworker: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// bootSliccworker starts a fleet member and waits for its startup line.
+func bootSliccworker(t *testing.T, bin string, args ...string) *sliccdProc {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &sliccdProc{t: t, cmd: cmd}
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		_ = p.wait()
+	})
+	sc := bufio.NewScanner(stdout)
+	lineCh := make(chan string, 1)
+	go func() {
+		if sc.Scan() {
+			lineCh <- sc.Text()
+		}
+		close(lineCh)
+		_, _ = io.Copy(io.Discard, stdout)
+	}()
+	select {
+	case line, ok := <-lineCh:
+		if !ok {
+			t.Fatal("sliccworker exited before its startup line")
+		}
+		if !strings.HasPrefix(line, "sliccworker polling ") {
+			t.Fatalf("unexpected sliccworker startup line %q", line)
+		}
+		return p
+	case <-time.After(20 * time.Second):
+		t.Fatal("sliccworker did not start within 20s")
+	}
+	panic("unreachable")
+}
+
+// distKillSpec is the sweep the crash harness runs: 8 cells slow enough
+// (several hundred ms each) that a single-threaded worker is reliably
+// mid-lease when the SIGKILL lands.
+func distKillSpec() slicc.SweepSpec {
+	return slicc.SweepSpec{
+		Name:      "dist-kill",
+		Workloads: []string{"tpcc1", "skewed"},
+		Policies:  []string{"base", "nextline", "slicc-sw", "stream"},
+		Threads:   slicc.SweepInts(8),
+		Scales:    slicc.SweepFloats(2),
+	}
+}
+
+// queueStats fetches the control plane's queue stats block.
+func queueStats(t *testing.T, c *sdk.Client) sdk.QueueStats {
+	t.Helper()
+	st, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Queue == nil {
+		t.Fatal("control plane reports no queue block; is it distributed?")
+	}
+	return *st.Queue
+}
+
+// storeEntries lists the .sre result files directly under a store dir.
+func storeEntries(t *testing.T, dir string) []string {
+	t.Helper()
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, de := range des {
+		if !de.IsDir() && strings.HasSuffix(de.Name(), ".sre") {
+			names = append(names, de.Name())
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+func TestDistributedSweepKillWorker(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and boots sliccd and sliccworker binaries, runs multi-second sweeps")
+	}
+	dir := t.TempDir()
+	sliccd := buildSliccd(t, dir)
+	sliccworker := buildSliccworker(t, dir)
+	spec := distKillSpec()
+	ctx := context.Background()
+
+	// Reference: the same sweep standalone (no queue, no fleet).
+	refStore := filepath.Join(dir, "store-ref")
+	ref := bootSliccd(t, sliccd, "-addr", "127.0.0.1:0", "-store", refStore)
+	refClient := sdk.New(ref.base)
+	refRes, err := refClient.WatchSweep(ctx, spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if engineStats(t, refClient).SimsExecuted == 0 {
+		t.Fatal("reference run executed nothing")
+	}
+	ref.stop()
+
+	// Distributed control plane: short lease TTL so the killed worker's
+	// cell comes back quickly.
+	distStore := filepath.Join(dir, "store-dist")
+	cp := bootSliccd(t, sliccd, "-addr", "127.0.0.1:0", "-store", distStore,
+		"-distributed", "-queue-lease-ttl", "2s", "-queue-backoff", "100ms")
+	defer cp.stop()
+	client := sdk.New(cp.base)
+
+	// Worker 1: single-threaded, so cells go one at a time and the kill
+	// lands mid-cell.
+	w1 := bootSliccworker(t, sliccworker, "-server", cp.base, "-store", distStore,
+		"-j", "1", "-poll", "1s", "-heartbeat", "300ms", "-name", "victim")
+
+	var mu sync.Mutex
+	cellSeen := map[int]int{}
+	cellEvents := make(chan int, 64)
+	type watchOut struct {
+		res *slicc.SweepResult
+		err error
+	}
+	watchDone := make(chan watchOut, 1)
+	go func() {
+		res, err := client.WatchSweep(ctx, spec, func(ev slicc.SweepEvent) {
+			if ev.Type != slicc.SweepEventCell {
+				return
+			}
+			mu.Lock()
+			cellSeen[ev.Index]++
+			mu.Unlock()
+			cellEvents <- ev.Index
+		})
+		watchDone <- watchOut{res, err}
+	}()
+
+	// Let two cells finish, then wait for the victim to hold a lease and
+	// SIGKILL it mid-cell.
+	for seen := 0; seen < 2; {
+		select {
+		case <-cellEvents:
+			seen++
+		case out := <-watchDone:
+			t.Fatalf("sweep finished before the kill (res=%v err=%v); enlarge distKillSpec", out.res != nil, out.err)
+		case <-time.After(60 * time.Second):
+			t.Fatal("no cell events within 60s")
+		}
+	}
+	killDeadline := time.Now().Add(30 * time.Second)
+	for queueStats(t, client).Leased == 0 {
+		if time.Now().After(killDeadline) {
+			t.Fatal("victim worker never held a lease after the first cells")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	w1.kill()
+
+	// Worker 2 inherits the fleet. The expired lease's cell retries here.
+	w2 := bootSliccworker(t, sliccworker, "-server", cp.base, "-store", distStore,
+		"-j", "2", "-poll", "1s", "-name", "survivor")
+	defer w2.stop()
+
+	var out watchOut
+	select {
+	case out = <-watchDone:
+	case <-time.After(120 * time.Second):
+		t.Fatal("sweep did not complete after the replacement worker joined")
+	}
+	if out.err != nil {
+		t.Fatalf("WatchSweep across the worker kill: %v", out.err)
+	}
+
+	// Byte-identical to the standalone run.
+	if !reflect.DeepEqual(out.res, refRes) {
+		t.Fatalf("distributed result diverges from standalone:\n%+v\nvs\n%+v", out.res, refRes)
+	}
+	if got, want := sweepCSV(t, out.res), sweepCSV(t, refRes); !bytes.Equal(got, want) {
+		t.Fatalf("distributed CSV not byte-identical:\n%s\nvs\n%s", got, want)
+	}
+
+	// The watcher saw every cell exactly once across the crash.
+	mu.Lock()
+	for i, n := range cellSeen {
+		if n != 1 {
+			t.Errorf("cell %d observed %d times, want exactly once", i, n)
+		}
+	}
+	seen := len(cellSeen)
+	mu.Unlock()
+	if seen != len(out.res.Cells) {
+		t.Fatalf("observed %d distinct cells, want %d", seen, len(out.res.Cells))
+	}
+
+	// The control plane dispatched but never simulated; the kill shows up
+	// as at least one lease expiry; nothing dead-lettered.
+	st, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Engine.SimsExecuted != 0 {
+		t.Fatalf("control plane executed %d sims itself", st.Engine.SimsExecuted)
+	}
+	if st.Engine.SimsRemote == 0 {
+		t.Fatal("control plane reports no remote sims")
+	}
+	if st.Queue.Expirations == 0 {
+		t.Fatal("no lease expirations recorded — the kill never interrupted a lease")
+	}
+	if st.Queue.Dead != 0 || st.Queue.Pending != 0 || st.Queue.Leased != 0 {
+		t.Fatalf("queue not drained clean: %+v", st.Queue)
+	}
+
+	// Exactly-once results: the fleet's store holds exactly the entries
+	// the standalone run produced — same names, nothing extra, nothing
+	// missing — even though one cell was executed (at least started) twice.
+	refEntries := storeEntries(t, refStore)
+	distEntries := storeEntries(t, distStore)
+	if len(refEntries) == 0 || !reflect.DeepEqual(refEntries, distEntries) {
+		t.Fatalf("store entries diverge:\nstandalone %v\ndistributed %v", refEntries, distEntries)
+	}
+
+	// Cross-warm direction 1: a standalone server over the fleet's store
+	// re-runs the sweep with zero executions.
+	cp.stop()
+	warm1 := bootSliccd(t, sliccd, "-addr", "127.0.0.1:0", "-store", distStore)
+	warmRes, err := sdk.New(warm1.base).WatchSweep(ctx, spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(warmRes, refRes) {
+		t.Fatal("standalone-over-distributed-store warm result diverges")
+	}
+	ws := engineStats(t, sdk.New(warm1.base))
+	if ws.SimsExecuted != 0 || ws.StoreHits == 0 {
+		t.Fatalf("warm standalone stats %+v, want pure store hits", ws)
+	}
+	warm1.stop()
+
+	// Cross-warm direction 2: a distributed control plane over the
+	// standalone store completes the sweep with no workers at all — every
+	// cell is a store hit before it would be enqueued.
+	warm2 := bootSliccd(t, sliccd, "-addr", "127.0.0.1:0", "-store", refStore, "-distributed")
+	defer warm2.stop()
+	warm2Client := sdk.New(warm2.base)
+	warmRes2, err := warm2Client.WatchSweep(ctx, spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(warmRes2, refRes) {
+		t.Fatal("distributed-over-standalone-store warm result diverges")
+	}
+	wst, err := warm2Client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wst.Engine.SimsExecuted != 0 || wst.Engine.SimsRemote != 0 || wst.Queue.Enqueued != 0 {
+		t.Fatalf("warm distributed stats engine=%+v queue=%+v, want zero executions and zero enqueues",
+			wst.Engine, *wst.Queue)
+	}
+}
+
+func TestDistributedPoisonJob(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and boots sliccd and sliccworker binaries")
+	}
+	dir := t.TempDir()
+	sliccd := buildSliccd(t, dir)
+	sliccworker := buildSliccworker(t, dir)
+	storeDir := filepath.Join(dir, "store")
+	queueDir := filepath.Join(storeDir, "queue")
+
+	boot := func() (*sliccdProc, *sdk.Client) {
+		cp := bootSliccd(t, sliccd, "-addr", "127.0.0.1:0", "-store", storeDir,
+			"-distributed", "-queue-max-attempts", "2", "-queue-backoff", "50ms")
+		return cp, sdk.New(cp.base)
+	}
+	cp, client := boot()
+
+	// The fleet member refuses every cell whose payload carries Threads=9.
+	w := bootSliccworker(t, sliccworker, "-server", cp.base, "-store", storeDir,
+		"-j", "2", "-poll", "1s", "-name", "poisoned", "-fail-substr", `"Threads":9`)
+
+	spec := `{"name":"poison","baseline":"none","workloads":["tpcc1"],"policies":["base"],"threads":[8,9],"scales":[0.1]}`
+	postSweep := func(base, body string) (status, errText string) {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/sweeps?wait=1", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sw struct {
+			Status string `json:"status"`
+			Error  string `json:"error"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&sw); err != nil {
+			t.Fatal(err)
+		}
+		return sw.Status, sw.Error
+	}
+	status, errText := postSweep(cp.base, spec)
+	if status != "failed" {
+		t.Fatalf("poisoned sweep status %q (error %q), want failed", status, errText)
+	}
+	for _, want := range []string{"dead after 2 attempts", "injected failure", "-fail-substr"} {
+		if !strings.Contains(errText, want) {
+			t.Fatalf("sweep error %q missing %q", errText, want)
+		}
+	}
+
+	// The DLQ exposes the cell and its full error chain over HTTP.
+	type deadList struct {
+		Dead []struct {
+			ID       string   `json:"id"`
+			Attempts int      `json:"attempts"`
+			Errors   []string `json:"errors"`
+		} `json:"dead"`
+	}
+	getDead := func(base string) deadList {
+		t.Helper()
+		resp, err := http.Get(base + "/v1/queue/dead")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var dl deadList
+		if err := json.NewDecoder(resp.Body).Decode(&dl); err != nil {
+			t.Fatal(err)
+		}
+		return dl
+	}
+	dl := getDead(cp.base)
+	if len(dl.Dead) != 1 || dl.Dead[0].Attempts != 2 || len(dl.Dead[0].Errors) != 2 {
+		t.Fatalf("DLQ over HTTP %+v, want one cell with two recorded attempts", dl.Dead)
+	}
+	for _, line := range dl.Dead[0].Errors {
+		if !strings.Contains(line, "injected failure") {
+			t.Fatalf("DLQ error line %q", line)
+		}
+	}
+	poisonID := dl.Dead[0].ID
+
+	// The healthy cell completed and its result is in the store.
+	qs := queueStats(t, client)
+	if qs.Completions != 1 || qs.Dead != 1 {
+		t.Fatalf("queue stats %+v, want 1 completion + 1 dead", qs)
+	}
+
+	// The DLQ is durable: restart the control plane, the poison is still
+	// there, and re-submitting the sweep fails fast without new attempts.
+	w.stop()
+	cp.stop()
+	cp, client = boot()
+	dl = getDead(cp.base)
+	if len(dl.Dead) != 1 || dl.Dead[0].ID != poisonID || dl.Dead[0].Attempts != 2 {
+		t.Fatalf("DLQ after restart %+v, want the same poison entry", dl.Dead)
+	}
+	status, errText = postSweep(cp.base, strings.Replace(spec, `"poison"`, `"poison-2"`, 1))
+	if status != "failed" || !strings.Contains(errText, "dead after 2 attempts") {
+		t.Fatalf("re-submitted sweep: status %q error %q, want fast DLQ failure", status, errText)
+	}
+	if qs := queueStats(t, client); qs.Failures != 0 || qs.Leases != 0 {
+		t.Fatalf("re-submission re-attempted the poison cell: %+v", qs)
+	}
+
+	// Clearing the DLQ entry heals the sweep: remove the entry file (its
+	// name is sha256(id), the documented on-disk contract), restart, and
+	// a clean worker finishes the once-poisoned cell — the healthy cell is
+	// already a store hit.
+	cp.stop()
+	sum := sha256.Sum256([]byte(poisonID))
+	entryFile := filepath.Join(queueDir, hex.EncodeToString(sum[:])+".sqj")
+	if err := os.Remove(entryFile); err != nil {
+		t.Fatalf("removing DLQ entry file: %v", err)
+	}
+	cp, client = boot()
+	defer cp.stop()
+	w2 := bootSliccworker(t, sliccworker, "-server", cp.base, "-store", storeDir,
+		"-j", "2", "-poll", "1s", "-name", "healer")
+	defer w2.stop()
+	status, errText = postSweep(cp.base, strings.Replace(spec, `"poison"`, `"poison-healed"`, 1))
+	if status != "done" {
+		t.Fatalf("healed sweep status %q (error %q)", status, errText)
+	}
+	st, err := client.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Engine.SimsExecuted != 0 {
+		t.Fatalf("healed control plane executed %d sims itself", st.Engine.SimsExecuted)
+	}
+	if st.Queue.Enqueued != 1 || st.Queue.Completions != 1 || st.Queue.Dead != 0 {
+		t.Fatalf("healed queue stats %+v, want exactly the once-poisoned cell re-run", *st.Queue)
+	}
+	if st.Engine.SimsRemote != 1 {
+		t.Fatalf("healed control plane remote sims %d, want 1", st.Engine.SimsRemote)
+	}
+}

@@ -135,15 +135,37 @@ type ResponseCacheStats struct {
 	NotModified uint64 `json:"not_modified"`
 }
 
+// QueueStats mirrors the queue block of GET /v1/stats on distributed
+// control planes (sliccd -distributed): the durable job queue's current
+// depth by state, the dead-letter queue, and lifetime counters.
+type QueueStats struct {
+	Pending     int   `json:"pending"`
+	Leased      int   `json:"leased"`
+	Dead        int   `json:"dead"`
+	Enqueued    int64 `json:"enqueued"`
+	Leases      int64 `json:"leases"`
+	Heartbeats  int64 `json:"heartbeats"`
+	Expirations int64 `json:"expirations"`
+	Completions int64 `json:"completions"`
+	Failures    int64 `json:"failures"`
+}
+
 // Stats mirrors GET /v1/stats.
 type Stats struct {
 	Engine slicc.EngineStats `json:"engine"`
 	// Store is nil when the service runs without a persistent store.
 	Store         *StoreStats        `json:"store,omitempty"`
 	ResponseCache ResponseCacheStats `json:"response_cache"`
-	Simulations   int                `json:"simulations"`
-	Sweeps        int                `json:"sweeps"`
-	UptimeSeconds float64            `json:"uptime_seconds"`
+	// Queue is nil when the service is not a distributed control plane.
+	Queue       *QueueStats `json:"queue,omitempty"`
+	Simulations int         `json:"simulations"`
+	// Sweeps counts tracked sweeps; SweepsRunning the running subset,
+	// whose unfinished cells are SweepCellsPending (split further into
+	// queued vs leased by the Queue block in distributed mode).
+	Sweeps            int     `json:"sweeps"`
+	SweepsRunning     int     `json:"sweeps_running"`
+	SweepCellsPending int     `json:"sweep_cells_pending"`
+	UptimeSeconds     float64 `json:"uptime_seconds"`
 }
 
 // Client talks to one sliccd instance. The zero value is not usable; call

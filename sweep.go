@@ -79,6 +79,13 @@ func SweepPresets() []string { return sweep.Presets() }
 // deterministic for a given spec at any worker count. Cancelling ctx
 // aborts in-flight cells.
 func (e *Engine) Sweep(ctx context.Context, spec SweepSpec) (*SweepResult, error) {
+	if e.remote != nil {
+		// Distributed engines run every sweep through the streaming remote
+		// path (cells enqueue to the fleet); results are identical by the
+		// RunStream contract, so callers cannot tell except for where the
+		// work ran.
+		return sweep.RunStreamVia(ctx, e.pool, spec, e.remote, nil)
+	}
 	return sweep.Run(ctx, e.pool, spec)
 }
 
@@ -101,7 +108,7 @@ func (e *Engine) SweepUnbatched(ctx context.Context, spec SweepSpec) (*SweepResu
 // store-warmed rerun — the resume case — replays every cell instantly with
 // StoreHit set. emit is called serially and must return promptly.
 func (e *Engine) SweepStream(ctx context.Context, spec SweepSpec, emit func(SweepEvent)) (*SweepResult, error) {
-	return sweep.RunStream(ctx, e.pool, spec, emit)
+	return sweep.RunStreamVia(ctx, e.pool, spec, e.remote, emit)
 }
 
 // SweepTable renders a sweep result as an aligned per-cell table, with the
